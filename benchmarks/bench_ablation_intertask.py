@@ -1,0 +1,112 @@
+"""Ablation — inter-task vs intra-task vectorisation (paper Section IV).
+
+"the inter-task approach usually outperform the intra-task counterpart,
+especially when aligning short sequences.  Essentially, when aligning
+several pairs in parallel, we avoid the data dependences that limit the
+performance of intra-task approaches."
+
+This ablation measures the mechanism with the real Python engines: the
+intra-task engines (Farrar striped, anti-diagonal wavefront) pay their
+dependence-breaking overhead *per alignment*, so their throughput
+collapses on short sequences; the inter-task engine amortises one pass
+over many lane-parallel sequences and holds its rate.  Absolute numbers
+are Python speeds — the *ratio vs sequence length* is the reproduced
+claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import InterTaskEngine, StripedEngine, get_engine
+from repro.metrics import format_table
+from repro.scoring import BLOSUM62, paper_gap_model
+
+from conftest import run_once
+
+GAPS = paper_gap_model()
+QUERY_LEN = 128
+TOTAL_RESIDUES = 24_000  # constant total work per configuration
+SEQ_LENGTHS = (30, 120, 480)
+
+
+def _batch(rng, seq_len: int) -> list[np.ndarray]:
+    count = TOTAL_RESIDUES // seq_len
+    return [rng.integers(0, 20, seq_len).astype(np.uint8) for _ in range(count)]
+
+
+def _throughput(engine_call, cells: int) -> float:
+    t0 = time.perf_counter()
+    engine_call()
+    return cells / (time.perf_counter() - t0)
+
+
+@pytest.mark.benchmark(group="ablation-intertask")
+def test_intertask_beats_intratask_on_short_sequences(benchmark, show):
+    rng = np.random.default_rng(99)
+    query = rng.integers(0, 20, QUERY_LEN).astype(np.uint8)
+    inter = InterTaskEngine(lanes=16)
+    striped = StripedEngine(lanes=8)
+    diagonal = get_engine("diagonal")
+
+    def compute():
+        out = {}
+        for seq_len in SEQ_LENGTHS:
+            batch = _batch(rng, seq_len)
+            cells = QUERY_LEN * sum(len(s) for s in batch)
+            out[seq_len] = {
+                "intertask": _throughput(
+                    lambda: inter.score_batch(query, batch, BLOSUM62, GAPS),
+                    cells,
+                ),
+                "striped": _throughput(
+                    lambda: [striped.score_pair(query, s, BLOSUM62, GAPS)
+                             for s in batch],
+                    cells,
+                ),
+                "diagonal": _throughput(
+                    lambda: [diagonal.score_pair(query, s, BLOSUM62, GAPS)
+                             for s in batch],
+                    cells,
+                ),
+            }
+        return out
+
+    rates = run_once(benchmark, compute)
+
+    rows = [
+        (
+            seq_len, TOTAL_RESIDUES // seq_len,
+            r["intertask"] / 1e6, r["striped"] / 1e6, r["diagonal"] / 1e6,
+            f"{r['intertask'] / r['striped']:.1f}x",
+        )
+        for seq_len, r in rates.items()
+    ]
+    show(format_table(
+        ["seq len", "#seqs", "inter Mc/s", "striped Mc/s",
+         "diagonal Mc/s", "inter/striped"],
+        rows,
+        title="Ablation — inter-task vs intra-task engines (Python rates)",
+    ))
+    benchmark.extra_info["rates_mcells_per_s"] = {
+        str(k): {n: v / 1e6 for n, v in r.items()} for k, r in rates.items()
+    }
+
+    for seq_len in SEQ_LENGTHS:
+        # Inter-task wins at every length...
+        assert rates[seq_len]["intertask"] > rates[seq_len]["striped"]
+        assert rates[seq_len]["intertask"] > rates[seq_len]["diagonal"]
+    # ...and "especially when aligning short sequences": the wavefront
+    # engine's vector length ramps up/down once per alignment, so its
+    # throughput collapses on short sequences while inter-task lanes
+    # stay full — the advantage over the intra-task wavefront shrinks
+    # as sequences grow.
+    short_adv = rates[30]["intertask"] / rates[30]["diagonal"]
+    long_adv = rates[480]["intertask"] / rates[480]["diagonal"]
+    assert short_adv > long_adv
+    # The intra-task engine itself improves with sequence length (its
+    # diagonals get longer); inter-task is far less length-sensitive.
+    assert rates[480]["diagonal"] > 2 * rates[30]["diagonal"]

@@ -1,0 +1,86 @@
+"""Real-compute benchmarks of the Python alignment engines.
+
+These time the actual NumPy kernels (not the device model): single-pair
+throughput of each engine and batched inter-task throughput at the two
+device lane widths, with QP-vs-SP and blocking variations.  Useful for
+tracking regressions in the engines themselves; the absolute numbers are
+Python speeds, far below the paper's hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InterTaskEngine, get_engine
+from repro.scoring import BLOSUM62, paper_gap_model
+
+GAPS = paper_gap_model()
+RNG = np.random.default_rng(42)
+
+QUERY = RNG.integers(0, 20, 256).astype(np.uint8)
+TARGET = RNG.integers(0, 20, 400).astype(np.uint8)
+BATCH = [RNG.integers(0, 20, int(n)).astype(np.uint8)
+         for n in RNG.integers(50, 400, 64)]
+BATCH_CELLS = len(QUERY) * sum(len(s) for s in BATCH)
+
+
+def _report_gcups(benchmark, cells: int) -> None:
+    benchmark.extra_info["cells"] = cells
+    if benchmark.stats is not None:
+        mean = benchmark.stats["mean"] if isinstance(benchmark.stats, dict) else benchmark.stats.stats.mean
+        benchmark.extra_info["gcups"] = cells / mean / 1e9
+
+
+@pytest.mark.benchmark(group="engine-pair")
+@pytest.mark.parametrize("name", ["scan", "diagonal", "striped", "intertask"])
+def test_pair_throughput(benchmark, name):
+    engine = get_engine(name)
+    result = benchmark(
+        lambda: engine.score_pair(QUERY, TARGET, BLOSUM62, GAPS)
+    )
+    assert result.score >= 0
+    _report_gcups(benchmark, len(QUERY) * len(TARGET))
+
+
+@pytest.mark.benchmark(group="engine-batch")
+@pytest.mark.parametrize("lanes", [8, 16], ids=["avx-lanes", "mic-lanes"])
+def test_intertask_batch_throughput(benchmark, lanes):
+    engine = InterTaskEngine(lanes=lanes)
+    batch = benchmark(
+        lambda: engine.score_batch(QUERY, BATCH, BLOSUM62, GAPS)
+    )
+    assert len(batch) == len(BATCH)
+    _report_gcups(benchmark, BATCH_CELLS)
+
+
+@pytest.mark.benchmark(group="engine-batch")
+@pytest.mark.parametrize("profile", ["query", "sequence"])
+def test_intertask_profile_modes(benchmark, profile):
+    engine = InterTaskEngine(lanes=16, profile=profile)
+    batch = benchmark(
+        lambda: engine.score_batch(QUERY, BATCH, BLOSUM62, GAPS)
+    )
+    assert len(batch) == len(BATCH)
+    _report_gcups(benchmark, BATCH_CELLS)
+
+
+@pytest.mark.benchmark(group="engine-batch")
+@pytest.mark.parametrize("block", [None, 128], ids=["unblocked", "blocked128"])
+def test_intertask_blocking_overhead(benchmark, block):
+    engine = InterTaskEngine(lanes=16, block_cols=block)
+    batch = benchmark(
+        lambda: engine.score_batch(QUERY, BATCH, BLOSUM62, GAPS)
+    )
+    assert len(batch) == len(BATCH)
+    _report_gcups(benchmark, BATCH_CELLS)
+
+
+@pytest.mark.benchmark(group="engine-scalar")
+def test_scalar_reference_small(benchmark):
+    # The oracle is O(mn) Python — bench a small case only.
+    engine = get_engine("scalar")
+    q, d = QUERY[:64], TARGET[:64]
+    result = benchmark(lambda: engine.score_pair(q, d, BLOSUM62, GAPS))
+    assert result.score >= 0
+    _report_gcups(benchmark, len(q) * len(d))

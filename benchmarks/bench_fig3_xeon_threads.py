@@ -1,0 +1,70 @@
+"""Figure 3 — Xeon GCUPS vs thread count for all six variants.
+
+Paper series: no-vec (flat, ~1-2 GCUPS), simd-QP/SP and intrinsic-QP/SP
+scaling near-linearly to 16 physical cores with a hyper-threading knee
+to 32 threads; best result "up-to 30.4 GCUPS with 32 threads"
+(intrinsic-SP).  The Fig. 3 run uses a mid-length query; the paper's
+Fig. 4 peak of 32 GCUPS corresponds to the longest query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import format_table, paper_comparison
+from repro.perfmodel import RunConfig, thread_sweep
+
+from conftest import run_once
+
+THREADS = [1, 2, 4, 8, 16, 32]
+#: Mid-length paper query (P27895) — a representative Fig. 3 input.
+QUERY_LEN = 1000
+
+VARIANTS = [
+    RunConfig(vectorization="novec"),
+    RunConfig(vectorization="simd", profile="query"),
+    RunConfig(vectorization="simd", profile="sequence"),
+    RunConfig(vectorization="intrinsic", profile="query"),
+    RunConfig(vectorization="intrinsic", profile="sequence"),
+]
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_xeon_thread_scaling(benchmark, xeon_model, xeon_workload, show):
+    def compute():
+        return {
+            cfg.label: thread_sweep(
+                xeon_model, xeon_workload, QUERY_LEN, cfg, THREADS
+            )
+            for cfg in VARIANTS
+        }
+
+    series = run_once(benchmark, compute)
+
+    rows = [
+        [label] + [series[label][t] for t in THREADS]
+        for label in series
+    ]
+    show(format_table(
+        ["variant"] + [f"{t}t" for t in THREADS], rows,
+        title=f"Figure 3 — Xeon GCUPS vs threads (query length {QUERY_LEN})",
+    ))
+    best = series["intrinsic-SP"][32]
+    show(paper_comparison(
+        [("Fig.3 best (intrinsic-SP @32t)", 30.4, best)],
+    ))
+    benchmark.extra_info["series"] = {
+        k: {str(t): v for t, v in s.items()} for k, s in series.items()
+    }
+
+    # Shape assertions from the paper's narrative.
+    for t in THREADS:
+        assert series["intrinsic-SP"][t] >= series["simd-SP"][t]
+        assert series["simd-SP"][t] >= series["simd-QP"][t]
+        assert series["no-vec"][t] < 3.0  # "hardly offer performances"
+    # Best result within 15% of the quoted 30.4 GCUPS.
+    assert best == pytest.approx(30.4, rel=0.15)
+    # Near-linear region then HT knee.
+    sp = series["intrinsic-SP"]
+    assert sp[16] / sp[1] > 12.0
+    assert sp[32] / sp[16] < 1.6

@@ -1,0 +1,67 @@
+"""Figure 6 — Xeon Phi GCUPS vs query length at 240 threads.
+
+Paper: "as the query length is longer, there is more performance
+achieved since there exists more parallelism to be exploited", with a
+"synergistic effect ... on the exploitation of thread level parallelism
+with intrinsic vectorization", and "consecutive memory accesses for SP
+substitution scheme allow better performance for Xeon Phi intrinsic
+versions".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import PAPER_QUERIES
+from repro.metrics import format_table
+from repro.perfmodel import RunConfig
+from repro.perfmodel.efficiency import query_length_sweep
+
+from conftest import run_once
+
+QUERY_LENGTHS = [q.length for q in PAPER_QUERIES]
+
+VARIANTS = [
+    RunConfig(vectorization="simd", profile="query"),
+    RunConfig(vectorization="simd", profile="sequence"),
+    RunConfig(vectorization="intrinsic", profile="query"),
+    RunConfig(vectorization="intrinsic", profile="sequence"),
+]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_phi_query_length(benchmark, phi_model, phi_workload, show):
+    def compute():
+        return {
+            cfg.label: query_length_sweep(
+                phi_model, phi_workload, QUERY_LENGTHS, cfg
+            )
+            for cfg in VARIANTS
+        }
+
+    series = run_once(benchmark, compute)
+
+    rows = [
+        [q] + [series[cfg.label][q] for cfg in VARIANTS]
+        for q in QUERY_LENGTHS
+    ]
+    show(format_table(
+        ["qlen"] + [cfg.label for cfg in VARIANTS], rows,
+        title="Figure 6 — Xeon Phi GCUPS vs query length (240 threads)",
+    ))
+    benchmark.extra_info["series"] = {
+        k: {str(q): v for q, v in s.items()} for k, s in series.items()
+    }
+
+    intr_sp = series["intrinsic-SP"]
+    # Strong rise with query length (bounded by the 34.9 asymptote).
+    assert intr_sp[5478] / intr_sp[144] > 1.15
+    values = [intr_sp[q] for q in QUERY_LENGTHS]
+    assert all(b > a for a, b in zip(values, values[1:]))
+    # "Synergistic effect": intrinsic gains more from long queries than
+    # simd in absolute GCUPS terms.
+    simd_sp = series["simd-SP"]
+    assert (intr_sp[5478] - intr_sp[144]) > (simd_sp[5478] - simd_sp[144])
+    # SP beats QP at every length (contiguous accesses).
+    for q in QUERY_LENGTHS:
+        assert series["intrinsic-SP"][q] > series["intrinsic-QP"][q]

@@ -1,0 +1,63 @@
+"""Figure 7 — blocking vs non-blocking, both devices, vs query length.
+
+Paper: for the best variant (intrinsic-SP) with all threads, "exploiting
+data locality can seriously improve the performance on both devices" and
+"this optimization has a larger improvement in the Intel's Xeon Phi
+because its cache size is lower than its counterpart Intel's Xeon".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import PAPER_QUERIES
+from repro.metrics import format_table
+from repro.perfmodel import RunConfig
+from repro.perfmodel.efficiency import query_length_sweep
+
+from conftest import run_once
+
+QUERY_LENGTHS = [q.length for q in PAPER_QUERIES][::4] + [5478]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_blocking(benchmark, xeon_model, phi_model,
+                       xeon_workload, phi_workload, show):
+    def compute():
+        out = {}
+        for name, model, wl in (
+            ("xeon", xeon_model, xeon_workload),
+            ("phi", phi_model, phi_workload),
+        ):
+            for blocking in (True, False):
+                label = f"{name}-{'block' if blocking else 'noblock'}"
+                out[label] = query_length_sweep(
+                    model, wl, QUERY_LENGTHS, RunConfig(blocking=blocking)
+                )
+        return out
+
+    series = run_once(benchmark, compute)
+
+    rows = [
+        [q] + [series[k][q] for k in series]
+        for q in QUERY_LENGTHS
+    ]
+    show(format_table(
+        ["qlen"] + list(series), rows,
+        title="Figure 7 — blocking vs non-blocking (intrinsic-SP, all threads)",
+    ))
+    benchmark.extra_info["series"] = {
+        k: {str(q): v for q, v in s.items()} for k, s in series.items()
+    }
+
+    for q in QUERY_LENGTHS:
+        # Blocking helps on both devices at every query length...
+        assert series["xeon-block"][q] > series["xeon-noblock"][q]
+        assert series["phi-block"][q] > series["phi-noblock"][q]
+        # ...and helps the Phi more (its L2 is the smaller budget).
+        xeon_gain = series["xeon-block"][q] / series["xeon-noblock"][q]
+        phi_gain = series["phi-block"][q] / series["phi-noblock"][q]
+        assert phi_gain > xeon_gain
+    # Magnitude: a serious improvement, not a rounding error.
+    assert series["phi-block"][5478] / series["phi-noblock"][5478] > 1.3
+    assert series["xeon-block"][5478] / series["xeon-noblock"][5478] > 1.1

@@ -1,0 +1,63 @@
+"""Figure 8 — heterogeneous GCUPS vs workload distribution.
+
+Paper: sweeping the share of the database sent to the Phi, "the best
+configuration is close to a homogeneous distribution (45% in Xeon and
+55% in Xeon-Phi).  The performance achieved is almost the combination of
+their individual throughputs (30.4 and 34.9 GCUPS ...) which is totaled
+to 62.6 GCUPS."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.metrics import format_series, paper_comparison
+from repro.perfmodel import DevicePerformanceModel
+from repro.runtime import HybridExecutor
+
+from conftest import run_once
+
+FRACTIONS = [round(0.05 * k, 2) for k in range(21)]
+QUERY_LEN = 5478
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_hybrid_distribution(benchmark, swissprot_lengths,
+                                  xeon_model, phi_model, show):
+    executor = HybridExecutor(xeon_model, phi_model)
+
+    def compute():
+        return executor.sweep(swissprot_lengths, QUERY_LEN, FRACTIONS)
+
+    sweep = run_once(benchmark, compute)
+    gcups = {f: sweep[f].gcups for f in FRACTIONS}
+    best = max(sweep.values(), key=lambda r: r.gcups)
+
+    show(format_series(
+        gcups, x_label="phi-share",
+        title="Figure 8 — hybrid GCUPS vs workload distribution",
+    ))
+    show(paper_comparison([
+        ("Fig.8 peak GCUPS", 62.6, best.gcups),
+        ("Fig.8 peak phi-share", 0.55, best.device_fraction),
+        ("Fig.8 Xeon-only endpoint", 30.4, gcups[0.0]),
+        ("Fig.8 Phi-only endpoint", 34.9, gcups[1.0]),
+    ]))
+    benchmark.extra_info["series"] = {str(f): g for f, g in gcups.items()}
+
+    # Peak near the homogeneous split, at the combined throughput.
+    assert 0.45 <= best.device_fraction <= 0.60
+    assert best.gcups == pytest.approx(62.6, rel=0.05)
+    # The peak is "almost the combination of their individual
+    # throughputs": within 10% of endpoint sum.
+    assert best.gcups > 0.9 * (gcups[0.0] + gcups[1.0])
+    # Unimodal curve.
+    values = [gcups[f] for f in FRACTIONS]
+    peak_idx = values.index(max(values))
+    assert all(b >= a * 0.999 for a, b in
+               zip(values[:peak_idx], values[1 : peak_idx + 1]))
+    assert all(a >= b * 0.999 for a, b in
+               zip(values[peak_idx:], values[peak_idx + 1 :]))
+    # At the optimum both sides finish nearly together.
+    assert best.overlap_efficiency > 0.85

@@ -1,0 +1,53 @@
+"""Real-compute benchmarks of the end-to-end pipelines.
+
+Times the integrated paths (Algorithm 1 pipeline, Algorithm 2 hybrid
+pipeline, MiniBlast) on a fixed synthetic workload — regression tracking
+for the whole stack rather than individual kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.heuristic import MiniBlast
+from repro.perfmodel import DevicePerformanceModel
+from repro.search import SearchPipeline
+from repro.search.hybrid_pipeline import HybridSearchPipeline
+
+DB = SyntheticSwissProt().generate(scale=0.0002)
+RNG = np.random.default_rng(7)
+QUERY = RNG.integers(0, 20, 200).astype(np.uint8)
+CELLS = len(QUERY) * DB.total_residues
+
+
+@pytest.mark.benchmark(group="pipeline")
+@pytest.mark.parametrize("profile", ["sequence", "query"])
+def test_search_pipeline(benchmark, profile):
+    pipe = SearchPipeline(profile=profile)
+    result = benchmark(lambda: pipe.search(QUERY, DB, top_k=5))
+    assert result.cells == CELLS
+    benchmark.extra_info["wall_gcups"] = result.wall_gcups
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_hybrid_pipeline(benchmark):
+    pipe = HybridSearchPipeline(
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+    outcome = benchmark(
+        lambda: pipe.search(QUERY, DB, device_fraction=0.55, top_k=5)
+    )
+    assert outcome.result.cells == CELLS
+    benchmark.extra_info["modeled_gcups"] = outcome.modeled_gcups
+
+
+@pytest.mark.benchmark(group="pipeline")
+def test_miniblast_pipeline(benchmark):
+    blaster = MiniBlast()
+    result = benchmark(lambda: blaster.search(QUERY, DB))
+    assert result.exact_cells == CELLS
+    benchmark.extra_info["cell_savings"] = result.cell_savings

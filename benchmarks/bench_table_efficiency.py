@@ -1,0 +1,59 @@
+"""Section V-C1 efficiency quotes — the paper's thread-scaling table.
+
+Paper: "we observe an efficiency from 99% to 88% with 4 and 16 threads
+respectively in intrinsic-SP test (when hyper-threading is enabled, it's
+reduced to 70% for 32 threads).  The efficiency for intrinsic-QP is
+slightly less (73% with 16 threads)".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import format_table, paper_comparison
+from repro.perfmodel import RunConfig, efficiency_table
+
+from conftest import run_once
+
+QUERY_LEN = 1000
+
+
+@pytest.mark.benchmark(group="table-efficiency")
+def test_thread_scaling_efficiency(benchmark, xeon_model, xeon_workload, show):
+    def compute():
+        return {
+            "intrinsic-SP": efficiency_table(
+                xeon_model, xeon_workload, QUERY_LEN,
+                RunConfig(), [1, 4, 16, 32],
+            ),
+            "intrinsic-QP": efficiency_table(
+                xeon_model, xeon_workload, QUERY_LEN,
+                RunConfig(profile="query"), [1, 4, 16, 32],
+            ),
+        }
+
+    eff = run_once(benchmark, compute)
+
+    rows = [
+        [label] + [f"{eff[label][t]:.0%}" for t in (1, 4, 16, 32)]
+        for label in eff
+    ]
+    show(format_table(
+        ["variant", "1t", "4t", "16t", "32t"], rows,
+        title="Section V-C1 — Xeon thread-scaling efficiency",
+    ))
+    sp = eff["intrinsic-SP"]
+    show(paper_comparison([
+        ("efficiency @4t (intrinsic-SP)", 0.99, sp[4]),
+        ("efficiency @16t (intrinsic-SP)", 0.88, sp[16]),
+        ("efficiency @32t (intrinsic-SP)", 0.70, sp[32]),
+    ]))
+    benchmark.extra_info["efficiency"] = {
+        k: {str(t): v for t, v in s.items()} for k, s in eff.items()
+    }
+
+    assert sp[4] == pytest.approx(0.99, abs=0.04)
+    assert sp[16] == pytest.approx(0.88, abs=0.12)
+    assert sp[32] == pytest.approx(0.70, abs=0.07)
+    # Efficiency decreases with thread count; HT threads are not cores.
+    assert sp[4] > sp[16] > sp[32]

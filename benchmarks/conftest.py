@@ -1,0 +1,67 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one figure of the paper's evaluation
+(Section V): it computes the same series the figure plots, prints them as
+a table next to the paper's reported values, records them in
+``benchmark.extra_info`` and asserts the *shape* facts the paper states
+(who wins, by roughly what factor, where crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.perfmodel import DevicePerformanceModel, Workload
+
+
+@pytest.fixture(scope="session")
+def swissprot_lengths() -> np.ndarray:
+    """Full-scale synthetic Swiss-Prot length distribution (Section V-B)."""
+    return SyntheticSwissProt().lengths()
+
+
+@pytest.fixture(scope="session")
+def xeon_model() -> DevicePerformanceModel:
+    """Performance model of the dual Xeon E5-2670 host."""
+    return DevicePerformanceModel(XEON_E5_2670_DUAL)
+
+
+@pytest.fixture(scope="session")
+def phi_model() -> DevicePerformanceModel:
+    """Performance model of the 60-core Xeon Phi."""
+    return DevicePerformanceModel(XEON_PHI_57XX)
+
+
+@pytest.fixture(scope="session")
+def xeon_workload(swissprot_lengths) -> Workload:
+    """The database packed for the Xeon's 8 32-bit AVX lanes."""
+    return Workload.from_lengths(swissprot_lengths, 8)
+
+
+@pytest.fixture(scope="session")
+def phi_workload(swissprot_lengths) -> Workload:
+    """The database packed for the Phi's 16 32-bit MIC lanes."""
+    return Workload.from_lengths(swissprot_lengths, 16)
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a table to the real terminal, bypassing pytest capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic figure computation exactly once under timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

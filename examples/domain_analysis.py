@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Domain analysis — suboptimal alignments and hit statistics.
+
+Two post-search capabilities a production SW tool layers on top of the
+raw score scan:
+
+1. **Waterman-Eggert suboptimal alignments** — a protein with repeated
+   domains matches a single-domain query several times; declumping
+   reports each copy as a separate non-overlapping alignment (SSEARCH's
+   behaviour).
+2. **E-value statistics** — raw scores become significance estimates via
+   a Gumbel fit of the database's own score distribution (Karlin-
+   Altschul statistics; the ungapped lambda is solved analytically and
+   compared).
+
+Run:  python examples/domain_analysis.py
+"""
+
+import numpy as np
+
+from repro import BLOSUM62, SearchPipeline, SyntheticSwissProt, paper_gap_model
+from repro.core import waterman_eggert
+from repro.db import SequenceDatabase
+from repro.metrics import format_table
+from repro.search.stats import attach_statistics, ungapped_lambda
+
+
+def main() -> None:
+    gaps = paper_gap_model()
+    rng = np.random.default_rng(33)
+
+    # ------------------------------------------------------------------
+    # 1. A three-domain target vs a single-domain query.
+    # ------------------------------------------------------------------
+    domain = "".join(
+        "ARNDCQEGHILKMFPSTWYV"[i] for i in rng.integers(0, 20, 60)
+    )
+    linker = "GGGGSGGGGS"
+    target = linker.join([domain] * 3)
+    print(f"query: one {len(domain)}-residue domain; "
+          f"target: three copies + linkers ({len(target)} aa)\n")
+
+    alignments = waterman_eggert(domain, target, BLOSUM62, gaps, k=5,
+                                 min_score=50)
+    rows = [
+        (rank, t.score, f"{t.start_db}-{t.end_db}", f"{t.identity:.0%}")
+        for rank, t in enumerate(alignments, start=1)
+    ]
+    print(format_table(
+        ["rank", "score", "target span", "identity"],
+        rows,
+        title="Waterman-Eggert declumped alignments",
+    ))
+    print("Each domain copy surfaces as its own alignment — a single "
+          "optimal alignment would report only one.\n")
+
+    # ------------------------------------------------------------------
+    # 2. Statistics over a database search.
+    # ------------------------------------------------------------------
+    db = SyntheticSwissProt().generate(scale=0.0005)
+    # Plant the multi-domain protein so something is significant.
+    db = SequenceDatabase(
+        name=db.name,
+        sequences=db.sequences + [db.alphabet.encode(target)],
+        headers=db.headers + ["TARGET3X planted three-domain protein"],
+        alphabet=db.alphabet,
+    )
+    result = SearchPipeline().search(domain, db, query_name="domain", top_k=6)
+    stats = attach_statistics(result)
+    print(format_table(
+        ["hit", "score", "bits", "E-value"],
+        [
+            (h.accession, h.score, round(bits, 1), f"{e:.2e}")
+            for h, e, bits in stats
+        ],
+        title="top hits with Gumbel statistics (fit from this search)",
+    ))
+    lam = ungapped_lambda(BLOSUM62)
+    print(f"\nAnalytic ungapped Karlin-Altschul lambda for BLOSUM62: "
+          f"{lam:.4f} (literature: 0.3176). The gapped search above uses "
+          "an empirical fit instead — no analytic theory exists for "
+          "gapped scores.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Read mapping — the paper's motivating application, end to end.
+
+Section I: "In high-throughput sequencing, the SW algorithm itself, or
+variations of it, are often used to align sequencing reads to reference
+sequences."  This example builds that workflow from the library's parts,
+on DNA instead of protein (every component is alphabet-generic):
+
+1. a random reference "genome" and error-bearing reads sampled from it;
+2. a k-mer index over the reference (the seeding structure of every
+   modern mapper);
+3. per read: seed lookup, then banded Smith-Waterman around the seed's
+   diagonal (the "variation of SW" real mappers run);
+4. mapping accuracy and the work saved vs full-matrix alignment.
+
+Run:  python examples/read_mapping.py
+"""
+
+import numpy as np
+
+from repro.alphabet import DNA, reverse_complement
+from repro.core.banded import BandedEngine
+from repro.heuristic import KmerWordCoder
+from repro.metrics import format_table
+from repro.scoring import GapModel, match_mismatch_matrix
+
+MATRIX = match_mismatch_matrix(2, -3, alphabet=DNA, name="DNA+2-3")
+GAPS = GapModel(5, 2)
+
+REFERENCE_LEN = 60_000
+N_READS = 60
+READ_LEN = 120
+ERROR_RATE = 0.03
+K = 15
+BAND = 12
+
+
+def sample_reads(rng, reference, n, length, error_rate):
+    """Reads from random positions/strands with sub/indel errors."""
+    reads = []
+    for _ in range(n):
+        pos = int(rng.integers(0, len(reference) - length))
+        fragment = reference[pos : pos + length]
+        strand = "+" if rng.random() < 0.5 else "-"
+        if strand == "-":
+            fragment = reverse_complement(fragment)
+        read = list(fragment)
+        i = 0
+        while i < len(read):
+            if rng.random() < error_rate:
+                r = rng.random()
+                if r < 0.8:      # substitution
+                    read[i] = int(rng.integers(0, 4))
+                elif r < 0.9:    # deletion
+                    del read[i]
+                    continue
+                else:            # insertion
+                    read.insert(i, int(rng.integers(0, 4)))
+                    i += 1
+            i += 1
+        reads.append((pos, strand, np.asarray(read, dtype=np.uint8)))
+    return reads
+
+
+def main() -> None:
+    rng = np.random.default_rng(4)
+    reference = rng.integers(0, 4, REFERENCE_LEN).astype(np.uint8)
+    reads = sample_reads(rng, reference, N_READS, READ_LEN, ERROR_RATE)
+    print(f"reference {REFERENCE_LEN:,} bp; {N_READS} reads of "
+          f"{READ_LEN} bp at {ERROR_RATE:.0%} error")
+
+    # ------------------------------------------------------------------
+    # Index the reference k-mers (seeding structure).
+    # ------------------------------------------------------------------
+    coder = KmerWordCoder(K, DNA)
+    index: dict[int, list[int]] = {}
+    for pos, word in enumerate(coder.words_of(reference)):
+        index.setdefault(int(word), []).append(pos)
+    print(f"indexed {len(index):,} distinct {K}-mers")
+
+    # ------------------------------------------------------------------
+    # Map each read: seed, then banded SW around the seed diagonal.
+    # ------------------------------------------------------------------
+    mapped = 0
+    correct = 0
+    strand_right = 0
+    banded_cells = 0
+    full_cells = N_READS * READ_LEN * REFERENCE_LEN
+    for true_pos, true_strand, raw_read in reads:
+        # Try both orientations; keep the first that seeds (real mappers
+        # seed both and keep the better alignment).
+        hit = None
+        read = raw_read
+        strand = "+"
+        for orientation, candidate in (
+            ("+", raw_read), ("-", reverse_complement(raw_read)),
+        ):
+            words = coder.words_of(candidate)
+            for offset in range(0, max(len(words), 1), K):
+                for ref_pos in index.get(int(words[offset]), []):
+                    hit = (offset, ref_pos)
+                    break
+                if hit:
+                    break
+            if hit is not None:
+                read, strand = candidate, orientation
+                break
+        if hit is None:
+            continue
+        mapped += 1
+        if strand == true_strand:
+            strand_right += 1
+        q_off, r_pos = hit
+        window_start = max(0, r_pos - q_off - BAND)
+        window_end = min(len(reference), r_pos - q_off + len(read) + BAND)
+        window = reference[window_start:window_end]
+        engine = BandedEngine(alphabet=DNA, width=BAND, offset=0)
+        result = engine.score_pair(read, window, MATRIX, GAPS)
+        banded_cells += result.cells
+        est_pos = window_start + result.end_db - result.end_query
+        if abs(est_pos - true_pos) <= BAND:
+            correct += 1
+
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("reads mapped (seed found)", f"{mapped}/{N_READS}"),
+            ("strand called correctly", f"{strand_right}/{mapped}"),
+            ("mapped to true locus", f"{correct}/{mapped}"),
+            ("banded DP cells", f"{banded_cells:,}"),
+            ("full-matrix DP cells", f"{full_cells:,}"),
+            ("work saved", f"{1 - banded_cells / full_cells:.3%}"),
+        ],
+        title="seed + banded-SW read mapping",
+    ))
+    print(
+        "\nThe banded kernel is the 'variation of SW' the paper's intro "
+        "describes; the full-matrix column is what exact all-vs-all "
+        "alignment would cost — the gap the paper's acceleration work "
+        "exists to close for the cases that need exactness."
+    )
+
+
+if __name__ == "__main__":
+    main()

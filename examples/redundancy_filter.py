@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Redundancy filtering — all-vs-all SW similarity clustering.
+
+Database curators run exactly this workflow (CD-HIT, UniRef): compute
+pairwise similarities within a set, cluster everything above a
+threshold, and keep one representative per cluster.  Here the pairwise
+kernel is the library's inter-task engine and the similarity is the
+self-score-normalised SW score.
+
+A synthetic protein family is built with the homolog mutator: three
+"founder" proteins, several mutated descendants each.  Greedy clustering
+at 60% similarity must rediscover the three families.
+
+Run:  python examples/redundancy_filter.py
+"""
+
+import numpy as np
+
+from repro import BLOSUM62, paper_gap_model
+from repro.core import similarity_matrix
+from repro.db.mutate import mutate
+from repro.metrics import format_table
+
+
+def greedy_cluster(sim: np.ndarray, threshold: float) -> list[list[int]]:
+    """Classic CD-HIT-style greedy clustering by representative."""
+    unassigned = set(range(len(sim)))
+    clusters: list[list[int]] = []
+    while unassigned:
+        rep = min(unassigned)  # deterministic representative choice
+        members = [k for k in unassigned if sim[rep, k] >= threshold]
+        clusters.append(sorted(members))
+        unassigned -= set(members)
+    return clusters
+
+
+def main() -> None:
+    rng = np.random.default_rng(77)
+    founders = {
+        f"family{f}": rng.integers(0, 20, 120).astype(np.uint8)
+        for f in range(3)
+    }
+    names: list[str] = []
+    seqs: list[np.ndarray] = []
+    for fam, founder in founders.items():
+        names.append(f"{fam}/founder")
+        seqs.append(founder)
+        for c in range(4):
+            names.append(f"{fam}/mutant{c}")
+            seqs.append(mutate(founder, 0.15, rng=rng))
+    print(f"{len(seqs)} sequences from {len(founders)} families "
+          f"(founders + 15%-divergent mutants)\n")
+
+    sim = similarity_matrix(seqs, BLOSUM62, paper_gap_model())
+    clusters = greedy_cluster(sim, threshold=0.6)
+
+    rows = []
+    for k, members in enumerate(clusters):
+        families = {names[m].split("/")[0] for m in members}
+        rows.append((
+            k, len(members), ", ".join(sorted(families)),
+            f"{min(sim[members[0], m] for m in members):.2f}",
+        ))
+    print(format_table(
+        ["cluster", "size", "families inside", "min sim to rep"],
+        rows,
+        title="greedy clustering at 60% SW similarity",
+    ))
+
+    pure = all(
+        len({names[m].split("/")[0] for m in members}) == 1
+        for members in clusters
+    )
+    print(
+        f"\n{len(clusters)} clusters, "
+        f"{'every cluster is family-pure' if pure else 'IMPURE CLUSTERS'} — "
+        "the all-vs-all SW similarity separates the families cleanly."
+    )
+
+
+if __name__ == "__main__":
+    main()

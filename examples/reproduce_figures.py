@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper's evaluation section in one run.
+
+Prints the modelled series for Figures 3-8 side by side with the numbers
+the paper reports.  This is the quick human-readable version of the
+benchmark harness (``pytest benchmarks/ --benchmark-only`` runs the same
+computations with assertions and timing).
+
+Run:  python examples/reproduce_figures.py
+"""
+
+from repro import (
+    DevicePerformanceModel,
+    HybridExecutor,
+    RunConfig,
+    SyntheticSwissProt,
+    Workload,
+    XEON_E5_2670_DUAL,
+    XEON_PHI_57XX,
+)
+from repro.db import PAPER_QUERIES
+from repro.metrics import format_series, format_table, paper_comparison
+from repro.perfmodel import thread_sweep
+from repro.perfmodel.efficiency import efficiency_table, query_length_sweep
+
+VARIANTS = [
+    RunConfig(vectorization="novec"),
+    RunConfig(vectorization="simd", profile="query"),
+    RunConfig(vectorization="simd", profile="sequence"),
+    RunConfig(vectorization="intrinsic", profile="query"),
+    RunConfig(vectorization="intrinsic", profile="sequence"),
+]
+
+
+def main() -> None:
+    print("Building the full-scale Swiss-Prot workload (lengths only)...")
+    lengths = SyntheticSwissProt().lengths()
+    xeon = DevicePerformanceModel(XEON_E5_2670_DUAL)
+    phi = DevicePerformanceModel(XEON_PHI_57XX)
+    wx = Workload.from_lengths(lengths, 8)
+    wp = Workload.from_lengths(lengths, 16)
+    qlens = [q.length for q in PAPER_QUERIES]
+
+    # Figure 3 — Xeon thread scaling.
+    threads = [1, 2, 4, 8, 16, 32]
+    rows = [
+        [cfg.label] + list(thread_sweep(xeon, wx, 1000, cfg, threads).values())
+        for cfg in VARIANTS
+    ]
+    print("\n" + format_table(
+        ["variant"] + [f"{t}t" for t in threads], rows,
+        title="Figure 3 — Xeon GCUPS vs threads (paper best: 30.4)",
+    ))
+
+    # Figure 4 — Xeon query-length sweep.
+    rows = [
+        [q] + [query_length_sweep(xeon, wx, [q], cfg)[q] for cfg in VARIANTS[1:]]
+        for q in qlens[::4] + [5478]
+    ]
+    print("\n" + format_table(
+        ["qlen"] + [cfg.label for cfg in VARIANTS[1:]], rows,
+        title="Figure 4 — Xeon GCUPS vs query length (paper: 25.1 simd-SP, 32 intrinsic-SP)",
+    ))
+
+    # Figure 5 — Phi thread scaling.
+    threads = [30, 60, 120, 240]
+    rows = [
+        [cfg.label] + list(thread_sweep(phi, wp, 5478, cfg, threads).values())
+        for cfg in VARIANTS
+    ]
+    print("\n" + format_table(
+        ["variant"] + [f"{t}t" for t in threads], rows,
+        title="Figure 5 — Phi GCUPS vs threads (paper: 13.6/14.5 simd, 27.1/34.9 intrinsic)",
+    ))
+
+    # Figure 6 — Phi query-length sweep.
+    rows = [
+        [q] + [query_length_sweep(phi, wp, [q], cfg)[q] for cfg in VARIANTS[1:]]
+        for q in qlens[::4] + [5478]
+    ]
+    print("\n" + format_table(
+        ["qlen"] + [cfg.label for cfg in VARIANTS[1:]], rows,
+        title="Figure 6 — Phi GCUPS vs query length (240 threads)",
+    ))
+
+    # Figure 7 — blocking study.
+    rows = []
+    for q in qlens[::6] + [5478]:
+        row = [q]
+        for model, wl in ((xeon, wx), (phi, wp)):
+            for blocking in (True, False):
+                row.append(model.gcups(wl, q, RunConfig(blocking=blocking)))
+        rows.append(row)
+    print("\n" + format_table(
+        ["qlen", "xeon-blk", "xeon-noblk", "phi-blk", "phi-noblk"], rows,
+        title="Figure 7 — blocking vs non-blocking (intrinsic-SP)",
+    ))
+
+    # Figure 8 — hybrid distribution sweep.
+    executor = HybridExecutor(xeon, phi)
+    fractions = [round(0.1 * k, 1) for k in range(11)]
+    sweep = executor.sweep(lengths, 5478, fractions)
+    print("\n" + format_series(
+        {f: r.gcups for f, r in sweep.items()}, x_label="phi-share",
+        title="Figure 8 — hybrid GCUPS vs workload distribution",
+    ))
+    best = executor.best_split(lengths, 5478)
+
+    # Section V-C1 — efficiency quotes.
+    eff = efficiency_table(xeon, wx, 1000, RunConfig(), [4, 16, 32])
+
+    print("\n" + paper_comparison(
+        [
+            ("Xeon intrinsic-SP peak (Fig.4)", 32.0,
+             xeon.gcups(wx, 5478, RunConfig())),
+            ("Phi intrinsic-SP peak (Fig.5/6)", 34.9,
+             phi.gcups(wp, 5478, RunConfig())),
+            ("hybrid peak (Fig.8)", 62.6, best.gcups),
+            ("hybrid optimal phi share (Fig.8)", 0.55, best.device_fraction),
+            ("Xeon efficiency @4t", 0.99, eff[4]),
+            ("Xeon efficiency @16t", 0.88, eff[16]),
+            ("Xeon efficiency @32t", 0.70, eff[32]),
+        ],
+        title="Headline reproduction summary",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why dynamic scheduling wins — the paper's Section IV claim, visualised.
+
+"The iterations are distributed according to the selected scheduling
+policy ... In our observations, dynamic outperforms static significantly.
+The performance difference with guided is slightly minor.  This has
+sense taking into account that the workload associated to each iteration
+is different."
+
+This example runs the OpenMP scheduler simulation over the real
+(length-sorted) Swiss-Prot group workload and draws a Gantt chart per
+policy: static's contiguous blocks of the sorted costs leave early
+threads idle while one thread chews the longest block; dynamic and
+guided stay packed.
+
+Run:  python examples/schedule_gantt.py
+"""
+
+from repro.db import SyntheticSwissProt
+from repro.devices import ParallelFor, Schedule, ScheduleTrace
+from repro.metrics import format_table
+from repro.perfmodel import Workload
+
+THREADS = 8  # few threads keep the chart readable
+
+
+def main() -> None:
+    # The real workload shape: lane-group residue counts of the sorted
+    # database (scaled down so each bar is visible).
+    lengths = SyntheticSwissProt().lengths(scale=0.002)
+    workload = Workload.from_lengths(lengths, lanes=8)
+    costs = workload.group_residues.astype(float)
+    print(f"{len(costs)} loop iterations (lane groups), sorted by length\n")
+
+    rows = []
+    for schedule in Schedule:
+        result = ParallelFor(THREADS, schedule).run(costs)
+        trace = ScheduleTrace(result)
+        trace.validate()
+        print(trace.gantt(width=64))
+        print()
+        rows.append((
+            schedule.value,
+            result.makespan / 1e3,
+            f"{result.efficiency:.1%}",
+            f"{max(trace.idle_tail(t) for t in range(THREADS)) / 1e3:.1f}k",
+        ))
+
+    print(format_table(
+        ["schedule", "makespan (kcells)", "efficiency", "worst idle tail"],
+        rows,
+        title="Section IV — scheduling policies over the sorted workload",
+    ))
+    print(
+        "\nStatic's blocks of the ascending-length database give the last "
+        "thread all the longest groups; dynamic (and guided, 'slightly "
+        "minor') re-balance on the fly — the paper's observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

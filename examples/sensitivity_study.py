@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Sensitivity study — exact Smith-Waterman vs seed-and-extend heuristics.
+
+The paper's introduction motivates accelerating *exact* SW: heuristics
+like BLAST "increase speed at the cost of reduced sensitivity", yet SW's
+guarantee "is essential in some applications".  This example quantifies
+that trade-off with the library's own substrates:
+
+1. plant mutated homologs of a query into a synthetic background
+   database at increasing divergence (mutation rates 0.1 ... 0.7);
+2. search with the exact inter-task engine (SearchPipeline) and with
+   MiniBlast (k-mer neighbourhood seeding, X-drop, banded refinement);
+3. report, per divergence level: how much of the exact score the
+   heuristic recovers, and how much of the DP work it skipped.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+import numpy as np
+
+from repro import SearchPipeline, SyntheticSwissProt
+from repro.db.mutate import plant_homologs
+from repro.heuristic import MiniBlast
+from repro.metrics import format_table
+
+RATES = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+PER_RATE = 3
+
+
+def main() -> None:
+    print("Preparing a planted-homolog database...")
+    background = SyntheticSwissProt().generate(scale=0.0002)
+    rng = np.random.default_rng(2014)
+    query = rng.integers(0, 20, 250).astype(np.uint8)
+    db, planted = plant_homologs(
+        background, {"query": query}, RATES, per_rate=PER_RATE
+    )
+    print(f"  {len(db)} sequences ({len(planted)} known homologs)")
+
+    print("Exact search (inter-task engine)...")
+    exact = SearchPipeline().search(query, db)
+    print("Heuristic search (MiniBlast: k=3, T=11, X-drop, banded)...")
+    heuristic = MiniBlast().search(query, db)
+
+    rows = []
+    for rate in RATES:
+        mine = [p.index for p in planted if p.rate == rate]
+        sw_scores = [int(exact.scores[i]) for i in mine]
+        bl_scores = [int(heuristic.scores[i]) for i in mine]
+        recovered = [
+            b / s if s else 1.0 for b, s in zip(bl_scores, sw_scores)
+        ]
+        found = sum(1 for b in bl_scores if b > 0)
+        rows.append((
+            f"{rate:.0%}",
+            float(np.mean(sw_scores)),
+            float(np.mean(bl_scores)),
+            f"{np.mean(recovered):.0%}",
+            f"{found}/{len(mine)}",
+        ))
+    print()
+    print(format_table(
+        ["divergence", "mean SW score", "mean BLAST score",
+         "score recovered", "seeded"],
+        rows,
+        title="Sensitivity vs divergence (planted homologs)",
+    ))
+
+    print(
+        f"\nHeuristic work: {heuristic.cells_computed:,} cells vs "
+        f"{heuristic.exact_cells:,} exact "
+        f"({heuristic.cell_savings:.1%} skipped; "
+        f"{heuristic.seeds_found:,} seeds, "
+        f"{heuristic.gapped_extensions} gapped refinements)."
+    )
+    print(
+        "The heuristic matches exact scores on close homologs but loses "
+        "score — and eventually whole hits — as divergence grows: the "
+        "sensitivity/speed trade-off that motivates accelerating exact "
+        "SW (paper Section I)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""repro — Smith-Waterman on heterogeneous systems, reproduced in Python.
+
+A full reproduction of *"Smith-Waterman Algorithm on Heterogeneous
+Systems: A Case Study"* (Rucci, De Giusti, Naiouf, Botella, García,
+Prieto-Matías — IEEE CLUSTER 2014): five cross-validated affine-gap
+Smith-Waterman engines (including the paper's inter-task lane-parallel
+scheme with query/sequence profiles and cache blocking), a simulated
+hardware substrate (AVX-256 vs MIC-512 vector units with instruction
+accounting, OpenMP scheduling, SMT and cache models for the dual
+Xeon E5-2670 host and the 60-core Xeon Phi), an offload/hybrid runtime,
+and a calibrated performance model that regenerates every figure of the
+paper's evaluation.
+
+Quick start::
+
+    >>> from repro import sw_score
+    >>> sw_score("HEAGAWGHEE", "PAWHEAE")
+    17
+
+Database search::
+
+    >>> from repro import SearchPipeline, SyntheticSwissProt
+    >>> db = SyntheticSwissProt().generate(scale=0.0001)
+    >>> result = SearchPipeline().search("MKTAYIAKQR" * 10, db)
+    >>> result.hits[0].score >= result.hits[-1].score
+    True
+"""
+
+from .alphabet import DNA, PROTEIN, Alphabet, encode, decode
+from .core import (
+    AdaptivePrecisionEngine,
+    AlignmentEngine,
+    BandedEngine,
+    AlignmentResult,
+    BatchResult,
+    DiagonalEngine,
+    InterTaskEngine,
+    LaneGroup,
+    ScalarEngine,
+    ScanEngine,
+    StripedEngine,
+    Traceback,
+    align_pair,
+    available_engines,
+    build_lane_groups,
+    get_engine,
+    global_align,
+    semiglobal_align,
+    sw_score,
+    waterman_eggert,
+)
+from .heuristic import MiniBlast
+from .db import (
+    PAPER_QUERIES,
+    SequenceDatabase,
+    SyntheticSwissProt,
+    make_query_set,
+    preprocess_database,
+    read_fasta,
+    split_database,
+    write_fasta,
+)
+from .devices import (
+    XEON_E5_2670_DUAL,
+    XEON_PHI_57XX,
+    DeviceSpec,
+    ParallelFor,
+    Schedule,
+)
+from .exceptions import ReproError
+from .perfmodel import DevicePerformanceModel, RunConfig, Workload
+from .runtime import HybridExecutor, PCIE_GEN2_X16
+from .scoring import (
+    BLOSUM45,
+    BLOSUM50,
+    BLOSUM62,
+    BLOSUM80,
+    BLOSUM90,
+    PAM30,
+    PAM70,
+    PAM250,
+    GapModel,
+    SubstitutionMatrix,
+    get_matrix,
+    paper_gap_model,
+)
+from .search import (
+    HybridSearchPipeline,
+    SearchPipeline,
+    SearchResult,
+    StreamingSearch,
+    gcups,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # alphabet
+    "PROTEIN", "DNA", "Alphabet", "encode", "decode",
+    # engines
+    "AlignmentEngine", "AlignmentResult", "BatchResult", "Traceback",
+    "ScalarEngine", "ScanEngine", "DiagonalEngine", "StripedEngine",
+    "InterTaskEngine", "BandedEngine", "AdaptivePrecisionEngine",
+    "LaneGroup", "build_lane_groups",
+    "global_align", "semiglobal_align", "MiniBlast",
+    "available_engines", "get_engine", "sw_score", "align_pair",
+    # scoring
+    "SubstitutionMatrix", "GapModel", "paper_gap_model", "get_matrix",
+    "BLOSUM45", "BLOSUM50", "BLOSUM62", "BLOSUM80", "BLOSUM90",
+    "PAM30", "PAM70", "PAM250",
+    # db
+    "SequenceDatabase", "SyntheticSwissProt", "PAPER_QUERIES",
+    "make_query_set", "read_fasta", "write_fasta",
+    "preprocess_database", "split_database",
+    # devices / model / runtime
+    "DeviceSpec", "XEON_E5_2670_DUAL", "XEON_PHI_57XX",
+    "ParallelFor", "Schedule",
+    "DevicePerformanceModel", "RunConfig", "Workload",
+    "HybridExecutor", "PCIE_GEN2_X16",
+    # search
+    "SearchPipeline", "SearchResult", "gcups",
+    "StreamingSearch", "HybridSearchPipeline", "waterman_eggert",
+    # errors
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,221 @@
+"""Protein alphabet handling and sequence encoding.
+
+The library works internally on ``uint8`` numpy arrays of *residue codes*
+rather than Python strings: every alignment engine indexes substitution
+matrices with these codes, and the SIMD-style engines rely on them being
+small dense integers so profile rows can be gathered with a single fancy
+index (the numpy analogue of the vector-gather the paper discusses).
+
+The canonical alphabet is the 24-letter NCBI protein alphabet used by the
+BLOSUM matrix family::
+
+    A R N D C Q E G H I L K M F P S T W Y V B Z X *
+
+``B`` (Asx), ``Z`` (Glx) and ``X`` (unknown) are ambiguity codes; ``*`` is
+the stop/translation-end symbol.  Lower-case input is accepted and folded
+to upper case (Swiss-Prot entries are upper case but user input often is
+not).  Unknown letters can either raise or be mapped to ``X`` depending on
+the chosen :class:`UnknownPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import AlphabetError, SequenceError
+
+__all__ = [
+    "PROTEIN_LETTERS",
+    "UnknownPolicy",
+    "Alphabet",
+    "PROTEIN",
+    "DNA",
+    "encode",
+    "decode",
+    "reverse_complement",
+]
+
+#: The 24 letters of the canonical protein alphabet, in BLOSUM data order.
+PROTEIN_LETTERS = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+
+class UnknownPolicy(enum.Enum):
+    """What to do with a letter outside the alphabet during encoding."""
+
+    #: Raise :class:`~repro.exceptions.AlphabetError`.
+    RAISE = "raise"
+    #: Replace the letter with the wildcard residue ``X``.
+    MAP_TO_X = "map_to_x"
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered residue alphabet with fast string <-> code translation.
+
+    Parameters
+    ----------
+    letters:
+        The alphabet symbols in matrix order.  Must be unique, single
+        characters, upper case.
+    wildcard:
+        The symbol unknown residues map to under
+        :attr:`UnknownPolicy.MAP_TO_X`; must be a member of ``letters``.
+    """
+
+    letters: str
+    wildcard: str = "X"
+    _lut: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.letters)) != len(self.letters):
+            raise AlphabetError(f"duplicate letters in alphabet {self.letters!r}")
+        if not self.letters:
+            raise AlphabetError("alphabet must contain at least one letter")
+        if any(len(c) != 1 for c in self.letters):
+            raise AlphabetError("alphabet members must be single characters")
+        if self.wildcard not in self.letters:
+            raise AlphabetError(
+                f"wildcard {self.wildcard!r} is not in alphabet {self.letters!r}"
+            )
+        # 256-entry lookup table: byte value -> residue code, 255 = invalid.
+        lut = np.full(256, 255, dtype=np.uint8)
+        for code, letter in enumerate(self.letters):
+            lut[ord(letter)] = code
+            lut[ord(letter.lower())] = code
+        object.__setattr__(self, "_lut", lut)
+
+    @property
+    def size(self) -> int:
+        """Number of symbols in the alphabet."""
+        return len(self.letters)
+
+    @property
+    def wildcard_code(self) -> int:
+        """Residue code of the wildcard symbol."""
+        return self.letters.index(self.wildcard)
+
+    def code_of(self, letter: str) -> int:
+        """Return the residue code of a single letter.
+
+        Raises
+        ------
+        AlphabetError
+            If ``letter`` is not a member of the alphabet.
+        """
+        if len(letter) != 1:
+            raise AlphabetError(f"expected a single character, got {letter!r}")
+        code = int(self._lut[ord(letter) & 0xFF]) if ord(letter) < 256 else 255
+        if code == 255:
+            raise AlphabetError(f"letter {letter!r} is not in the alphabet")
+        return code
+
+    def encode(
+        self,
+        sequence: str,
+        *,
+        unknown: UnknownPolicy = UnknownPolicy.RAISE,
+    ) -> np.ndarray:
+        """Encode a residue string into a ``uint8`` code array.
+
+        Parameters
+        ----------
+        sequence:
+            Residue letters; lower case is folded to upper case.
+        unknown:
+            Policy for letters outside the alphabet.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``uint8`` array of residue codes, contiguous.
+
+        Raises
+        ------
+        SequenceError
+            If the sequence is empty.
+        AlphabetError
+            If an unknown letter is found under :attr:`UnknownPolicy.RAISE`.
+        """
+        if not sequence:
+            raise SequenceError("cannot encode an empty sequence")
+        raw = np.frombuffer(sequence.encode("latin-1", "replace"), dtype=np.uint8)
+        codes = self._lut[raw]
+        bad = codes == 255
+        if bad.any():
+            if unknown is UnknownPolicy.RAISE:
+                pos = int(np.argmax(bad))
+                raise AlphabetError(
+                    f"unknown residue {sequence[pos]!r} at position {pos}"
+                )
+            codes = codes.copy()
+            codes[bad] = self.wildcard_code
+        return np.ascontiguousarray(codes)
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a residue-code array back into a string.
+
+        Raises
+        ------
+        AlphabetError
+            If any code is out of range for this alphabet.
+        """
+        arr = np.asarray(codes)
+        if arr.size and int(arr.max(initial=0)) >= self.size:
+            raise AlphabetError(
+                f"residue code {int(arr.max())} out of range for "
+                f"{self.size}-letter alphabet"
+            )
+        return "".join(self.letters[int(c)] for c in arr)
+
+    def is_valid(self, sequence: str) -> bool:
+        """Return True iff every letter of ``sequence`` is in the alphabet."""
+        if not sequence:
+            return False
+        raw = np.frombuffer(sequence.encode("latin-1", "replace"), dtype=np.uint8)
+        return bool((self._lut[raw] != 255).all())
+
+
+#: The canonical protein alphabet instance used throughout the library.
+PROTEIN = Alphabet(PROTEIN_LETTERS)
+
+#: Nucleotide alphabet (A, C, G, T plus the N ambiguity code) for the
+#: read-mapping workloads the paper's introduction motivates.  Engines,
+#: k-mer coders and matrix builders are alphabet-generic; pair this with
+#: ``match_mismatch_matrix(..., alphabet=DNA)``.
+DNA = Alphabet("ACGTN", wildcard="N")
+
+#: Complement code table for :data:`DNA`: A<->T, C<->G, N->N.
+_DNA_COMPLEMENT = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def reverse_complement(codes: np.ndarray) -> np.ndarray:
+    """Reverse-complement a DNA code array.
+
+    Sequencing reads come off either strand; a mapper (see
+    ``examples/read_mapping.py``) tries both orientations.  Accepts
+    :data:`DNA` residue codes and returns a fresh contiguous array.
+
+    Raises
+    ------
+    AlphabetError
+        If a code is outside the DNA alphabet.
+    """
+    arr = np.asarray(codes)
+    if arr.size and int(arr.max(initial=0)) >= DNA.size:
+        raise AlphabetError(
+            f"residue code {int(arr.max())} is not a DNA code"
+        )
+    return np.ascontiguousarray(_DNA_COMPLEMENT[arr[::-1]])
+
+
+def encode(sequence: str, *, unknown: UnknownPolicy = UnknownPolicy.RAISE) -> np.ndarray:
+    """Encode ``sequence`` with the canonical protein alphabet."""
+    return PROTEIN.encode(sequence, unknown=unknown)
+
+
+def decode(codes: np.ndarray) -> str:
+    """Decode residue codes with the canonical protein alphabet."""
+    return PROTEIN.decode(codes)

@@ -1,0 +1,337 @@
+"""Command-line interface: ``repro-sw`` / ``python -m repro``.
+
+Subcommands
+-----------
+``search``
+    Run a Smith-Waterman database search (Algorithm 1) against a FASTA
+    file or a synthetic Swiss-Prot sample and print the ranked hits.
+``align``
+    Align two sequences (local / global / semi-global) with traceback.
+``blast``
+    Run the seed-and-extend heuristic search and report its work savings.
+``model``
+    Print the modelled GCUPS grid for the paper's devices and variants.
+``hybrid``
+    Sweep the host/coprocessor split (Figure 8) and report the optimum.
+``validate``
+    Re-derive every number the paper reports and check it reproduces.
+``report``
+    Generate the live paper-vs-measured reproduction report (markdown).
+``info``
+    List bundled matrices, engines and device specifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+from .exceptions import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-sw",
+        description="Smith-Waterman on heterogeneous systems (CLUSTER'14 reproduction)",
+    )
+    p.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("search", help="run a database search")
+    s.add_argument("--query", help="query sequence (residue letters)")
+    s.add_argument("--query-fasta", help="FASTA file; first record is the query")
+    s.add_argument("--db-fasta", help="database FASTA file")
+    s.add_argument(
+        "--synthetic-scale", type=float, default=None,
+        help="use a synthetic Swiss-Prot at this scale (e.g. 0.0005)",
+    )
+    s.add_argument("--matrix", default="BLOSUM62")
+    s.add_argument("--gap-open", type=int, default=10)
+    s.add_argument("--gap-extend", type=int, default=2)
+    s.add_argument("--lanes", type=int, default=8)
+    s.add_argument("--profile", choices=("query", "sequence"), default="sequence")
+    s.add_argument("--top", type=int, default=10)
+    s.add_argument("--traceback", action="store_true",
+                   help="print alignments for the top hits")
+    s.add_argument("--evalues", action="store_true",
+                   help="report E-values and bit scores for the hits")
+    s.add_argument("--tsv", action="store_true",
+                   help="print hits as tab-separated values (outfmt-6 style)")
+
+    a = sub.add_parser("align", help="align two sequences with traceback")
+    a.add_argument("sequence_a", help="query residue letters")
+    a.add_argument("sequence_b", help="target residue letters")
+    a.add_argument("--mode", choices=("local", "global", "semiglobal"),
+                   default="local")
+    a.add_argument("--matrix", default="BLOSUM62")
+    a.add_argument("--gap-open", type=int, default=10)
+    a.add_argument("--gap-extend", type=int, default=2)
+
+    b = sub.add_parser("blast", help="seed-and-extend heuristic search")
+    b.add_argument("--query", required=True)
+    b.add_argument("--db-fasta")
+    b.add_argument("--synthetic-scale", type=float, default=None)
+    b.add_argument("--word-size", type=int, default=3)
+    b.add_argument("--threshold", type=int, default=11)
+    b.add_argument("--top", type=int, default=10)
+
+    m = sub.add_parser("model", help="modelled GCUPS for the paper's variant grid")
+    m.add_argument("--query-length", type=int, default=5478)
+    m.add_argument("--scale", type=float, default=1.0,
+                   help="database scale for the length distribution")
+
+    h = sub.add_parser("hybrid", help="Figure 8 hybrid split sweep")
+    h.add_argument("--query-length", type=int, default=5478)
+    h.add_argument("--step", type=float, default=0.05)
+
+    v = sub.add_parser("validate",
+                       help="check every paper target against the model")
+
+    r = sub.add_parser("report", help="generate the reproduction report")
+    r.add_argument("--output", help="write markdown to this file")
+    r.add_argument("--query-length", type=int, default=5478)
+
+    sub.add_parser("info", help="list engines, matrices and devices")
+    return p
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .db import SequenceDatabase, SyntheticSwissProt, read_fasta
+    from .scoring import GapModel, get_matrix
+    from .search import SearchPipeline
+
+    if args.query:
+        query = args.query
+        qname = "cmdline-query"
+    elif args.query_fasta:
+        rec = next(iter(read_fasta(args.query_fasta)))
+        query, qname = rec.sequence, rec.accession
+    else:
+        print("error: provide --query or --query-fasta", file=sys.stderr)
+        return 2
+
+    if args.db_fasta:
+        db = SequenceDatabase.from_fasta(args.db_fasta)
+    elif args.synthetic_scale:
+        db = SyntheticSwissProt().generate(scale=args.synthetic_scale)
+    else:
+        print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
+        return 2
+
+    pipeline = SearchPipeline(
+        matrix=get_matrix(args.matrix),
+        gaps=GapModel(args.gap_open, args.gap_extend),
+        lanes=args.lanes,
+        profile=args.profile,
+    )
+    result = pipeline.search(
+        query, db, query_name=qname, top_k=args.top, traceback=args.traceback
+    )
+    if args.tsv:
+        print(result.to_tsv())
+        return 0
+    print(result.summary())
+    if args.evalues:
+        from .metrics import format_table
+        from .search.stats import attach_statistics
+
+        stats = attach_statistics(result)
+        print()
+        print(format_table(
+            ["hit", "score", "bits", "E-value"],
+            [
+                (h.accession, h.score, round(bits, 1), f"{e:.2e}")
+                for h, e, bits in stats
+            ],
+            title="hit statistics (Gumbel fit from the score distribution)",
+        ))
+    if args.traceback:
+        for hit in result.top(args.top):
+            if hit.alignment and hit.alignment.score > 0:
+                print(f"\n>{hit.header}")
+                print(hit.alignment.pretty())
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from .core import align_pair
+    from .core.global_align import global_align, semiglobal_align
+    from .scoring import GapModel, get_matrix
+
+    matrix = get_matrix(args.matrix)
+    gaps = GapModel(args.gap_open, args.gap_extend)
+    mode = {
+        "local": align_pair,
+        "global": global_align,
+        "semiglobal": semiglobal_align,
+    }[args.mode]
+    tb = mode(args.sequence_a, args.sequence_b, matrix, gaps)
+    print(f"{args.mode} alignment ({matrix.name}, gaps "
+          f"{args.gap_open}/{args.gap_extend}):")
+    if tb.length:
+        print(tb.pretty())
+        print(f"CIGAR: {tb.cigar()}")
+    else:
+        print("no alignment with positive score")
+    return 0
+
+
+def _cmd_blast(args: argparse.Namespace) -> int:
+    from .db import SequenceDatabase, SyntheticSwissProt
+    from .heuristic import MiniBlast
+
+    if args.db_fasta:
+        db = SequenceDatabase.from_fasta(args.db_fasta)
+    elif args.synthetic_scale:
+        db = SyntheticSwissProt().generate(scale=args.synthetic_scale)
+    else:
+        print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
+        return 2
+    result = MiniBlast(k=args.word_size, threshold=args.threshold).search(
+        args.query, db
+    )
+    print(
+        f"heuristic search of {len(db)} sequences: "
+        f"{result.seeds_found} seeds, {result.gapped_extensions} gapped "
+        f"refinements, {result.cell_savings:.1%} of exact-SW work skipped"
+    )
+    for rank, hit in enumerate(result.top(args.top), start=1):
+        print(f"  #{rank:<2d} score {hit.score:>6d}  {hit.header.split()[0]} "
+              f"q[{hit.qstart}-{hit.qend}] d[{hit.dstart}-{hit.dend}]")
+    if not result.hits:
+        print("  no hits above the seeding threshold")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    from .db import SyntheticSwissProt
+    from .devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+    from .metrics import format_table
+    from .perfmodel import DevicePerformanceModel, RunConfig, Workload
+
+    lengths = SyntheticSwissProt().lengths(scale=args.scale)
+    rows = []
+    for spec in (XEON_E5_2670_DUAL, XEON_PHI_57XX):
+        model = DevicePerformanceModel(spec)
+        wl = Workload.from_lengths(lengths, spec.lanes32)
+        for vec in ("novec", "simd", "intrinsic"):
+            profiles = ("sequence",) if vec == "novec" else ("query", "sequence")
+            for prof in profiles:
+                cfg = RunConfig(vectorization=vec, profile=prof)
+                rows.append(
+                    (spec.name, cfg.label,
+                     model.gcups(wl, args.query_length, cfg))
+                )
+    print(format_table(
+        ["device", "variant", "GCUPS"], rows,
+        title=f"modelled GCUPS (query length {args.query_length})",
+    ))
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from .db import SyntheticSwissProt
+    from .devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+    from .metrics import format_series
+    from .perfmodel import DevicePerformanceModel
+    from .runtime import HybridExecutor
+
+    lengths = SyntheticSwissProt().lengths()
+    ex = HybridExecutor(
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+    steps = int(round(1.0 / args.step))
+    fractions = [round(k * args.step, 4) for k in range(steps + 1)]
+    sweep = ex.sweep(lengths, args.query_length, fractions)
+    print(format_series(
+        {f: r.gcups for f, r in sweep.items()},
+        x_label="phi-share", title="hybrid GCUPS vs workload distribution (Fig. 8)",
+    ))
+    best = max(sweep.values(), key=lambda r: r.gcups)
+    print(f"\nbest split: {best.device_fraction:.0%} on the Phi -> "
+          f"{best.gcups:.1f} GCUPS (paper: ~55% -> 62.6)")
+    return 0
+
+
+def _cmd_validate(_: argparse.Namespace) -> int:
+    from .metrics import format_table
+    from .perfmodel import validate_against_paper
+
+    record = validate_against_paper()
+    rows = [
+        (v["section"], v["description"], v["target"], v["measured"],
+         "OK" if v["ok"] else "FAIL")
+        for v in record.values()
+    ]
+    print(format_table(
+        ["section", "experiment", "paper", "measured", "status"],
+        rows,
+        title="paper-target validation",
+    ))
+    failures = sum(1 for v in record.values() if not v["ok"])
+    print(f"\n{len(record) - failures}/{len(record)} targets reproduced")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .metrics import generate_report
+
+    text = generate_report(query_len=args.query_length)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    from .core import available_engines
+    from .devices import paper_devices
+    from .scoring import available_matrices
+
+    print("engines:   " + ", ".join(available_engines()))
+    print("matrices:  " + ", ".join(available_matrices()))
+    print("devices:")
+    for short, spec in paper_devices().items():
+        print(
+            f"  {short:5s} {spec.name}: {spec.cores} cores x "
+            f"{spec.threads_per_core} threads @ {spec.clock_ghz} GHz, "
+            f"{spec.isa.register_bits}-bit SIMD"
+            f"{' (gather)' if spec.isa.has_gather else ''}, "
+            f"TDP {spec.tdp_watts:.0f} W"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "search": _cmd_search,
+        "align": _cmd_align,
+        "blast": _cmd_blast,
+        "model": _cmd_model,
+        "hybrid": _cmd_hybrid,
+        "validate": _cmd_validate,
+        "report": _cmd_report,
+        "info": _cmd_info,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""All-vs-all pairwise scoring.
+
+Clustering, redundancy filtering and guide-tree construction all start
+from a matrix of pairwise Smith-Waterman scores.  :func:`score_all_pairs`
+computes it with the inter-task engine — each row of the output is one
+query-vs-batch sweep, so lane parallelism applies throughout — and
+returns either raw scores or a normalised similarity in [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..core.engine import as_codes
+from ..core.intertask import InterTaskEngine
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+
+__all__ = ["score_all_pairs", "similarity_matrix"]
+
+
+def score_all_pairs(
+    sequences,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    *,
+    lanes: int = 16,
+    alphabet: Alphabet = PROTEIN,
+) -> np.ndarray:
+    """Symmetric ``(n, n)`` matrix of pairwise local-alignment scores.
+
+    Only the upper triangle is computed (score symmetry holds for the
+    symmetric substitution matrices this library enforces); the diagonal
+    holds each sequence's self-score.
+    """
+    seqs = [as_codes(s, alphabet) for s in sequences]
+    n = len(seqs)
+    if n < 1:
+        raise EngineError("need at least one sequence")
+    engine = InterTaskEngine(alphabet=alphabet, lanes=lanes)
+    out = np.zeros((n, n), dtype=np.int64)
+    for i in range(n):
+        batch = engine.score_batch(seqs[i], seqs[i:], matrix, gaps)
+        out[i, i:] = batch.scores
+        out[i:, i] = batch.scores
+    return out
+
+
+def similarity_matrix(
+    sequences,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    *,
+    lanes: int = 16,
+    alphabet: Alphabet = PROTEIN,
+) -> np.ndarray:
+    """Self-score-normalised similarities in ``[0, 1]``.
+
+    ``sim(a, b) = score(a, b) / min(score(a, a), score(b, b))`` — 1.0 for
+    identical sequences, near 0 for unrelated ones.  The denominator
+    uses the smaller self-score so containment (a short sequence inside
+    a long one) still reads as high similarity.
+
+    Raises
+    ------
+    EngineError
+        If any sequence has a non-positive self-score (it could never
+        reach similarity 1 with anything, including itself).
+    """
+    scores = score_all_pairs(
+        sequences, matrix, gaps, lanes=lanes, alphabet=alphabet
+    )
+    self_scores = np.diag(scores).astype(np.float64)
+    if (self_scores <= 0).any():
+        bad = int(np.argmax(self_scores <= 0))
+        raise EngineError(
+            f"sequence {bad} has non-positive self-score "
+            f"({int(self_scores[bad])}); similarity is undefined"
+        )
+    denom = np.minimum.outer(self_scores, self_scores)
+    return scores / denom

@@ -1,0 +1,124 @@
+"""Banded Smith-Waterman engine.
+
+Restricts the DP to a diagonal band ``|j - i - offset| <= width``,
+reducing work from ``O(m*n)`` to ``O(min(m,n) * band)``.  Two uses:
+
+* as a stand-alone engine for alignments known to be near-diagonal —
+  the read-mapping workloads the paper's introduction motivates, where
+  "the SW algorithm itself, or variations of it, are often used to
+  align sequencing reads to reference sequences";
+* as the gapped-extension stage of the seed-and-extend heuristics
+  (:mod:`repro.heuristic`): a seed fixes the diagonal, the band bounds
+  how far gaps may wander from it.
+
+Scores are exact whenever the optimal alignment's path stays inside the
+band and a lower bound otherwise — :meth:`BandedEngine.score_pair` is
+therefore *not* registered as a general engine; it is constructed
+explicitly where the band assumption is deliberate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import AlignmentEngine
+from .types import AlignmentResult
+
+__all__ = ["BandedEngine"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+class BandedEngine(AlignmentEngine):
+    """Local alignment restricted to a diagonal band.
+
+    Parameters
+    ----------
+    width:
+        Half-width of the band: cells with ``|j - i - offset| > width``
+        are never computed.
+    offset:
+        Diagonal the band is centred on (``j - i``); 0 is the main
+        diagonal, positive values shift toward the database sequence.
+    """
+
+    name = "banded"
+
+    def __init__(
+        self,
+        alphabet: Alphabet | None = None,
+        width: int = 16,
+        offset: int = 0,
+    ) -> None:
+        super().__init__(alphabet or PROTEIN)
+        if width < 0:
+            raise EngineError(f"band width must be non-negative, got {width}")
+        self.width = width
+        self.offset = offset
+
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        m, n = len(query), len(db)
+        go, ge = gaps.first_gap_cost, gaps.extend
+        sub = matrix.data
+        w, off = self.width, self.offset
+
+        # Band-local storage: column index j maps to slot j - (i + off)
+        # + w, i.e. each row's window is [i + off - w, i + off + w].
+        span = 2 * w + 1
+        h_prev = np.zeros(span + 2, dtype=np.int64)  # padded by 1 each side
+        f_prev = np.full(span + 2, _NEG, dtype=np.int64)
+        best = 0
+        best_i = best_j = 0
+        cells = 0
+
+        for i in range(1, m + 1):
+            lo = max(1, i + off - w)
+            hi = min(n, i + off + w)
+            h_curr = np.zeros(span + 2, dtype=np.int64)
+            f_curr = np.full(span + 2, _NEG, dtype=np.int64)
+            if lo > hi:
+                h_prev, f_prev = h_curr, f_curr
+                continue
+            e = _NEG
+            row = sub[query[i - 1]]
+            for j in range(lo, hi + 1):
+                s = j - (i + off) + w + 1  # slot in the current row
+                # Previous row's window is shifted one left: column j
+                # sits at slot s+1 there, column j-1 at slot s.
+                h_diag = h_prev[s] if j - 1 >= 0 else 0
+                h_up = h_prev[s + 1]
+                f = max(h_up - go, f_prev[s + 1] - ge)
+                h_left = h_curr[s - 1]
+                e = max(h_left - go, e - ge)
+                h = max(0, h_diag + int(row[db[j - 1]]), e, f)
+                h_curr[s] = h
+                f_curr[s] = f
+                cells += 1
+                if h > best:
+                    best, best_i, best_j = h, i, j
+            h_prev, f_prev = h_curr, f_curr
+
+        return AlignmentResult(
+            score=int(best), end_query=best_i, end_db=best_j, cells=cells
+        )
+
+    def band_cells(self, m: int, n: int) -> int:
+        """Cells the band visits for an ``m x n`` problem (work bound)."""
+        if m < 1 or n < 1:
+            raise EngineError("dimensions must be positive")
+        total = 0
+        for i in range(1, m + 1):
+            lo = max(1, i + self.offset - self.width)
+            hi = min(n, i + self.offset + self.width)
+            total += max(0, hi - lo + 1)
+        return total

@@ -1,0 +1,105 @@
+"""Anti-diagonal wavefront Smith-Waterman engine.
+
+Cells on the same anti-diagonal ``d = i + j`` have no mutual dependences
+(the paper's Fig. 1 dependences all point to diagonals ``d-1`` and
+``d-2``), so a whole diagonal can be computed with elementwise numpy
+operations.  This is the classic *intra-task* vectorisation scheme the
+paper contrasts with the inter-task approach: parallelism within a single
+alignment, limited by the diagonal length ramp-up/-down that makes it
+inefficient for short sequences — exactly the effect the inter-task
+engine avoids.
+
+State is kept in ``(m+1)``-sized buffers indexed by the query coordinate
+``i``; for diagonal ``d`` the valid range is ``max(0, d-n) <= i <=
+min(m, d)``, with the local-alignment border (Eq. 1) re-imposed at
+``i = 0`` and ``j = 0`` after every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import AlignmentEngine, register_engine
+from .types import AlignmentResult
+
+__all__ = ["DiagonalEngine"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+@register_engine
+class DiagonalEngine(AlignmentEngine):
+    """Wavefront engine: one vector op sweep per anti-diagonal."""
+
+    name = "diagonal"
+
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        m, n = len(query), len(db)
+        go, ge = gaps.first_gap_cost, gaps.extend
+        sub = matrix.data.astype(np.int64)
+
+        # Buffers indexed by i (0..m) holding the two previous diagonals.
+        h_d1 = np.zeros(m + 1, dtype=np.int64)   # H on diagonal d-1
+        h_d2 = np.zeros(m + 1, dtype=np.int64)   # H on diagonal d-2
+        e_d1 = np.full(m + 1, _NEG, dtype=np.int64)
+        f_d1 = np.full(m + 1, _NEG, dtype=np.int64)
+
+        q64 = query.astype(np.intp)
+        d64 = db.astype(np.intp)
+
+        best = 0
+        best_i = best_j = 0
+
+        for d in range(2, m + n + 1):
+            lo = max(1, d - n)
+            hi = min(m, d - 1)
+            if lo > hi:
+                continue
+            sl = slice(lo, hi + 1)
+            sl_up = slice(lo - 1, hi)  # the (i-1) neighbour positions
+
+            # E[i,j]: from (i, j-1) — same i on diagonal d-1.
+            e = np.maximum(h_d1[sl] - go, e_d1[sl] - ge)
+            # F[i,j]: from (i-1, j) — position i-1 on diagonal d-1.
+            f = np.maximum(h_d1[sl_up] - go, f_d1[sl_up] - ge)
+            # Match term: (i-1, j-1) on diagonal d-2, position i-1.
+            # Substitution scores: query residue i-1 (0-based), db residue
+            # j-1 = d-i-1, which *decreases* as i increases.
+            v = sub[q64[lo - 1 : hi], d64[d - hi - 1 : d - lo][::-1]]
+            h = h_d2[sl_up] + v
+            np.maximum(h, e, out=h)
+            np.maximum(h, f, out=h)
+            np.maximum(h, 0, out=h)
+
+            diag_best = int(h.max())
+            if diag_best > best:
+                best = diag_best
+                k = int(np.argmax(h))
+                best_i = lo + k
+                best_j = d - best_i
+
+            # Rotate buffers: the d-1 buffer becomes d-2, and the retiring
+            # d-2 buffer is overwritten with this diagonal's values.
+            h_d2, h_d1 = h_d1, h_d2
+            h_d1[sl] = h
+            e_d1.fill(_NEG)
+            f_d1.fill(_NEG)
+            e_d1[sl] = e
+            f_d1[sl] = f
+            # Border of Eq. 1 on the new "previous" diagonal: i = 0
+            # (row zero) and, when the diagonal meets it, j = 0.
+            h_d1[0] = 0
+            if d <= m:
+                h_d1[d] = 0
+
+        return AlignmentResult(
+            score=best, end_query=best_i, end_db=best_j, cells=m * n
+        )

@@ -1,0 +1,191 @@
+"""Engine base class, registry and convenience entry points.
+
+Engines are stateless and cheap to construct; the registry exists so the
+search pipeline, benchmarks and CLI can select one by name
+(``get_engine("scan")``), mirroring how the paper selects among its
+``no-vec`` / ``simd`` / ``intrinsic`` builds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError, SequenceError
+from ..scoring.gaps import GapModel, paper_gap_model
+from ..scoring.matrices import SubstitutionMatrix
+from .types import AlignmentResult, BatchResult
+
+__all__ = [
+    "AlignmentEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+    "sw_score",
+    "as_codes",
+]
+
+
+def as_codes(sequence: str | np.ndarray, alphabet: Alphabet = PROTEIN) -> np.ndarray:
+    """Normalise a sequence argument to a contiguous ``uint8`` code array.
+
+    Accepts either a residue string (encoded with ``alphabet``) or an
+    already-encoded numpy array (validated for dtype and emptiness).
+    """
+    if isinstance(sequence, str):
+        return alphabet.encode(sequence)
+    arr = np.ascontiguousarray(np.asarray(sequence))
+    if arr.ndim != 1:
+        raise SequenceError(f"expected a 1-D code array, got shape {arr.shape}")
+    if arr.size == 0:
+        raise SequenceError("cannot align an empty sequence")
+    if arr.dtype != np.uint8:
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise SequenceError(f"residue codes must be integers, got {arr.dtype}")
+        if arr.min() < 0 or arr.max() >= alphabet.size:
+            raise SequenceError("residue codes out of range for the alphabet")
+        arr = arr.astype(np.uint8)
+    elif arr.max(initial=0) >= alphabet.size:
+        raise SequenceError("residue codes out of range for the alphabet")
+    return arr
+
+
+class AlignmentEngine(abc.ABC):
+    """Common interface of all Smith-Waterman engines.
+
+    Subclasses implement :meth:`_score_pair_codes`; batching, input
+    normalisation and cell accounting live here so every engine behaves
+    identically at the API boundary.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, alphabet: Alphabet = PROTEIN) -> None:
+        self.alphabet = alphabet
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def score_pair(
+        self,
+        query: str | np.ndarray,
+        db: str | np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        """Optimal local alignment score of one pair (Eq. 6 of the paper)."""
+        q = as_codes(query, self.alphabet)
+        d = as_codes(db, self.alphabet)
+        self._check_matrix(matrix)
+        return self._score_pair_codes(q, d, matrix, gaps)
+
+    def score_batch(
+        self,
+        query: str | np.ndarray,
+        db_seqs: Sequence[str | np.ndarray],
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> BatchResult:
+        """Scores of one query against many database sequences.
+
+        The default implementation loops :meth:`score_pair`; engines with
+        a genuinely batched kernel (inter-task) override this.
+        """
+        q = as_codes(query, self.alphabet)
+        self._check_matrix(matrix)
+        scores = np.zeros(len(db_seqs), dtype=np.int64)
+        cells = 0
+        for k, seq in enumerate(db_seqs):
+            d = as_codes(seq, self.alphabet)
+            res = self._score_pair_codes(q, d, matrix, gaps)
+            scores[k] = res.score
+            cells += res.cells
+        return BatchResult(scores=scores, cells=cells)
+
+    # ------------------------------------------------------------------
+    # subclass contract
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        """Score one pre-encoded pair.  Inputs are validated uint8 arrays."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_matrix(self, matrix: SubstitutionMatrix) -> None:
+        if matrix.alphabet.letters != self.alphabet.letters:
+            raise EngineError(
+                f"matrix {matrix.name} is defined over a different alphabet "
+                f"than engine {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+_ENGINES: dict[str, type[AlignmentEngine]] = {}
+
+
+def register_engine(cls: type[AlignmentEngine]) -> type[AlignmentEngine]:
+    """Class decorator adding an engine to the registry under ``cls.name``."""
+    if cls.name in (None, "", "abstract"):
+        raise EngineError(f"engine class {cls.__name__} must define a name")
+    _ENGINES[cls.name] = cls
+    return cls
+
+
+def get_engine(name: str, alphabet: Alphabet = PROTEIN, **kwargs) -> AlignmentEngine:
+    """Instantiate a registered engine by name.
+
+    Extra keyword arguments are forwarded to the engine constructor
+    (e.g. ``lanes=16`` for the inter-task engine).
+    """
+    # Importing the engine modules registers them; done lazily to avoid
+    # circular imports at package init.
+    from . import diagonal, intertask, scalar, scan, striped  # noqa: F401
+
+    try:
+        cls = _ENGINES[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available: {sorted(_ENGINES)}"
+        ) from None
+    return cls(alphabet=alphabet, **kwargs)
+
+
+def available_engines() -> list[str]:
+    """Names of all registered engines."""
+    from . import diagonal, intertask, scalar, scan, striped  # noqa: F401
+
+    return sorted(_ENGINES)
+
+
+def sw_score(
+    query: str | np.ndarray,
+    db: str | np.ndarray,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapModel | None = None,
+    *,
+    engine: str = "scan",
+) -> int:
+    """One-call Smith-Waterman score with the paper's default parameters.
+
+    Uses BLOSUM62 and gap penalties 10/2 unless overridden — the exact
+    configuration of the paper's evaluation (Section V-B).
+    """
+    from ..scoring.data_blosum import BLOSUM62
+
+    eng = get_engine(engine)
+    return eng.score_pair(
+        query, db, matrix or BLOSUM62, gaps or paper_gap_model()
+    ).score

@@ -1,0 +1,185 @@
+"""Global (Needleman-Wunsch) and semi-global alignment.
+
+The paper is about *local* alignment, but every downstream use it
+motivates — read mapping, seed refinement, BLAST's final polishing —
+also needs the other two classical modes, so a library reproducing the
+system provides them:
+
+* **global** — both sequences aligned end to end (Needleman-Wunsch with
+  Gotoh's affine gaps): terminal gaps cost like any other gap;
+* **semi-global** ("glocal") — the query aligned end to end, gaps at the
+  database's ends free: the read-to-reference mode of the
+  high-throughput-sequencing applications in the paper's introduction.
+
+Both share the affine recurrences of the local engines, differing only
+in border initialisation and where the optimum is read off — which is
+also what the tests pin: ``local >= semiglobal >= global`` for every
+input, with equality exactly when the modes' extra freedom is unused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import as_codes
+from .types import Traceback
+
+__all__ = ["global_align", "semiglobal_align"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+def _gotoh_matrices(
+    q: np.ndarray,
+    d: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    *,
+    free_db_ends: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full (H, E, F) for global/semi-global border conditions.
+
+    Global: first row/column pay gap penalties.  Semi-global: the first
+    row (gaps in the database before the query starts) is free; the
+    first column (query residues skipped) still pays.
+    """
+    m, n = len(q), len(d)
+    go, ge = gaps.first_gap_cost, gaps.extend
+    sub = matrix.data
+    H = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    E = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    F = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    H[0, 0] = 0
+    for j in range(1, n + 1):
+        # Leading gap in the query row (consuming database residues).
+        E[0, j] = 0 if free_db_ends else -(gaps.open + ge * j)
+        H[0, j] = E[0, j]
+    for i in range(1, m + 1):
+        F[i, 0] = -(gaps.open + ge * i)
+        H[i, 0] = F[i, 0]
+    for i in range(1, m + 1):
+        qi = q[i - 1]
+        for j in range(1, n + 1):
+            E[i, j] = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            F[i, j] = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            H[i, j] = max(
+                H[i - 1, j - 1] + int(sub[qi, d[j - 1]]), E[i, j], F[i, j]
+            )
+    return H, E, F
+
+
+def _walk(
+    q: np.ndarray,
+    d: np.ndarray,
+    H: np.ndarray,
+    E: np.ndarray,
+    F: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    end: tuple[int, int],
+    *,
+    stop_at_row_zero: bool,
+    alphabet: Alphabet,
+    score: int,
+) -> Traceback:
+    """Trace back from ``end`` to the applicable origin."""
+    go, ge = gaps.first_gap_cost, gaps.extend
+    sub = matrix.data
+    i, j = end
+    out_q: list[str] = []
+    out_d: list[str] = []
+    state = "H"
+    while True:
+        if state == "H":
+            if i == 0 and (stop_at_row_zero or j == 0):
+                break
+            if i > 0 and j > 0 and H[i, j] == H[i - 1, j - 1] + sub[q[i - 1], d[j - 1]]:
+                out_q.append(alphabet.letters[q[i - 1]])
+                out_d.append(alphabet.letters[d[j - 1]])
+                i -= 1
+                j -= 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover - DP inconsistency
+                raise EngineError(f"inconsistent global DP at ({i}, {j})")
+        elif state == "E":
+            if i == 0 and stop_at_row_zero:
+                break  # leading database residues are free, not emitted
+            out_q.append("-")
+            out_d.append(alphabet.letters[d[j - 1]])
+            if E[i, j] == H[i, j - 1] - go:
+                state = "H"
+            j -= 1
+        else:
+            out_q.append(alphabet.letters[q[i - 1]])
+            out_d.append("-")
+            if F[i, j] == H[i - 1, j] - go:
+                state = "H"
+            i -= 1
+
+    return Traceback(
+        score=score,
+        aligned_query="".join(reversed(out_q)),
+        aligned_db="".join(reversed(out_d)),
+        start_query=i + 1 if len(q) else 0,
+        end_query=end[0],
+        start_db=j + 1 if len(d) else 0,
+        end_db=end[1],
+    )
+
+
+def global_align(
+    query,
+    db,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    alphabet: Alphabet = PROTEIN,
+) -> Traceback:
+    """Needleman-Wunsch global alignment with affine gaps.
+
+    Both sequences are consumed entirely; the score may be negative.
+    The returned :class:`Traceback` spans ``[1, m] x [1, n]`` and its
+    ``score`` is ``H[m, n]``.
+    """
+    q = as_codes(query, alphabet)
+    d = as_codes(db, alphabet)
+    H, E, F = _gotoh_matrices(q, d, matrix, gaps, free_db_ends=False)
+    score = int(H[len(q), len(d)])
+    tb = _walk(
+        q, d, H, E, F, matrix, gaps, (len(q), len(d)),
+        stop_at_row_zero=False, alphabet=alphabet, score=score,
+    )
+    if tb.aligned_query.replace("-", "") != alphabet.decode(q):
+        raise EngineError("global traceback failed to consume the query")
+    return tb
+
+
+def semiglobal_align(
+    query,
+    db,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    alphabet: Alphabet = PROTEIN,
+) -> Traceback:
+    """Semi-global alignment: whole query, free database end gaps.
+
+    The read-mapping mode: the full query must align, but it may land
+    anywhere inside the database sequence.  The optimum is the best
+    ``H[m, j]`` over all database positions ``j``.
+    """
+    q = as_codes(query, alphabet)
+    d = as_codes(db, alphabet)
+    H, E, F = _gotoh_matrices(q, d, matrix, gaps, free_db_ends=True)
+    m = len(q)
+    j_end = int(np.argmax(H[m, :]))
+    score = int(H[m, j_end])
+    return _walk(
+        q, d, H, E, F, matrix, gaps, (m, j_end),
+        stop_at_row_zero=True, alphabet=alphabet, score=score,
+    )

@@ -1,0 +1,98 @@
+"""Reference scalar Smith-Waterman engine (Gotoh recurrences).
+
+This is the paper's Section II implemented literally, one cell at a time,
+with the affine-gap decomposition due to Gotoh: the ``C``/``F`` gap terms
+of Eq. 3-4 (a max over all gap lengths) collapse to
+
+    E[i,j] = max(H[i,j-1] - (q+r),  E[i,j-1] - r)      # gap in query row
+    F[i,j] = max(H[i-1,j] - (q+r),  F[i-1,j] - r)      # gap in db column
+    H[i,j] = max(0, H[i-1,j-1] + V(a_i, b_j), E[i,j], F[i,j])
+
+It is deliberately unoptimised — the correctness oracle every vectorised
+engine is validated against, and the only engine that retains the full H
+matrix for traceback (paper §II step 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import AlignmentEngine, register_engine
+from .types import AlignmentResult
+
+__all__ = ["ScalarEngine", "full_dp_matrices"]
+
+
+def full_dp_matrices(
+    query: np.ndarray,
+    db: np.ndarray,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute and return the full ``(H, E, F)`` DP matrices.
+
+    Shapes are ``(m+1, n+1)`` with the zero-initialised border of Eq. 1.
+    Exposed for the traceback module and for tests that probe individual
+    cells; ``int64`` so no overflow handling is needed.
+    """
+    m, n = len(query), len(db)
+    go, ge = gaps.first_gap_cost, gaps.extend
+    sub = matrix.data
+    neg = np.iinfo(np.int64).min // 4  # effectively -inf, safe to add to
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), neg, dtype=np.int64)
+    F = np.full((m + 1, n + 1), neg, dtype=np.int64)
+    for i in range(1, m + 1):
+        qi = query[i - 1]
+        for j in range(1, n + 1):
+            e = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            f = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            h = H[i - 1, j - 1] + sub[qi, db[j - 1]]
+            E[i, j] = e
+            F[i, j] = f
+            H[i, j] = max(0, h, e, f)
+    return H, E, F
+
+
+@register_engine
+class ScalarEngine(AlignmentEngine):
+    """Cell-by-cell reference engine (the paper's ``no-vec`` analogue)."""
+
+    name = "scalar"
+
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        m, n = len(query), len(db)
+        go, ge = gaps.first_gap_cost, gaps.extend
+        sub = matrix.data
+        # Row-sliding state: previous H row, current H row, current E row,
+        # running F column values.
+        h_prev = [0] * (n + 1)
+        h_curr = [0] * (n + 1)
+        f_col = [float("-inf")] * (n + 1)
+        best = 0
+        best_i = best_j = 0
+        for i in range(1, m + 1):
+            qi = int(query[i - 1])
+            row = sub[qi]
+            e = float("-inf")
+            h_curr[0] = 0
+            for j in range(1, n + 1):
+                e = max(h_curr[j - 1] - go, e - ge)
+                f = max(h_prev[j] - go, f_col[j] - ge)
+                f_col[j] = f
+                h = max(0, h_prev[j - 1] + int(row[db[j - 1]]), e, f)
+                h_curr[j] = h
+                if h > best:
+                    best, best_i, best_j = h, i, j
+            h_prev, h_curr = h_curr, h_prev
+        return AlignmentResult(
+            score=int(best), end_query=best_i, end_db=best_j, cells=m * n
+        )

@@ -1,0 +1,97 @@
+"""Prefix-scan Smith-Waterman engine.
+
+The horizontal-gap term of the affine recurrence,
+
+    E[i,j] = max_{0<=k<j} ( H[i,k] - q - (j-k)*r ),
+
+couples every cell of a row to all cells left of it, which is what makes
+row-wise vectorisation hard (the dependence the paper's Fig. 1 shows).
+The scan reformulation breaks the coupling in two numpy passes per row:
+
+1. compute ``H~[i,j] = max(0, H[i-1,j-1] + V(a_i,b_j), F[i,j])`` — the row
+   *without* horizontal-gap input; every term comes from row ``i-1``, so
+   this is elementwise;
+2. resolve ``E[i,j] = max_{k<j}(H~[i,k] + k*r) - q - j*r`` with a single
+   ``np.maximum.accumulate``, then ``H[i,j] = max(H~[i,j], E[i,j])``.
+
+Substituting ``H~`` for ``H`` inside the max is exact: if ``H[i,k]`` was
+itself raised by a horizontal gap from column ``k' < k``, the path that
+extends it to ``j`` opens a second gap and is dominated by the single gap
+``k' -> j`` already enumerated.  (This is the classical "scan" variant of
+SW; the test suite cross-checks it against the scalar oracle on random
+inputs.)  Only the loop over query rows remains in Python, making this the
+fastest single-pair engine in the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import AlignmentEngine, register_engine
+from .types import AlignmentResult
+
+__all__ = ["ScanEngine"]
+
+_NEG = np.int64(-(1 << 40))  # effectively -inf, safe against int64 overflow
+
+
+@register_engine
+class ScanEngine(AlignmentEngine):
+    """Row-scan engine: one ``maximum.accumulate`` per query row."""
+
+    name = "scan"
+
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        m, n = len(query), len(db)
+        qo, ge = gaps.open, gaps.extend
+        go = gaps.first_gap_cost
+        sub = matrix.data
+
+        # Pre-gather the query profile once: profile[i] is the score row of
+        # query residue i against the whole database (contiguous reuse per
+        # row, the paper's QP idea).
+        profile = sub[query][:, db].astype(np.int64)  # (m, n)
+
+        db_idx = np.arange(1, n + 1, dtype=np.int64)  # column index j
+        src_w = np.arange(n, dtype=np.int64) * ge     # k*r for k = 0..n-1
+
+        h_prev = np.zeros(n + 1, dtype=np.int64)      # H[i-1, 0..n]
+        f_prev = np.full(n, _NEG, dtype=np.int64)     # F[i-1, 1..n]
+        t = np.empty(n, dtype=np.int64)               # scan workspace
+        best = 0
+        best_i = best_j = 0
+
+        for i in range(m):
+            # F[i,j] — vertical gaps, elementwise from the previous row.
+            f = np.maximum(h_prev[1:] - go, f_prev - ge)
+            # H~ — row without horizontal-gap input.
+            h_tilde = np.maximum(h_prev[:-1] + profile[i], f)
+            np.maximum(h_tilde, 0, out=h_tilde)
+            # E via the prefix scan.  Sources are columns k = 0..j-1; the
+            # k = 0 source is H[i,0] = 0 (weight 0).
+            t[0] = 0
+            np.add(h_tilde[:-1], src_w[1:], out=t[1:])
+            np.maximum.accumulate(t, out=t)
+            e = t - qo - db_idx * ge
+            h = np.maximum(h_tilde, e)
+
+            row_best = int(h.max())
+            if row_best > best:
+                best = row_best
+                best_i = i + 1
+                best_j = int(np.argmax(h)) + 1
+
+            h_prev[1:] = h
+            f_prev = f
+
+        return AlignmentResult(
+            score=best, end_query=best_i, end_db=best_j, cells=m * n
+        )

@@ -1,0 +1,144 @@
+"""Farrar striped Smith-Waterman engine (the paper's reference [13]).
+
+The *striped* layout is the classic intra-task SIMD scheme: the query is
+split into ``p`` segments of length ``s = ceil(m/p)`` and vector ``t``
+holds query positions ``t, t+s, ..., t+(p-1)s``.  The vertical gap term
+``F`` then only propagates *within* a lane during the inner loop; the
+rare cross-segment propagation is fixed up afterwards by the **lazy-F**
+loop, which re-injects the shifted ``F`` vector until it can no longer
+raise any ``H`` (termination: ``F <= H - gap_open`` in every lane, which
+also bounds all downstream contributions).
+
+The E vector is deliberately *not* corrected in the lazy loop: a cell
+raised by ``F`` feeding a horizontal gap corresponds to a
+vertical-then-horizontal corner path whose cost equals the
+horizontal-then-vertical order, and the latter is already enumerated by
+the normal recurrences.
+
+Here lanes are a numpy axis of length ``p`` (default 8 — one AVX 256-bit
+register of 32-bit elements); the Python loops over database position and
+stripe offset remain, so this engine exists for algorithmic fidelity and
+cross-validation, not raw speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import AlignmentEngine, register_engine
+from .types import AlignmentResult
+
+__all__ = ["StripedEngine", "build_striped_profile"]
+
+_NEG = np.int64(-(1 << 40))
+_PAD = np.int64(-(1 << 30))
+
+
+def build_striped_profile(
+    query: np.ndarray, matrix: SubstitutionMatrix, lanes: int
+) -> tuple[np.ndarray, int]:
+    """Build the striped query profile.
+
+    Returns ``(profile, s)`` where ``profile[c, t, k]`` is the score of
+    alphabet letter ``c`` against query position ``k*s + t`` and ``s`` is
+    the segment length.  Positions past the query end score ``_PAD`` so
+    padded stripe slots can never start a new alignment.
+    """
+    m = len(query)
+    if lanes < 1:
+        raise EngineError(f"lane count must be positive, got {lanes}")
+    s = -(-m // lanes)  # ceil division
+    idx = np.arange(s * lanes).reshape(lanes, s).T  # [t, k] -> k*s + t
+    valid = idx < m
+    profile = np.full((matrix.size, s, lanes), _PAD, dtype=np.int64)
+    profile[:, valid] = matrix.data[:, query[idx[valid]].astype(np.intp)]
+    return profile, s
+
+
+@register_engine
+class StripedEngine(AlignmentEngine):
+    """Striped intra-task engine with the lazy-F correction loop."""
+
+    name = "striped"
+
+    def __init__(self, alphabet=None, lanes: int = 8) -> None:
+        from ..alphabet import PROTEIN
+
+        super().__init__(alphabet or PROTEIN)
+        if lanes < 1:
+            raise EngineError(f"lane count must be positive, got {lanes}")
+        self.lanes = lanes
+
+    def _score_pair_codes(
+        self,
+        query: np.ndarray,
+        db: np.ndarray,
+        matrix: SubstitutionMatrix,
+        gaps: GapModel,
+    ) -> AlignmentResult:
+        if gaps.extend < 1:
+            raise EngineError(
+                "the striped engine requires gap extend >= 1 for the "
+                "lazy-F loop to terminate; use the scan engine for "
+                "zero-extend gap models"
+            )
+        m, n = len(query), len(db)
+        p = self.lanes
+        go = np.int64(gaps.first_gap_cost)
+        ge = np.int64(gaps.extend)
+        profile, s = build_striped_profile(query, matrix, p)
+
+        h_store = np.zeros((s, p), dtype=np.int64)
+        h_load = np.zeros((s, p), dtype=np.int64)
+        e_vec = np.full((s, p), _NEG, dtype=np.int64)
+
+        best = 0
+        best_i = best_j = 0
+
+        for j in range(n):
+            pcol = profile[db[j]]
+            v_f = np.full(p, _NEG, dtype=np.int64)
+            # H of the previous column's last stripe row, shifted one lane:
+            # lane k inherits H[k*s - 1] — i.e. the previous query row of
+            # lane k's first position.  Lane 0 shifts in the H=0 border.
+            v_h = np.empty(p, dtype=np.int64)
+            v_h[0] = 0
+            v_h[1:] = h_store[s - 1, :-1]
+            h_load, h_store = h_store, h_load
+
+            for t in range(s):
+                v_h = v_h + pcol[t]
+                np.maximum(v_h, e_vec[t], out=v_h)
+                np.maximum(v_h, v_f, out=v_h)
+                np.maximum(v_h, 0, out=v_h)
+                h_store[t] = v_h
+                open_from_h = v_h - go
+                np.maximum(e_vec[t] - ge, open_from_h, out=e_vec[t])
+                v_f = np.maximum(v_f - ge, open_from_h)
+                v_h = h_load[t]
+
+            # Lazy-F: propagate F across segment boundaries until fixpoint.
+            v_f = np.concatenate(([_NEG], v_f[:-1]))
+            t = 0
+            while bool((v_f > h_store[t] - go).any()):
+                np.maximum(h_store[t], v_f, out=h_store[t])
+                v_f = v_f - ge
+                t += 1
+                if t == s:
+                    t = 0
+                    v_f = np.concatenate(([_NEG], v_f[:-1]))
+
+            col_best = int(h_store.max())
+            if col_best > best:
+                best = col_best
+                flat = int(np.argmax(h_store))
+                t_at, k_at = divmod(flat, p)
+                best_i = k_at * s + t_at + 1
+                best_j = j + 1
+
+        return AlignmentResult(
+            score=best, end_query=best_i, end_db=best_j, cells=m * n
+        )

@@ -1,0 +1,156 @@
+"""Waterman-Eggert style suboptimal local alignments.
+
+One optimal alignment rarely tells the whole story: repeated domains,
+internal duplications and multi-copy motifs show up as *distinct*
+near-optimal local alignments.  Waterman & Eggert (1987) extract them by
+repeatedly taking the best alignment and re-solving with its cells
+excluded; SSEARCH ships this as its "declumping" pass.
+
+:func:`waterman_eggert` implements the declumped iteration: after each
+traceback, every DP cell on the reported path becomes forbidden (no
+later path may pass through it), the matrix is recomputed, and the next
+best non-overlapping alignment is read off — until the requested count
+or the score floor is reached.  Cost is ``O(k·m·n)``; like traceback,
+this is a top-hits refinement step, not a database-scan kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import as_codes
+from .types import Traceback
+
+__all__ = ["waterman_eggert"]
+
+_NEG = np.int64(-(1 << 40))
+
+
+def _masked_dp(
+    q: np.ndarray,
+    d: np.ndarray,
+    sub: np.ndarray,
+    gaps: GapModel,
+    forbidden: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gotoh matrices with forbidden cells pinned to zero.
+
+    A forbidden cell contributes nothing and no path may gain by passing
+    through it — the declumping exclusion.
+    """
+    m, n = len(q), len(d)
+    go, ge = gaps.first_gap_cost, gaps.extend
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    F = np.full((m + 1, n + 1), _NEG, dtype=np.int64)
+    for i in range(1, m + 1):
+        qi = q[i - 1]
+        row = sub[qi]
+        for j in range(1, n + 1):
+            e = max(H[i, j - 1] - go, E[i, j - 1] - ge)
+            f = max(H[i - 1, j] - go, F[i - 1, j] - ge)
+            E[i, j] = e
+            F[i, j] = f
+            if forbidden[i, j]:
+                H[i, j] = 0
+            else:
+                H[i, j] = max(0, H[i - 1, j - 1] + int(row[d[j - 1]]), e, f)
+    return H, E, F
+
+
+def _trace(
+    q, d, H, E, F, sub, gaps, alphabet, forbidden
+) -> tuple[Traceback, list[tuple[int, int]]]:
+    """Trace the current best alignment; returns it plus its cells."""
+    go, ge = gaps.first_gap_cost, gaps.extend
+    score = int(H.max())
+    end_i, end_j = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(end_i), int(end_j)
+    cells: list[tuple[int, int]] = []
+    out_q: list[str] = []
+    out_d: list[str] = []
+    state = "H"
+    while True:
+        if state == "H":
+            if H[i, j] == 0:
+                break
+            cells.append((i, j))
+            diag = H[i - 1, j - 1] + sub[q[i - 1], d[j - 1]]
+            if i > 0 and j > 0 and not forbidden[i, j] and H[i, j] == diag:
+                out_q.append(alphabet.letters[q[i - 1]])
+                out_d.append(alphabet.letters[d[j - 1]])
+                i -= 1
+                j -= 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover - DP inconsistency
+                raise EngineError(f"inconsistent declumped DP at ({i}, {j})")
+        elif state == "E":
+            out_q.append("-")
+            out_d.append(alphabet.letters[d[j - 1]])
+            if E[i, j] == H[i, j - 1] - go:
+                state = "H"
+            j -= 1
+            cells.append((i, j))
+        else:
+            out_q.append(alphabet.letters[q[i - 1]])
+            out_d.append("-")
+            if F[i, j] == H[i - 1, j] - go:
+                state = "H"
+            i -= 1
+            cells.append((i, j))
+    # The loop appends the head cell (where H==0) too; drop it.
+    if cells and H[cells[-1]] == 0:
+        cells.pop()
+    tb = Traceback(
+        score=score,
+        aligned_query="".join(reversed(out_q)),
+        aligned_db="".join(reversed(out_d)),
+        start_query=i + 1,
+        end_query=int(end_i),
+        start_db=j + 1,
+        end_db=int(end_j),
+    )
+    return tb, cells
+
+
+def waterman_eggert(
+    query,
+    db,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    *,
+    k: int = 3,
+    min_score: int = 1,
+    alphabet: Alphabet = PROTEIN,
+) -> list[Traceback]:
+    """Up to ``k`` non-overlapping local alignments, best first.
+
+    Stops early when the next best score falls below ``min_score``.
+    Successive alignments share no DP cell, so repeated
+    domains/duplications are reported as separate alignments.
+    """
+    if k < 1:
+        raise EngineError(f"k must be >= 1, got {k}")
+    if min_score < 1:
+        raise EngineError(f"min_score must be >= 1, got {min_score}")
+    q = as_codes(query, alphabet)
+    d = as_codes(db, alphabet)
+    sub = matrix.data
+    forbidden = np.zeros((len(q) + 1, len(d) + 1), dtype=bool)
+    out: list[Traceback] = []
+    for _ in range(k):
+        H, E, F = _masked_dp(q, d, sub, gaps, forbidden)
+        if int(H.max()) < min_score:
+            break
+        tb, cells = _trace(q, d, H, E, F, sub, gaps, alphabet, forbidden)
+        out.append(tb)
+        for i, j in cells:
+            forbidden[i, j] = True
+    return out

@@ -1,0 +1,101 @@
+"""Alignment backtracking — step 4 of the paper's Section II.
+
+Starting from the cell where the maximum similarity ``G`` was found (the
+tail of the optimal local alignment), the path is walked backwards until
+a zero cell (the head).  Affine gaps need the standard three-state walk:
+while inside a gap run the ``E``/``F`` matrices decide between extending
+the gap and closing it, which is why :func:`full_dp_matrices` returns all
+three matrices.
+
+Traceback is inherently a scalar, memory-hungry operation (it needs the
+full ``O(m*n)`` matrices), so real tools — and the paper — only run it
+for the handful of top hits after the score-only database scan.  The
+search pipeline does the same.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .engine import as_codes
+from .scalar import full_dp_matrices
+from .types import Traceback
+
+__all__ = ["align_pair"]
+
+
+def align_pair(
+    query,
+    db,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    alphabet: Alphabet = PROTEIN,
+) -> Traceback:
+    """Compute the optimal local alignment of one pair, with traceback.
+
+    Returns a :class:`~repro.core.types.Traceback`; a zero-score result
+    has empty aligned strings and coordinates ``(0, 0)``.
+    """
+    q = as_codes(query, alphabet)
+    d = as_codes(db, alphabet)
+    H, E, F = full_dp_matrices(q, d, matrix, gaps)
+    go, ge = gaps.first_gap_cost, gaps.extend
+    sub = matrix.data
+
+    score = int(H.max())
+    if score == 0:
+        return Traceback(
+            score=0, aligned_query="", aligned_db="",
+            start_query=0, end_query=0, start_db=0, end_db=0,
+        )
+    end_i, end_j = np.unravel_index(int(np.argmax(H)), H.shape)
+    i, j = int(end_i), int(end_j)
+
+    out_q: list[str] = []
+    out_d: list[str] = []
+    state = "H"
+    while True:
+        if state == "H":
+            if H[i, j] == 0:
+                break
+            diag = H[i - 1, j - 1] + sub[q[i - 1], d[j - 1]]
+            if i > 0 and j > 0 and H[i, j] == diag:
+                out_q.append(alphabet.letters[q[i - 1]])
+                out_d.append(alphabet.letters[d[j - 1]])
+                i -= 1
+                j -= 1
+            elif H[i, j] == E[i, j]:
+                state = "E"
+            elif H[i, j] == F[i, j]:
+                state = "F"
+            else:  # pragma: no cover - would indicate a DP bug
+                raise EngineError(f"inconsistent DP matrices at ({i}, {j})")
+        elif state == "E":
+            # Horizontal gap: consume a database residue against '-'.
+            out_q.append("-")
+            out_d.append(alphabet.letters[d[j - 1]])
+            if E[i, j] == H[i, j - 1] - go:
+                state = "H"
+            # else: E[i, j] == E[i, j-1] - ge, stay in the gap
+            j -= 1
+        else:  # state == "F"
+            # Vertical gap: consume a query residue against '-'.
+            out_q.append(alphabet.letters[q[i - 1]])
+            out_d.append("-")
+            if F[i, j] == H[i - 1, j] - go:
+                state = "H"
+            i -= 1
+
+    return Traceback(
+        score=score,
+        aligned_query="".join(reversed(out_q)),
+        aligned_db="".join(reversed(out_d)),
+        start_query=i + 1,
+        end_query=int(end_i),
+        start_db=j + 1,
+        end_db=int(end_j),
+    )

@@ -1,0 +1,37 @@
+"""Sequence database substrate.
+
+The paper evaluates against Swiss-Prot release 2013_11 (541,561
+sequences, 192,480,382 residues, longest 35,213) with 20 query proteins.
+We cannot redistribute Swiss-Prot, so :mod:`repro.db.synthetic` generates
+a deterministic database with the same count/size/length-distribution
+envelope, and :mod:`repro.db.queries` reconstructs the 20-query set from
+the published accessions and lengths.  Real FASTA files load through
+:mod:`repro.db.fasta` for users who have the genuine database.
+"""
+
+from .fasta import FastaRecord, read_fasta, write_fasta, parse_fasta_text
+from .database import SequenceDatabase
+from .synthetic import SyntheticSwissProt, SWISSPROT_2013_11, TREMBL_2014_07
+from .queries import PAPER_QUERIES, QuerySpec, make_query_set
+from .preprocess import preprocess_database, split_database, PreprocessedDatabase
+from .mutate import mutate, plant_homologs, PlantedHomolog
+
+__all__ = [
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta_text",
+    "SequenceDatabase",
+    "SyntheticSwissProt",
+    "SWISSPROT_2013_11",
+    "PAPER_QUERIES",
+    "QuerySpec",
+    "make_query_set",
+    "preprocess_database",
+    "split_database",
+    "PreprocessedDatabase",
+    "mutate",
+    "plant_homologs",
+    "PlantedHomolog",
+    "TREMBL_2014_07",
+]

@@ -1,0 +1,156 @@
+"""The :class:`SequenceDatabase` container.
+
+Holds the encoded reference sequences plus the summary statistics the
+paper reports for Swiss-Prot (sequence count, total residues, longest
+sequence) and the operations the pipeline's pre-processing step needs:
+length sorting, subsetting, and iteration in deterministic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet, UnknownPolicy
+from ..exceptions import DatabaseError
+from .fasta import FastaRecord, read_fasta
+
+__all__ = ["SequenceDatabase"]
+
+
+@dataclass
+class SequenceDatabase:
+    """An in-memory protein sequence database.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports (e.g. ``"swissprot-synthetic"``).
+    sequences:
+        Encoded ``uint8`` arrays, one per database entry.
+    headers:
+        FASTA headers parallel to ``sequences``.
+    """
+
+    name: str
+    sequences: list[np.ndarray]
+    headers: list[str]
+    alphabet: Alphabet = field(default_factory=lambda: PROTEIN)
+
+    def __post_init__(self) -> None:
+        if len(self.sequences) != len(self.headers):
+            raise DatabaseError(
+                f"{len(self.sequences)} sequences but {len(self.headers)} headers"
+            )
+        for k, s in enumerate(self.sequences):
+            if len(s) == 0:
+                raise DatabaseError(f"database entry {k} is empty")
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[FastaRecord],
+        *,
+        name: str = "database",
+        alphabet: Alphabet = PROTEIN,
+    ) -> "SequenceDatabase":
+        """Build a database from FASTA records (unknown residues -> X)."""
+        seqs: list[np.ndarray] = []
+        headers: list[str] = []
+        for rec in records:
+            seqs.append(
+                alphabet.encode(rec.sequence, unknown=UnknownPolicy.MAP_TO_X)
+            )
+            headers.append(rec.header)
+        return cls(name=name, sequences=seqs, headers=headers, alphabet=alphabet)
+
+    @classmethod
+    def from_fasta(
+        cls, path: str | Path, *, alphabet: Alphabet = PROTEIN
+    ) -> "SequenceDatabase":
+        """Load a database from a FASTA file (step 1 of Algorithm 1)."""
+        return cls.from_records(
+            read_fasta(path), name=Path(path).stem, alphabet=alphabet
+        )
+
+    # ------------------------------------------------------------------
+    # statistics the paper reports for Swiss-Prot
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.sequences)
+
+    @property
+    def total_residues(self) -> int:
+        """Total amino acids (192,480,382 for the paper's Swiss-Prot)."""
+        return sum(len(s) for s in self.sequences)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """``int64`` array of sequence lengths."""
+        return np.asarray([len(s) for s in self.sequences], dtype=np.int64)
+
+    @property
+    def max_length(self) -> int:
+        """Longest sequence (35,213 for the paper's Swiss-Prot)."""
+        if not self.sequences:
+            raise DatabaseError("empty database has no max length")
+        return int(self.lengths.max())
+
+    @property
+    def mean_length(self) -> float:
+        """Average sequence length."""
+        if not self.sequences:
+            raise DatabaseError("empty database has no mean length")
+        return float(self.lengths.mean())
+
+    def stats(self) -> dict:
+        """Summary dict matching the quantities in the paper's Section V-B."""
+        return {
+            "name": self.name,
+            "sequences": len(self),
+            "total_residues": self.total_residues,
+            "max_length": self.max_length,
+            "mean_length": round(self.mean_length, 2),
+        }
+
+    # ------------------------------------------------------------------
+    # pre-processing operations (Algorithm 1 step 2)
+    # ------------------------------------------------------------------
+    def length_order(self, *, descending: bool = False) -> np.ndarray:
+        """Stable permutation sorting entries by length."""
+        lengths = self.lengths
+        order = np.argsort(lengths, kind="stable")
+        return order[::-1] if descending else order
+
+    def sorted_by_length(self, *, descending: bool = False) -> "SequenceDatabase":
+        """A new database with entries sorted by length (paper's pre-sort)."""
+        order = self.length_order(descending=descending)
+        return self.subset(order, name=f"{self.name}-sorted")
+
+    def subset(self, indices: np.ndarray, *, name: str | None = None) -> "SequenceDatabase":
+        """A new database restricted to ``indices`` (in the given order)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise DatabaseError("subset indices out of range")
+        return SequenceDatabase(
+            name=name or f"{self.name}-subset",
+            sequences=[self.sequences[int(k)] for k in idx],
+            headers=[self.headers[int(k)] for k in idx],
+            alphabet=self.alphabet,
+        )
+
+    def get(self, accession: str) -> tuple[str, np.ndarray]:
+        """Look up an entry by header accession (first header token)."""
+        for h, s in zip(self.headers, self.sequences):
+            if h.split()[0] == accession:
+                return h, s
+        raise DatabaseError(f"accession {accession!r} not found in {self.name}")

@@ -1,0 +1,119 @@
+"""Database pre-processing — step (2) of the paper's Algorithms 1 and 2.
+
+Two operations live here:
+
+* :func:`preprocess_database` — sort by length and pack into lane groups
+  (the paper's ``sort_by_length`` plus the vector-group construction its
+  inter-task kernel consumes).  Sorting makes consecutive alignment
+  tasks take similar time, which is what lets the OpenMP dynamic
+  schedule balance well (paper Section IV), and makes lane packing
+  nearly padding-free.
+
+* :func:`split_database` — the ``sort_and_split`` of Algorithm 2: divide
+  the database between host and coprocessor at a given workload
+  fraction.  The paper varies this fraction in Figure 8; the split is by
+  *residues* (cells of work), not sequence count, because that is what
+  the GCUPS workload is proportional to.  A largest-remainder greedy
+  over the length-sorted entries keeps both halves' length distributions
+  similar, mirroring the static distribution the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intertask import LaneGroup, build_lane_groups
+from ..exceptions import DatabaseError
+from .database import SequenceDatabase
+
+__all__ = ["PreprocessedDatabase", "preprocess_database", "split_database"]
+
+
+@dataclass
+class PreprocessedDatabase:
+    """A length-sorted database packed into inter-task lane groups."""
+
+    database: SequenceDatabase
+    groups: list[LaneGroup]
+    lanes: int
+
+    @property
+    def total_residues(self) -> int:
+        """Residues across all groups (padding excluded)."""
+        return int(sum(g.lengths.sum() for g in self.groups))
+
+    @property
+    def padding_fraction(self) -> float:
+        """Overall fraction of padded lane slots — low after sorting."""
+        real = self.total_residues
+        padded = sum(g.n_max * g.lanes for g in self.groups)
+        return 1.0 - real / padded if padded else 0.0
+
+    def group_cells(self, query_length: int) -> np.ndarray:
+        """DP cells each group contributes for a query of this length.
+
+        This is the per-iteration workload array the OpenMP scheduler
+        simulation distributes (the paper's parallel-for loop iterates
+        over groups of database sequences).
+        """
+        return np.asarray(
+            [query_length * int(g.lengths.sum()) for g in self.groups],
+            dtype=np.int64,
+        )
+
+
+def preprocess_database(
+    db: SequenceDatabase, *, lanes: int = 8
+) -> PreprocessedDatabase:
+    """Sort by length and pack into lane groups (Algorithm 1, line 4)."""
+    sorted_db = db.sorted_by_length()
+    groups = build_lane_groups(sorted_db.sequences, lanes, sort_by_length=False)
+    return PreprocessedDatabase(database=sorted_db, groups=groups, lanes=lanes)
+
+
+def split_database(
+    db: SequenceDatabase, device_fraction: float
+) -> tuple[SequenceDatabase, SequenceDatabase]:
+    """Static host/device split at ``device_fraction`` of the residues.
+
+    Returns ``(host_db, device_db)``.  The fraction is the share of
+    total residues assigned to the coprocessor — the x-axis of the
+    paper's Figure 8.  Entries are walked in descending length order and
+    each is assigned to whichever side is furthest below its target
+    share, so both sides end within one sequence length of their target.
+    """
+    if not 0.0 <= device_fraction <= 1.0:
+        raise DatabaseError(
+            f"device fraction must be in [0, 1], got {device_fraction}"
+        )
+    if device_fraction == 0.0:
+        return db, db.subset(np.array([], dtype=np.int64), name=f"{db.name}-mic")
+    if device_fraction == 1.0:
+        return db.subset(np.array([], dtype=np.int64), name=f"{db.name}-cpu"), db
+
+    lengths = db.lengths
+    total = int(lengths.sum())
+    order = np.argsort(lengths, kind="stable")[::-1]  # longest first
+    target_dev = device_fraction * total
+    target_host = total - target_dev
+    dev_sum = host_sum = 0
+    dev_idx: list[int] = []
+    host_idx: list[int] = []
+    for k in order:
+        n = int(lengths[k])
+        # Assign to the side with the larger relative deficit.
+        dev_deficit = (target_dev - dev_sum) / target_dev
+        host_deficit = (target_host - host_sum) / target_host
+        if dev_deficit >= host_deficit:
+            dev_idx.append(int(k))
+            dev_sum += n
+        else:
+            host_idx.append(int(k))
+            host_sum += n
+    host = db.subset(np.asarray(sorted(host_idx), dtype=np.int64),
+                     name=f"{db.name}-cpu")
+    device = db.subset(np.asarray(sorted(dev_idx), dtype=np.int64),
+                       name=f"{db.name}-mic")
+    return host, device

@@ -1,0 +1,28 @@
+"""Device models: the paper's Xeon host and Xeon Phi coprocessor.
+
+The hardware the paper measures is simulated at the level that determines
+its figures: core/thread topology and SMT yield (thread-scaling curves,
+Figs. 3/5), an OpenMP-style loop scheduler over the real workload
+distribution (the dynamic-vs-static observation of Section IV), and a
+cache model (the blocking study, Fig. 7).
+"""
+
+from .spec import DeviceSpec, XEON_E5_2670_DUAL, XEON_PHI_57XX, paper_devices
+from .openmp import ParallelFor, Schedule, ScheduleResult
+from .threading_model import smt_throughput, thread_layout
+from .cache import CacheModel
+from .trace import ScheduleTrace
+
+__all__ = [
+    "DeviceSpec",
+    "XEON_E5_2670_DUAL",
+    "XEON_PHI_57XX",
+    "paper_devices",
+    "ParallelFor",
+    "Schedule",
+    "ScheduleResult",
+    "smt_throughput",
+    "thread_layout",
+    "CacheModel",
+    "ScheduleTrace",
+]

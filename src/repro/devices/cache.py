@@ -1,0 +1,89 @@
+"""Analytic cache model for the blocking study (paper Fig. 7).
+
+The inter-task kernel streams several DP planes per query row; when the
+per-thread working set exceeds its share of the last-level cache, each
+row sweep re-fetches the planes from memory and the kernel becomes
+bandwidth-bound.  The model captures this with a smooth miss-fraction
+curve — 0 while the working set fits, approaching 1 once it is several
+times the cache — and converts it to a throughput factor given how many
+cycles a miss stalls relative to the per-element compute.
+
+This is deliberately a first-order model: it reproduces the paper's
+qualitative result (blocking helps on both devices and helps *more* on
+the Phi, whose 512 KB shared-everything L2 is the smaller budget) without
+pretending to be a cycle-accurate memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DeviceError
+from .spec import DeviceSpec
+
+__all__ = ["CacheModel"]
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Working-set -> throughput-factor model for one device.
+
+    Attributes
+    ----------
+    cache_bytes:
+        Per-thread last-level budget (device LLC share / resident threads).
+    miss_stall_factor:
+        Slowdown multiplier when the working set is fully cache-resident
+        vs fully streaming (calibrated per device; the Phi's is larger).
+    """
+
+    cache_bytes: int
+    miss_stall_factor: float
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < 1:
+            raise DeviceError("cache_bytes must be positive")
+        if self.miss_stall_factor < 1.0:
+            raise DeviceError("miss_stall_factor must be >= 1")
+
+    @classmethod
+    def for_device(
+        cls,
+        spec: DeviceSpec,
+        threads: int,
+        *,
+        miss_stall_factor: float,
+    ) -> "CacheModel":
+        """Budget = the device's per-core LLC divided by resident threads."""
+        from .threading_model import thread_layout
+
+        layout = thread_layout(spec, threads)
+        resident = max(k for k in layout)
+        per_thread = spec.last_level_cache_bytes() // max(resident, 1)
+        return cls(cache_bytes=max(per_thread, 1),
+                   miss_stall_factor=miss_stall_factor)
+
+    def miss_fraction(self, working_set_bytes: int) -> float:
+        """Fraction of accesses missing the cache for this working set.
+
+        Zero while the set fits in half the budget (associativity slack),
+        then rises linearly with the overflow ratio, saturating at 1 when
+        the set is ~4x the cache.
+        """
+        if working_set_bytes < 0:
+            raise DeviceError("working set must be non-negative")
+        half = self.cache_bytes / 2
+        if working_set_bytes <= half:
+            return 0.0
+        overflow = (working_set_bytes - half) / (4 * self.cache_bytes - half)
+        return min(1.0, max(0.0, overflow))
+
+    def throughput_factor(self, working_set_bytes: int) -> float:
+        """Multiplier on compute throughput in (0, 1].
+
+        1.0 when cache-resident; ``1/miss_stall_factor`` when fully
+        streaming; interpolated through the miss fraction in between.
+        """
+        miss = self.miss_fraction(working_set_bytes)
+        slowdown = 1.0 + miss * (self.miss_stall_factor - 1.0)
+        return 1.0 / slowdown

@@ -1,0 +1,164 @@
+"""Device specifications (paper Section V-A).
+
+The testbed: a dual-socket Intel Xeon E5-2670 host (2 x 8 cores, 2.60
+GHz, hyper-threading, AVX) with an Intel Xeon Phi coprocessor (60 cores,
+4 hardware threads each, 512-bit vectors, ~1.05 GHz) attached over PCIe
+Gen2.  TDP figures are the ones the paper quotes in its power discussion
+(120 W per Xeon chip, 240 W for the Phi).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DeviceError
+from ..simd.isa import AVX_256, MIC_512, VectorISA
+
+__all__ = ["DeviceSpec", "XEON_E5_2670_DUAL", "XEON_PHI_57XX", "paper_devices"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Structural description of one compute device.
+
+    Attributes
+    ----------
+    smt_yield:
+        Relative core throughput when 1, 2, 3, 4 ... hardware threads
+        are resident, as a tuple indexed by ``threads_per_core_used-1``.
+        For the out-of-order Xeon one thread nearly saturates a core and
+        the second adds ~35 %; the in-order Phi *needs* multiple threads
+        to cover its in-order stalls (one thread reaches only about half
+        of a core's issue capacity) — this is why the paper's Fig. 5
+        keeps improving all the way to 240 threads.
+    """
+
+    name: str
+    cores: int
+    threads_per_core: int
+    clock_ghz: float
+    isa: VectorISA
+    l1_kb_per_core: int
+    l2_kb_per_core: int
+    l3_kb_shared: int  # 0 when the device has no L3 (the Phi)
+    tdp_watts: float
+    smt_yield: tuple[float, ...] = (1.0,)
+    chips: int = 1
+    #: Sustained main-memory bandwidth in GB/s (STREAM-like), used by
+    #: the roofline analysis.  The paper's host: 2 sockets x 4 channels
+    #: DDR3-1600 ~ 51.2 GB/s each; the Phi: 8 GDDR5 controllers with a
+    #: practical STREAM ceiling around 160 GB/s.
+    mem_bw_gbs: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.threads_per_core < 1 or self.chips < 1:
+            raise DeviceError(f"{self.name}: invalid topology")
+        if self.clock_ghz <= 0:
+            raise DeviceError(f"{self.name}: clock must be positive")
+        if len(self.smt_yield) != self.threads_per_core:
+            raise DeviceError(
+                f"{self.name}: smt_yield needs one entry per resident "
+                f"thread count (got {len(self.smt_yield)}, "
+                f"need {self.threads_per_core})"
+            )
+        if any(y <= 0 for y in self.smt_yield):
+            raise DeviceError(f"{self.name}: smt_yield entries must be positive")
+        if self.mem_bw_gbs <= 0:
+            raise DeviceError(f"{self.name}: memory bandwidth must be positive")
+        if sorted(self.smt_yield) != list(self.smt_yield):
+            raise DeviceError(
+                f"{self.name}: adding threads must not reduce core throughput"
+            )
+
+    @property
+    def max_threads(self) -> int:
+        """Hardware thread count (32 on the host, 240 on the Phi)."""
+        return self.cores * self.threads_per_core
+
+    @property
+    def lanes32(self) -> int:
+        """32-bit SIMD lanes per vector register."""
+        return self.isa.lanes(32)
+
+    def last_level_cache_bytes(self) -> int:
+        """Per-core budget the cache-blocking transformation targets.
+
+        Blocking aims at the cache the inner loop streams from: the
+        private L2 on both devices (512 KB on the Phi — "its cache size
+        is lower than its counterpart" — 256 KB on the Xeon).  The
+        Xeon's shared L3 is the spill tier, which is why its calibrated
+        miss penalty is milder than the Phi's DRAM spill.
+        """
+        return self.l2_kb_per_core * 1024
+
+    def validate_thread_count(self, threads: int) -> None:
+        """Reject impossible thread requests early."""
+        if not 1 <= threads <= self.max_threads:
+            raise DeviceError(
+                f"{self.name} supports 1..{self.max_threads} threads, "
+                f"got {threads}"
+            )
+
+
+#: The paper's host: 2 x Intel Xeon E5-2670 (8C/16T each, 2.60 GHz, AVX).
+XEON_E5_2670_DUAL = DeviceSpec(
+    name="xeon-e5-2670x2",
+    cores=16,
+    threads_per_core=2,
+    clock_ghz=2.60,
+    isa=AVX_256,
+    l1_kb_per_core=32,
+    l2_kb_per_core=256,
+    l3_kb_shared=2 * 20 * 1024,  # 20 MB L3 per socket
+    tdp_watts=2 * 120.0,  # the paper quotes 120 W per Xeon chip
+    # The paper's own efficiency quotes (88 % at 16 threads, 70 % at 32,
+    # 30.4 GCUPS peak) imply g(32)/g(16) = 0.70*32 / (0.88*16) ~ 1.59:
+    # hyper-threading buys ~59 % on this latency-bound DP kernel.
+    smt_yield=(1.0, 1.59),
+    chips=2,
+    mem_bw_gbs=2 * 51.2,
+)
+
+#: The paper's coprocessor: 60-core Xeon Phi, 240 threads, 512-bit SIMD.
+XEON_PHI_57XX = DeviceSpec(
+    name="xeon-phi-60c",
+    cores=60,
+    threads_per_core=4,
+    clock_ghz=1.053,
+    isa=MIC_512,
+    l1_kb_per_core=32,
+    l2_kb_per_core=512,
+    l3_kb_shared=0,
+    tdp_watts=240.0,  # the paper's figure
+    smt_yield=(0.50, 0.85, 0.95, 1.0),
+    chips=1,
+    mem_bw_gbs=160.0,
+)
+
+
+#: A "future coprocessor with more cores and threads per core" in the
+#: sense of the paper's Section V-C2 outlook: Knights Landing-class — 68
+#: slightly out-of-order cores at 1.40 GHz, 512-bit vectors with gather,
+#: 1 MB L2 per two-core tile (512 KB/core share).  Used only for
+#: projection studies (``DevicePerformanceModel.project``); it has no
+#: calibration of its own.
+XEON_PHI_KNL_PROJECTION = DeviceSpec(
+    name="xeon-phi-knl-projection",
+    cores=68,
+    threads_per_core=4,
+    clock_ghz=1.40,
+    isa=MIC_512,
+    l1_kb_per_core=32,
+    l2_kb_per_core=512,
+    l3_kb_shared=0,
+    tdp_watts=215.0,
+    # Out-of-order cores no longer need SMT to cover issue stalls.
+    smt_yield=(0.72, 0.92, 0.98, 1.0),
+    chips=1,
+    mem_bw_gbs=380.0,  # MCDRAM-class
+)
+
+
+def paper_devices() -> dict[str, DeviceSpec]:
+    """The two devices of the paper's testbed, by short name."""
+    return {"xeon": XEON_E5_2670_DUAL, "phi": XEON_PHI_57XX}

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors (``TypeError``
+from misuse of numpy, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AlphabetError",
+    "ScoringError",
+    "GapModelError",
+    "SequenceError",
+    "FastaError",
+    "DatabaseError",
+    "EngineError",
+    "DeviceError",
+    "ScheduleError",
+    "OffloadError",
+    "ModelError",
+    "PipelineError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A residue or encoded symbol is not part of the active alphabet."""
+
+
+class ScoringError(ReproError):
+    """A substitution matrix is malformed or incompatible with the alphabet."""
+
+
+class GapModelError(ReproError):
+    """Gap penalty parameters are invalid (negative penalties, etc.)."""
+
+
+class SequenceError(ReproError):
+    """A sequence is empty, too long, or otherwise unusable."""
+
+
+class FastaError(ReproError):
+    """FASTA input is syntactically invalid."""
+
+
+class DatabaseError(ReproError):
+    """A database operation (grouping, splitting, lookup) failed."""
+
+
+class EngineError(ReproError):
+    """An alignment engine was misconfigured or misused."""
+
+
+class DeviceError(ReproError):
+    """A device model was configured with impossible parameters."""
+
+
+class ScheduleError(ReproError):
+    """The OpenMP-style scheduler was given an invalid policy or workload."""
+
+
+class OffloadError(ReproError):
+    """Offload region misuse (waiting on a signal never armed, etc.)."""
+
+
+class ModelError(ReproError):
+    """The performance model was queried outside its calibrated domain."""
+
+
+class PipelineError(ReproError):
+    """The search pipeline was driven through an invalid state transition."""

@@ -1,0 +1,32 @@
+"""Seed-and-extend heuristic search (the paper's BLAST discussion).
+
+The paper's introduction motivates exact Smith-Waterman by contrast with
+heuristics: BLAST "keeps the position of each k-length subsequence
+(k-mer) of a query sequence in a hash table ... and scans the reference
+database sequences looking for k-mer identical matches, which are the
+so-called seeds.  Once those seeds have been identified, BLAST performs
+seed extensions and joins (first without gaps), and then it refines them
+using again the classic SW algorithm" — trading sensitivity for speed.
+
+This package implements that pipeline (protein flavour: neighbourhood
+words above a score threshold, X-drop ungapped extension, banded gapped
+refinement) so the sensitivity/speed trade-off the paper appeals to can
+be *measured* against the exact engines on planted-homolog databases.
+"""
+
+from .kmer import KmerWordCoder, neighborhood_words, build_query_word_table
+from .extend import ungapped_extend, gapped_extend, Seed, Extension
+from .blast import MiniBlast, BlastHit, BlastResult
+
+__all__ = [
+    "KmerWordCoder",
+    "neighborhood_words",
+    "build_query_word_table",
+    "ungapped_extend",
+    "gapped_extend",
+    "Seed",
+    "Extension",
+    "MiniBlast",
+    "BlastHit",
+    "BlastResult",
+]

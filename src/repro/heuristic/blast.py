@@ -1,0 +1,216 @@
+"""MiniBlast — the seed-and-extend database search.
+
+The complete heuristic pipeline of the paper's introduction: build the
+query's neighbourhood word table once, stream every database sequence
+through it, extend word hits ungapped (X-drop), refine the promising
+ones with banded gapped alignment, and report the best score per
+sequence.  Sequences without a qualifying seed get score 0 — that is
+exactly where the heuristic loses sensitivity relative to the exact
+engines, and :class:`BlastResult` accounts the cell savings that buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..core.engine import as_codes
+from ..db.database import SequenceDatabase
+from ..exceptions import PipelineError
+from ..scoring.gaps import GapModel, paper_gap_model
+from ..scoring.matrices import SubstitutionMatrix
+from .extend import Seed, gapped_extend, ungapped_extend
+from .kmer import KmerWordCoder, build_query_word_table
+
+__all__ = ["BlastHit", "BlastResult", "MiniBlast"]
+
+
+@dataclass(frozen=True)
+class BlastHit:
+    """Best heuristic alignment found in one database sequence."""
+
+    index: int
+    header: str
+    score: int
+    qstart: int
+    qend: int
+    dstart: int
+    dend: int
+
+
+@dataclass
+class BlastResult:
+    """Scores plus the work accounting of one heuristic search."""
+
+    scores: np.ndarray
+    hits: list[BlastHit]
+    seeds_found: int
+    ungapped_extensions: int
+    gapped_extensions: int
+    cells_computed: int
+    exact_cells: int  # what a full SW scan would have computed
+
+    @property
+    def cell_savings(self) -> float:
+        """Fraction of exact-search work the heuristic skipped."""
+        if self.exact_cells == 0:
+            return 0.0
+        return 1.0 - self.cells_computed / self.exact_cells
+
+    def top(self, k: int = 10) -> list[BlastHit]:
+        """Best ``k`` hits by score."""
+        return sorted(self.hits, key=lambda h: -h.score)[:k]
+
+
+class MiniBlast:
+    """Protein seed-and-extend searcher.
+
+    Parameters (classic BLASTP-flavoured defaults):
+
+    k=3, threshold=11
+        Word size and neighbourhood score threshold.
+    x_drop=16
+        Ungapped extension drop-off.
+    gapped_trigger=22
+        Ungapped score needed before paying for gapped refinement.
+    window=64, band=12
+        Gapped refinement window and band half-width.
+    two_hit=False, two_hit_window=40
+        Gapped BLAST's two-hit heuristic: only extend a seed when a
+        second non-overlapping hit sits on the same diagonal within
+        ``two_hit_window`` residues.  Cuts ungapped-extension work
+        substantially at a small sensitivity cost.
+    """
+
+    def __init__(
+        self,
+        matrix: SubstitutionMatrix | None = None,
+        gaps: GapModel | None = None,
+        *,
+        k: int = 3,
+        threshold: int = 11,
+        x_drop: int = 16,
+        gapped_trigger: int = 22,
+        window: int = 64,
+        band: int = 12,
+        two_hit: bool = False,
+        two_hit_window: int = 40,
+        alphabet: Alphabet = PROTEIN,
+    ) -> None:
+        if matrix is None:
+            from ..scoring.data_blosum import BLOSUM62
+
+            matrix = BLOSUM62
+        if gapped_trigger < 0:
+            raise PipelineError("gapped trigger must be non-negative")
+        if two_hit_window < 1:
+            raise PipelineError("two-hit window must be positive")
+        self.matrix = matrix
+        self.gaps = gaps if gaps is not None else paper_gap_model()
+        self.k = k
+        self.threshold = threshold
+        self.x_drop = x_drop
+        self.gapped_trigger = gapped_trigger
+        self.window = window
+        self.band = band
+        self.two_hit = two_hit
+        self.two_hit_window = two_hit_window
+        self.alphabet = alphabet
+
+    # ------------------------------------------------------------------
+    def search(self, query, database: SequenceDatabase) -> BlastResult:
+        """Run the heuristic pipeline over a database."""
+        if len(database) == 0:
+            raise PipelineError("cannot search an empty database")
+        q = as_codes(query, self.alphabet)
+        if len(q) < self.k:
+            raise PipelineError(
+                f"query shorter than the word size ({len(q)} < {self.k})"
+            )
+        table = build_query_word_table(
+            q, self.matrix, k=self.k, threshold=self.threshold
+        )
+        coder = KmerWordCoder(self.k, self.alphabet)
+
+        scores = np.zeros(len(database), dtype=np.int64)
+        hits: list[BlastHit] = []
+        seeds = unext = gapext = 0
+        cells = 0
+
+        for idx, seq in enumerate(database.sequences):
+            words = coder.words_of(seq)
+            best_ungapped = None
+            best_seed = None
+            # Seeding with per-diagonal de-duplication: extending every
+            # overlapping hit on the same diagonal re-does the same
+            # work, so remember how far each diagonal has been covered.
+            # Under two-hit mode a diagonal's first hit is only
+            # remembered; extension waits for a second nearby hit.
+            covered: dict[int, int] = {}
+            last_hit: dict[int, int] = {}
+            for j in range(len(words)):
+                qpos_list = table.get(int(words[j]))
+                if not qpos_list:
+                    continue
+                for i in qpos_list:
+                    seeds += 1
+                    diag = j - i
+                    if covered.get(diag, -1) >= j:
+                        continue
+                    if self.two_hit:
+                        prev = last_hit.get(diag)
+                        last_hit[diag] = j
+                        if prev is None or not (
+                            self.k <= j - prev <= self.two_hit_window
+                        ):
+                            continue
+                    seed = Seed(qpos=i, dpos=j, length=self.k)
+                    ext = ungapped_extend(
+                        q, seq, seed, self.matrix, x_drop=self.x_drop
+                    )
+                    unext += 1
+                    cells += ext.cells
+                    covered[diag] = ext.dend
+                    if best_ungapped is None or ext.score > best_ungapped.score:
+                        best_ungapped = ext
+                        best_seed = seed
+            # Gapped refinement of the best HSP only (score-max search):
+            # the window adapts to the HSP so long alignments are not
+            # truncated at an arbitrary boundary.
+            best_ext = None
+            if (
+                best_ungapped is not None
+                and best_ungapped.score >= self.gapped_trigger
+            ):
+                window = max(self.window, best_ungapped.length + 2 * self.band)
+                best_ext = gapped_extend(
+                    q, seq, best_seed, self.matrix, self.gaps,
+                    window=window, band=self.band,
+                )
+                gapext += 1
+                cells += best_ext.cells
+            if best_ext is not None and best_ext.score > 0:
+                scores[idx] = best_ext.score
+                hits.append(
+                    BlastHit(
+                        index=idx,
+                        header=database.headers[idx],
+                        score=best_ext.score,
+                        qstart=best_ext.qstart,
+                        qend=best_ext.qend,
+                        dstart=best_ext.dstart,
+                        dend=best_ext.dend,
+                    )
+                )
+
+        return BlastResult(
+            scores=scores,
+            hits=hits,
+            seeds_found=seeds,
+            ungapped_extensions=unext,
+            gapped_extensions=gapext,
+            cells_computed=cells,
+            exact_cells=len(q) * database.total_residues,
+        )

@@ -1,0 +1,161 @@
+"""Seed extension: ungapped X-drop and banded gapped refinement.
+
+The BLAST pipeline the paper's introduction describes, stage by stage:
+a seed (word hit) is first extended *without gaps* along its diagonal in
+both directions, abandoning each direction once the running score falls
+``x_drop`` below the best seen; seeds whose ungapped extension scores
+high enough are then refined "using again the classic SW algorithm" —
+here a banded local alignment around the seed's diagonal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.banded import BandedEngine
+from ..exceptions import EngineError
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+
+__all__ = ["Seed", "Extension", "ungapped_extend", "gapped_extend"]
+
+
+@dataclass(frozen=True)
+class Seed:
+    """A word hit: query position, database position, word length."""
+
+    qpos: int
+    dpos: int
+    length: int
+
+    @property
+    def diagonal(self) -> int:
+        """``dpos - qpos`` — the diagonal the hit sits on."""
+        return self.dpos - self.qpos
+
+
+@dataclass(frozen=True)
+class Extension:
+    """Result of extending one seed."""
+
+    score: int
+    qstart: int
+    qend: int   # exclusive
+    dstart: int
+    dend: int   # exclusive
+    cells: int  # DP/extension work, for speed accounting
+
+    @property
+    def length(self) -> int:
+        """Extent of the matched query region."""
+        return self.qend - self.qstart
+
+
+def ungapped_extend(
+    query: np.ndarray,
+    db: np.ndarray,
+    seed: Seed,
+    matrix: SubstitutionMatrix,
+    *,
+    x_drop: int = 16,
+) -> Extension:
+    """X-drop ungapped extension of a seed along its diagonal."""
+    if x_drop < 0:
+        raise EngineError(f"x_drop must be non-negative, got {x_drop}")
+    sub = matrix.data
+    q = np.asarray(query)
+    d = np.asarray(db)
+    if not (0 <= seed.qpos <= len(q) - seed.length):
+        raise EngineError("seed out of query range")
+    if not (0 <= seed.dpos <= len(d) - seed.length):
+        raise EngineError("seed out of database range")
+
+    # Seed core score.
+    core = sum(
+        int(sub[q[seed.qpos + t], d[seed.dpos + t]]) for t in range(seed.length)
+    )
+    cells = seed.length
+
+    # Right extension.
+    best_right = 0
+    run = 0
+    qi, dj = seed.qpos + seed.length, seed.dpos + seed.length
+    right = 0
+    while qi < len(q) and dj < len(d):
+        run += int(sub[q[qi], d[dj]])
+        cells += 1
+        qi += 1
+        dj += 1
+        if run > best_right:
+            best_right = run
+            right = qi - (seed.qpos + seed.length)
+        elif run < best_right - x_drop:
+            break
+
+    # Left extension.
+    best_left = 0
+    run = 0
+    qi, dj = seed.qpos - 1, seed.dpos - 1
+    left = 0
+    while qi >= 0 and dj >= 0:
+        run += int(sub[q[qi], d[dj]])
+        cells += 1
+        if run > best_left:
+            best_left = run
+            left = seed.qpos - qi
+        elif run < best_left - x_drop:
+            break
+        qi -= 1
+        dj -= 1
+
+    return Extension(
+        score=core + best_left + best_right,
+        qstart=seed.qpos - left,
+        qend=seed.qpos + seed.length + right,
+        dstart=seed.dpos - left,
+        dend=seed.dpos + seed.length + right,
+        cells=cells,
+    )
+
+
+def gapped_extend(
+    query: np.ndarray,
+    db: np.ndarray,
+    seed: Seed,
+    matrix: SubstitutionMatrix,
+    gaps: GapModel,
+    *,
+    window: int = 64,
+    band: int = 12,
+) -> Extension:
+    """Banded gapped refinement around a seed (the SW stage of BLAST).
+
+    A window of ``window`` residues on each side of the seed is cut from
+    both sequences and aligned with :class:`BandedEngine`, the band
+    centred on the seed's diagonal.  Work is the band's cell count, not
+    the full window rectangle.
+    """
+    if window < 1:
+        raise EngineError(f"window must be positive, got {window}")
+    q = np.asarray(query)
+    d = np.asarray(db)
+    q0 = max(0, seed.qpos - window)
+    q1 = min(len(q), seed.qpos + seed.length + window)
+    d0 = max(0, seed.dpos - window)
+    d1 = min(len(d), seed.dpos + seed.length + window)
+    qwin = q[q0:q1]
+    dwin = d[d0:d1]
+    # The seed's diagonal in window coordinates.
+    offset = (seed.dpos - d0) - (seed.qpos - q0)
+    engine = BandedEngine(width=band, offset=offset)
+    result = engine._score_pair_codes(qwin, dwin, matrix, gaps)
+    return Extension(
+        score=result.score,
+        qstart=q0,
+        qend=q0 + (result.end_query or len(qwin)),
+        dstart=d0,
+        dend=d0 + (result.end_db or len(dwin)),
+        cells=result.cells,
+    )

@@ -1,0 +1,138 @@
+"""K-mer words, neighbourhoods and the query word table.
+
+Protein BLAST does not demand exact k-mer matches: a database word seeds
+an alignment if its substitution score against some query word reaches
+the threshold ``T`` (the *neighbourhood*).  With BLOSUM62, ``k = 3`` and
+``T = 11`` are the classic defaults.
+
+Words are packed into integers base-``|alphabet|`` so the query word
+table is a flat ``dict[int, list[int]]`` (word -> query positions) and
+scanning a database sequence is one rolling-hash pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import EngineError
+from ..scoring.matrices import SubstitutionMatrix
+
+__all__ = ["KmerWordCoder", "neighborhood_words", "build_query_word_table"]
+
+
+@dataclass(frozen=True)
+class KmerWordCoder:
+    """Packs/unpacks length-``k`` residue words into integers."""
+
+    k: int
+    alphabet: Alphabet = PROTEIN
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise EngineError(f"k must be >= 1, got {self.k}")
+        if self.alphabet.size ** self.k > 2 ** 62:
+            raise EngineError("word space too large to pack into an int")
+
+    @property
+    def base(self) -> int:
+        """Radix of the packing (alphabet size)."""
+        return self.alphabet.size
+
+    def encode(self, codes: np.ndarray) -> int:
+        """Pack one k-mer (residue-code array of length ``k``)."""
+        if len(codes) != self.k:
+            raise EngineError(f"expected a {self.k}-mer, got {len(codes)}")
+        word = 0
+        for c in codes:
+            word = word * self.base + int(c)
+        return word
+
+    def decode(self, word: int) -> np.ndarray:
+        """Unpack an integer word back into residue codes."""
+        out = np.empty(self.k, dtype=np.uint8)
+        for pos in range(self.k - 1, -1, -1):
+            out[pos] = word % self.base
+            word //= self.base
+        return out
+
+    def words_of(self, sequence: np.ndarray) -> np.ndarray:
+        """All overlapping k-mer words of a sequence (vectorised).
+
+        Returns an empty array for sequences shorter than ``k``.
+        """
+        seq = np.asarray(sequence, dtype=np.int64)
+        n = len(seq) - self.k + 1
+        if n <= 0:
+            return np.empty(0, dtype=np.int64)
+        words = np.zeros(n, dtype=np.int64)
+        for off in range(self.k):
+            words = words * self.base + seq[off : off + n]
+        return words
+
+
+def neighborhood_words(
+    kmer: np.ndarray,
+    matrix: SubstitutionMatrix,
+    threshold: int,
+    *,
+    coder: KmerWordCoder | None = None,
+    standard_only: bool = True,
+) -> list[int]:
+    """All words scoring at least ``threshold`` against ``kmer``.
+
+    Branch-and-bound enumeration: a partial word is abandoned as soon as
+    its score plus the best still-achievable remainder falls below the
+    threshold.  ``standard_only`` restricts neighbours to the 20 standard
+    residues (ambiguity codes never help a seed).
+    """
+    c = coder or KmerWordCoder(len(kmer), matrix.alphabet)
+    if len(kmer) != c.k:
+        raise EngineError("kmer length does not match the coder")
+    limit = 20 if standard_only else matrix.size
+    sub = matrix.data
+    # Best achievable score per remaining position (suffix maxima).
+    best_rest = np.zeros(c.k + 1, dtype=np.int64)
+    for pos in range(c.k - 1, -1, -1):
+        best_rest[pos] = best_rest[pos + 1] + sub[kmer[pos], :limit].max()
+
+    out: list[int] = []
+
+    def walk(pos: int, word: int, score: int) -> None:
+        if pos == c.k:
+            out.append(word)
+            return
+        row = sub[kmer[pos]]
+        rest = best_rest[pos + 1]
+        for b in range(limit):
+            s = score + int(row[b])
+            if s + rest >= threshold:
+                walk(pos + 1, word * c.base + b, s)
+
+    walk(0, 0, 0)
+    return out
+
+
+def build_query_word_table(
+    query: np.ndarray,
+    matrix: SubstitutionMatrix,
+    *,
+    k: int = 3,
+    threshold: int = 11,
+) -> dict[int, list[int]]:
+    """Word -> query positions map, neighbourhoods included.
+
+    This is BLAST's pre-processed query structure: scanning a database
+    sequence then needs only one table lookup per position.
+    """
+    coder = KmerWordCoder(k, matrix.alphabet)
+    table: dict[int, list[int]] = {}
+    q = np.asarray(query, dtype=np.uint8)
+    for i in range(len(q) - k + 1):
+        for word in neighborhood_words(
+            q[i : i + k], matrix, threshold, coder=coder
+        ):
+            table.setdefault(word, []).append(i)
+    return table

@@ -1,0 +1,15 @@
+"""Reporting helpers shared by the benchmark harness."""
+
+from .tables import format_table, format_series, paper_comparison
+from .report import generate_report
+from .quality import average_precision, rank_indices, recall_at_k
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "paper_comparison",
+    "generate_report",
+    "rank_indices",
+    "recall_at_k",
+    "average_precision",
+]

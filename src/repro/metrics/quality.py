@@ -1,0 +1,54 @@
+"""Search-quality metrics: recall, precision, average precision.
+
+Sensitivity comparisons (exact SW vs heuristics, Section I's trade-off)
+need retrieval metrics over planted ground truth: given the indices of
+the true homologs and a ranking of database entries by score, how many
+of the truths surface, and how early?
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import PipelineError
+
+__all__ = ["rank_indices", "recall_at_k", "average_precision"]
+
+
+def rank_indices(scores: np.ndarray) -> np.ndarray:
+    """Database indices in descending score order (stable on ties)."""
+    arr = np.asarray(scores)
+    if arr.ndim != 1:
+        raise PipelineError("scores must be a 1-D array")
+    return np.argsort(-arr, kind="stable")
+
+
+def recall_at_k(scores: np.ndarray, relevant: set[int], k: int) -> float:
+    """Fraction of the relevant set found in the top ``k`` ranks."""
+    if not relevant:
+        raise PipelineError("the relevant set must be non-empty")
+    if k < 1:
+        raise PipelineError(f"k must be >= 1, got {k}")
+    top = set(int(i) for i in rank_indices(scores)[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def average_precision(scores: np.ndarray, relevant: set[int]) -> float:
+    """Area under the precision-recall curve of the ranking.
+
+    The mean, over each relevant item, of the precision at the rank
+    where it is retrieved — 1.0 when every relevant item outranks every
+    irrelevant one.
+    """
+    if not relevant:
+        raise PipelineError("the relevant set must be non-empty")
+    ranking = rank_indices(scores)
+    hits = 0
+    precision_sum = 0.0
+    for rank, idx in enumerate(ranking, start=1):
+        if int(idx) in relevant:
+            hits += 1
+            precision_sum += hits / rank
+        if hits == len(relevant):
+            break
+    return precision_sum / len(relevant)

@@ -1,0 +1,80 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints the series it regenerates in the same row/column
+arrangement as the paper's figure, through these helpers, so
+``pytest benchmarks/ --benchmark-only`` output reads against the paper
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "paper_comparison"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Numbers are formatted with 2 decimals (floats) or plain (ints);
+    column widths adapt to content.
+    """
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[object, float],
+    *,
+    x_label: str = "x",
+    y_label: str = "GCUPS",
+    title: str | None = None,
+    bar_scale: float = 1.0,
+) -> str:
+    """Render an x -> y mapping as a table with an ASCII bar column."""
+    rows = []
+    for x, y in series.items():
+        rows.append((x, y, "#" * max(0, int(round(y * bar_scale)))))
+    return format_table([x_label, y_label, ""], rows, title=title)
+
+
+def paper_comparison(
+    rows: Iterable[tuple[str, float | str, float]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Three-column "(what, paper, measured)" comparison table.
+
+    The format EXPERIMENTS.md and every bench use to report
+    paper-vs-reproduction values side by side.
+    """
+    out_rows = []
+    for what, paper, measured in rows:
+        ratio = ""
+        if isinstance(paper, (int, float)) and paper:
+            ratio = f"{measured / float(paper):.2f}x"
+        out_rows.append((what, paper, measured, ratio))
+    return format_table(
+        ["experiment", "paper", "measured", "ratio"], out_rows, title=title
+    )

@@ -1,0 +1,45 @@
+"""Analytical GCUPS performance model.
+
+The paper reports hardware measurements; we reproduce them with a model
+whose *mechanisms* are computed (instruction mixes from the instrumented
+kernels, schedule makespans from the OpenMP simulation over the real
+length distribution, cache factors from working-set sizes, SMT yields
+from the device specs) and whose *constants* are calibrated — every
+constant lives in :mod:`repro.perfmodel.calibration` with provenance
+notes, and each device has exactly one anchor that pins the intrinsic-SP
+headline number; everything else the model produces is prediction.
+"""
+
+from .calibration import DeviceCalibration, calibration_for, CALIBRATIONS
+from .model import DevicePerformanceModel, Workload, RunConfig
+from .efficiency import thread_sweep, efficiency_table
+from .paper_targets import PAPER_TARGETS, PaperTarget, validate_against_paper
+from .roofline import RooflinePoint, roofline_analysis
+from .power import (
+    DevicePower,
+    HybridEnergy,
+    energy_sweep,
+    hybrid_energy,
+    optimal_splits,
+)
+
+__all__ = [
+    "DeviceCalibration",
+    "calibration_for",
+    "CALIBRATIONS",
+    "DevicePerformanceModel",
+    "Workload",
+    "RunConfig",
+    "thread_sweep",
+    "efficiency_table",
+    "DevicePower",
+    "HybridEnergy",
+    "energy_sweep",
+    "hybrid_energy",
+    "optimal_splits",
+    "PAPER_TARGETS",
+    "PaperTarget",
+    "validate_against_paper",
+    "RooflinePoint",
+    "roofline_analysis",
+]

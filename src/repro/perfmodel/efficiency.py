@@ -1,0 +1,67 @@
+"""Derived efficiency curves and sweeps over the model.
+
+Convenience drivers the benchmarks share: thread sweeps (Figs. 3/5),
+query-length sweeps (Figs. 4/6) and the thread-scaling efficiency table
+the paper quotes in Section V-C1 (99 % at 4 threads, 88 % at 16, 70 %
+at 32 for intrinsic-SP on the Xeon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..exceptions import ModelError
+from .model import DevicePerformanceModel, RunConfig, Workload
+
+__all__ = ["thread_sweep", "query_length_sweep", "efficiency_table"]
+
+
+def thread_sweep(
+    model: DevicePerformanceModel,
+    workload: Workload,
+    query_len: int,
+    config: RunConfig,
+    thread_counts: list[int],
+) -> dict[int, float]:
+    """GCUPS at each thread count (one line of Fig. 3 or Fig. 5)."""
+    out: dict[int, float] = {}
+    for t in thread_counts:
+        out[t] = model.gcups(
+            workload, query_len, replace(config, threads=t))
+    return out
+
+
+def query_length_sweep(
+    model: DevicePerformanceModel,
+    workload: Workload,
+    query_lengths: list[int],
+    config: RunConfig,
+) -> dict[int, float]:
+    """GCUPS for each query length (one line of Fig. 4 or Fig. 6)."""
+    return {
+        q: model.gcups(workload, q, config)
+        for q in query_lengths
+    }
+
+
+def efficiency_table(
+    model: DevicePerformanceModel,
+    workload: Workload,
+    query_len: int,
+    config: RunConfig,
+    thread_counts: list[int],
+) -> dict[int, float]:
+    """Parallel efficiency vs the single-thread run (Section V-C1).
+
+    ``eff(t) = GCUPS(t) / (t * GCUPS(1))`` — the paper's definition, in
+    which hyper-threaded thread counts are penalised because an HT
+    thread is not a core.
+    """
+    base = model.gcups(workload, query_len, replace(config, threads=1))
+    if base <= 0:
+        raise ModelError("single-thread GCUPS must be positive")
+    return {
+        t: model.gcups(
+            workload, query_len, replace(config, threads=t)) / (t * base)
+        for t in thread_counts
+    }

@@ -1,0 +1,118 @@
+"""The paper's reported numbers, in one table, with a checker.
+
+Benchmarks, tests and the report generator all compare model outputs to
+values printed in the paper; this module is the single source of truth
+for those values (section-referenced) plus a structured checker that
+re-derives every model-reachable target and reports pass/fail — the
+programmatic core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ModelError
+
+__all__ = ["PaperTarget", "PAPER_TARGETS", "validate_against_paper"]
+
+
+@dataclass(frozen=True)
+class PaperTarget:
+    """One number the paper reports."""
+
+    key: str
+    section: str
+    description: str
+    value: float
+    tolerance: float  # relative, except efficiencies (absolute)
+
+    def check(self, measured: float) -> bool:
+        """True when ``measured`` reproduces the target within tolerance."""
+        if self.value == 0:
+            raise ModelError(f"target {self.key} has zero value")
+        if self.key.startswith("efficiency"):
+            return abs(measured - self.value) <= self.tolerance
+        return abs(measured - self.value) / abs(self.value) <= self.tolerance
+
+
+#: Every quantitative claim of Section V this model can reach.
+PAPER_TARGETS: tuple[PaperTarget, ...] = (
+    PaperTarget("xeon.intrinsic_sp.fig3", "V-C1/Fig.3",
+                "Xeon intrinsic-SP, 32 threads, mid query", 30.4, 0.15),
+    PaperTarget("xeon.intrinsic_sp.peak", "V-C1/Fig.4",
+                "Xeon intrinsic-SP peak over query lengths", 32.0, 0.02),
+    PaperTarget("xeon.simd_sp.peak", "V-C1/Fig.4",
+                "Xeon simd-SP peak", 25.1, 0.10),
+    PaperTarget("phi.simd_qp", "V-C2/Fig.5",
+                "Phi simd-QP, 240 threads", 13.6, 0.10),
+    PaperTarget("phi.simd_sp", "V-C2/Fig.5",
+                "Phi simd-SP, 240 threads", 14.5, 0.10),
+    PaperTarget("phi.intrinsic_qp", "V-C2/Fig.5",
+                "Phi intrinsic-QP, 240 threads", 27.1, 0.10),
+    PaperTarget("phi.intrinsic_sp", "V-C2/Fig.5",
+                "Phi intrinsic-SP, 240 threads", 34.9, 0.02),
+    PaperTarget("hybrid.peak", "V-C3/Fig.8",
+                "best heterogeneous GCUPS", 62.6, 0.05),
+    PaperTarget("hybrid.peak_fraction", "V-C3/Fig.8",
+                "optimal share on the Phi", 0.55, 0.12),
+    PaperTarget("efficiency.4t", "V-C1",
+                "Xeon efficiency at 4 threads", 0.99, 0.04),
+    PaperTarget("efficiency.16t", "V-C1",
+                "Xeon efficiency at 16 threads", 0.88, 0.05),
+    PaperTarget("efficiency.32t", "V-C1",
+                "Xeon efficiency at 32 threads", 0.70, 0.05),
+)
+
+
+def validate_against_paper() -> dict[str, dict]:
+    """Re-derive every target from the model; return a structured record.
+
+    Each entry: ``{"target", "measured", "ok", "section", "description"}``.
+    Used by tests (every entry must be ok) and by reporting.
+    """
+    from ..db.synthetic import SyntheticSwissProt
+    from ..devices.spec import XEON_E5_2670_DUAL, XEON_PHI_57XX
+    from ..runtime.hybrid import HybridExecutor
+    from .efficiency import efficiency_table
+    from .model import DevicePerformanceModel, RunConfig, Workload
+
+    lengths = SyntheticSwissProt().lengths()
+    xeon = DevicePerformanceModel(XEON_E5_2670_DUAL)
+    phi = DevicePerformanceModel(XEON_PHI_57XX)
+    wx = Workload.from_lengths(lengths, XEON_E5_2670_DUAL.lanes32)
+    wp = Workload.from_lengths(lengths, XEON_PHI_57XX.lanes32)
+
+    measured: dict[str, float] = {
+        "xeon.intrinsic_sp.fig3": xeon.gcups(wx, 1000, RunConfig()),
+        "xeon.intrinsic_sp.peak": xeon.gcups(wx, 5478, RunConfig()),
+        "xeon.simd_sp.peak": xeon.gcups(
+            wx, 5478, RunConfig(vectorization="simd")
+        ),
+        "phi.simd_qp": phi.gcups(
+            wp, 5478, RunConfig(vectorization="simd", profile="query")
+        ),
+        "phi.simd_sp": phi.gcups(
+            wp, 5478, RunConfig(vectorization="simd")
+        ),
+        "phi.intrinsic_qp": phi.gcups(wp, 5478, RunConfig(profile="query")),
+        "phi.intrinsic_sp": phi.gcups(wp, 5478, RunConfig()),
+    }
+    best = HybridExecutor(xeon, phi).best_split(lengths, 5478)
+    measured["hybrid.peak"] = best.gcups
+    measured["hybrid.peak_fraction"] = best.device_fraction
+    eff = efficiency_table(xeon, wx, 1000, RunConfig(), [4, 16, 32])
+    measured["efficiency.4t"] = eff[4]
+    measured["efficiency.16t"] = eff[16]
+    measured["efficiency.32t"] = eff[32]
+
+    out: dict[str, dict] = {}
+    for target in PAPER_TARGETS:
+        m = measured[target.key]
+        out[target.key] = {
+            "section": target.section,
+            "description": target.description,
+            "target": target.value,
+            "measured": m,
+            "ok": target.check(m),
+        }
+    return out

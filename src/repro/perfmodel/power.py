@@ -1,0 +1,164 @@
+"""Power and energy modelling — the paper's proposed future work.
+
+Section V-C3: "These successful results open the possibility of
+considering the heterogeneous computing not only from the performance
+point of view, but also considering other aspects such as power
+consumption ... the TDP on Intel's Xeon chip is 120 watts meanwhile the
+Xeon-Phi is 240 watts ... workload distribution could determinate other
+aspects.  As future work we are considering undertaking this study."
+
+This module undertakes it: a TDP-based device power model, energy
+accounting for hybrid runs (busy time at full TDP, exposed idle time —
+one side waiting for the other — at an idle fraction), and the
+energy-optimal and energy-delay-product-optimal static splits to set
+against the throughput optimum of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..devices.spec import DeviceSpec
+from ..exceptions import ModelError
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..runtime.hybrid import HybridExecutor, HybridResult
+
+__all__ = ["DevicePower", "HybridEnergy", "hybrid_energy", "energy_sweep",
+           "optimal_splits"]
+
+
+@dataclass(frozen=True)
+class DevicePower:
+    """Two-state (busy/idle) power model of one device.
+
+    ``idle_fraction`` is the share of TDP drawn while powered but
+    waiting — package sleep states never reach zero on either device,
+    and the Phi of that era idled notoriously hot (~20-40 % of TDP).
+    """
+
+    spec: DeviceSpec
+    idle_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.idle_fraction <= 1.0:
+            raise ModelError(
+                f"idle fraction must be within [0, 1], got {self.idle_fraction}"
+            )
+
+    @property
+    def busy_watts(self) -> float:
+        """Power while computing (the paper's quoted TDP)."""
+        return self.spec.tdp_watts
+
+    @property
+    def idle_watts(self) -> float:
+        """Power while waiting for the other side to finish."""
+        return self.spec.tdp_watts * self.idle_fraction
+
+    def energy_joules(self, busy_seconds: float, total_seconds: float) -> float:
+        """Energy over a run: busy at TDP, the rest of the run idle."""
+        if busy_seconds < 0 or total_seconds < busy_seconds - 1e-12:
+            raise ModelError(
+                "busy time must be within [0, total]: "
+                f"busy={busy_seconds}, total={total_seconds}"
+            )
+        idle_seconds = max(total_seconds - busy_seconds, 0.0)
+        return busy_seconds * self.busy_watts + idle_seconds * self.idle_watts
+
+
+@dataclass(frozen=True)
+class HybridEnergy:
+    """Energy accounting of one hybrid run."""
+
+    result: HybridResult
+    joules: float
+
+    @property
+    def gcups(self) -> float:
+        """Throughput of the run (for the perf-vs-energy trade-off)."""
+        return self.result.gcups
+
+    @property
+    def cells_per_joule(self) -> float:
+        """Energy efficiency — the future-work study's y-axis."""
+        if self.joules <= 0:
+            raise ModelError("energy must be positive")
+        return self.result.cells / self.joules
+
+    @property
+    def average_watts(self) -> float:
+        """Mean system power over the run."""
+        return self.joules / self.result.total_seconds
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP in joule-seconds (lower is better)."""
+        return self.joules * self.result.total_seconds
+
+
+def hybrid_energy(
+    result: HybridResult,
+    host_power: DevicePower,
+    device_power: DevicePower,
+) -> HybridEnergy:
+    """Energy of one Algorithm 2 run under the two-state power model.
+
+    Each side is busy for its own compute time and idles (at idle power)
+    while the slower side finishes — the exposed-wait cost a
+    power-unaware split pays.
+    """
+    joules = (
+        host_power.energy_joules(result.host_seconds, result.total_seconds)
+        + device_power.energy_joules(result.device_seconds, result.total_seconds)
+    )
+    return HybridEnergy(result=result, joules=joules)
+
+
+def energy_sweep(
+    executor: HybridExecutor,
+    lengths: np.ndarray,
+    query_len: int,
+    fractions: list[float],
+    *,
+    idle_fraction: float = 0.35,
+) -> dict[float, HybridEnergy]:
+    """Energy accounting across a Figure 8-style split sweep."""
+    host_power = DevicePower(executor.host.spec, idle_fraction)
+    device_power = DevicePower(executor.device.spec, idle_fraction)
+    sweep = executor.sweep(lengths, query_len, fractions)
+    return {
+        f: hybrid_energy(r, host_power, device_power)
+        for f, r in sweep.items()
+    }
+
+
+def optimal_splits(
+    executor: HybridExecutor,
+    lengths: np.ndarray,
+    query_len: int,
+    *,
+    resolution: float = 0.05,
+    idle_fraction: float = 0.35,
+) -> dict[str, HybridEnergy]:
+    """The three optima of the future-work study.
+
+    Returns the split maximising throughput (``"performance"``),
+    maximising cells/joule (``"energy"``) and minimising the
+    energy-delay product (``"edp"``).
+    """
+    if not 0 < resolution <= 0.5:
+        raise ModelError(f"resolution must be in (0, 0.5], got {resolution}")
+    steps = int(round(1.0 / resolution))
+    fractions = [k * resolution for k in range(steps + 1)]
+    sweep = energy_sweep(
+        executor, lengths, query_len, fractions, idle_fraction=idle_fraction
+    )
+    return {
+        "performance": max(sweep.values(), key=lambda e: e.gcups),
+        "energy": max(sweep.values(), key=lambda e: e.cells_per_joule),
+        "edp": min(sweep.values(), key=lambda e: e.energy_delay_product),
+    }

@@ -1,0 +1,159 @@
+"""Roofline analysis of the Smith-Waterman kernel.
+
+The classic HPC lens: a kernel on a device attains at most
+
+    attainable = min(peak_compute, bandwidth * arithmetic_intensity)
+
+with intensity = operations per byte of memory traffic.  For the SW
+inter-task kernel both inputs come from mechanisms this library already
+computes: the per-cell instruction mix (the instrumented kernels) and
+the per-cell DRAM traffic (the cache model's miss fraction over the real
+working sets).  The analysis explains the paper's Fig. 7 structurally —
+the *blocked* kernel is compute-bound on both devices, while the
+*unblocked* SP kernel on the Phi slides down the bandwidth roof — and
+quantifies how far each configuration sits from its roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..simd.kernels import KernelConfig, sw_instruction_mix
+from .model import DevicePerformanceModel, RunConfig, Workload
+
+__all__ = ["RooflinePoint", "roofline_analysis"]
+
+#: Bytes the kernel reads/writes per cell architecturally (H row write +
+#: profile read + H/F reads), before cache filtering: ~4 int32 accesses.
+_BYTES_PER_CELL_TOUCHED = 16.0
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One (device, configuration) point under the roofline."""
+
+    device: str
+    label: str
+    #: Vector instructions per cell (the compute axis unit).
+    ops_per_cell: float
+    #: DRAM bytes per cell after cache filtering.
+    bytes_per_cell: float
+    #: Device ceilings.
+    peak_ops_per_s: float
+    peak_bytes_per_s: float
+    #: Modelled sustained cell rate (anchored model).
+    achieved_cells_per_s: float
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity: instructions per DRAM byte."""
+        if self.bytes_per_cell <= 0:
+            return float("inf")
+        return self.ops_per_cell / self.bytes_per_cell
+
+    @property
+    def compute_roof_cells_per_s(self) -> float:
+        """Cell rate if only instruction issue limited the kernel."""
+        return self.peak_ops_per_s / self.ops_per_cell
+
+    @property
+    def bandwidth_roof_cells_per_s(self) -> float:
+        """Cell rate if only DRAM bandwidth limited the kernel."""
+        if self.bytes_per_cell <= 0:
+            return float("inf")
+        return self.peak_bytes_per_s / self.bytes_per_cell
+
+    @property
+    def attainable_cells_per_s(self) -> float:
+        """The roofline bound: min of the two roofs."""
+        return min(self.compute_roof_cells_per_s,
+                   self.bandwidth_roof_cells_per_s)
+
+    @property
+    def bound(self) -> str:
+        """Which roof the configuration sits under."""
+        return (
+            "compute"
+            if self.compute_roof_cells_per_s <= self.bandwidth_roof_cells_per_s
+            else "bandwidth"
+        )
+
+    @property
+    def roof_fraction(self) -> float:
+        """Achieved rate relative to the attainable bound."""
+        return self.achieved_cells_per_s / self.attainable_cells_per_s
+
+
+def roofline_analysis(
+    model: DevicePerformanceModel,
+    workload: Workload,
+    *,
+    configs: list[RunConfig] | None = None,
+) -> list[RooflinePoint]:
+    """Roofline points for the given configurations on one device.
+
+    Peak compute = issue_width x clock x cores (the calibrated sustained
+    vector-issue ceiling); DRAM traffic per cell = touched bytes times
+    the cache model's miss fraction over the configuration's real
+    working sets.
+    """
+    from ..devices.threading_model import smt_throughput
+
+    spec = model.spec
+    cal = model.cal
+    if configs is None:
+        configs = [
+            RunConfig(blocking=True),
+            RunConfig(blocking=False),
+            RunConfig(profile="query", blocking=False),
+        ]
+    # Peak compute in the model's calibrated currency: sustained issue
+    # at full SMT occupancy, scaled by the device anchor so achieved
+    # rates (also anchored) are directly comparable.
+    peak_ops = (
+        cal.issue_width * spec.clock_ghz * 1e9
+        * smt_throughput(spec, spec.max_threads)
+        * model.anchor()
+    )
+    peak_bytes = spec.mem_bw_gbs * 1e9
+    # L2 misses spill to L3 where one exists (the Xeon); only the
+    # remainder reaches DRAM.  The Phi has no L3: every miss is DRAM.
+    dram_spill = 1.0 if spec.l3_kb_shared == 0 else 0.3
+
+    points: list[RooflinePoint] = []
+    for cfg in configs:
+        if cfg.vectorization == "novec":
+            raise ModelError("roofline analysis targets the vector kernels")
+        mix = sw_instruction_mix(KernelConfig(
+            isa=spec.isa, vectorization=cfg.vectorization,
+            profile=cfg.profile, element_bits=cfg.element_bits,
+        ))
+        ops_per_cell = mix.weighted_cycles(dict(cal.cpi))
+        # Miss fraction over the configuration's working sets -> DRAM
+        # bytes actually crossing the memory bus per cell.
+        threads = cfg.threads if cfg.threads is not None else spec.max_threads
+        factor = model.cache_factor(
+            workload, threads, blocking=cfg.blocking,
+            profile=cfg.profile, element_bits=cfg.element_bits,
+        )
+        # Invert the throughput factor back into a miss fraction.
+        slowdown = 1.0 / factor
+        miss = (slowdown - 1.0) / (cal.miss_stall_factor - 1.0) \
+            if cal.miss_stall_factor > 1 else 0.0
+        bytes_per_cell = (
+            _BYTES_PER_CELL_TOUCHED * min(max(miss, 0.0), 1.0) * dram_spill
+        )
+        achieved = model.rate(workload, cfg)
+        points.append(RooflinePoint(
+            device=spec.name,
+            label=cfg.label + ("+blk" if cfg.blocking else "-blk"),
+            ops_per_cell=ops_per_cell,
+            bytes_per_cell=bytes_per_cell,
+            peak_ops_per_s=peak_ops,
+            peak_bytes_per_s=peak_bytes,
+            achieved_cells_per_s=achieved,
+        ))
+    return points

@@ -1,0 +1,36 @@
+"""Host + coprocessor runtime: offload semantics and the hybrid executor.
+
+Models the paper's Algorithm 2: the database is sorted and split, an
+asynchronous offload region (``signal``/``wait``) runs the device share
+while the host computes its own, and the results merge when both finish.
+Data transfers cross a PCIe Gen2 model — the paper's future-work concern
+about "the impact of transferences between host and coprocessor" is
+directly measurable here.
+"""
+
+from .pcie import PCIeLink, PCIE_GEN2_X16
+from .offload import OffloadRegion, OffloadHandle
+from .hybrid import HybridExecutor, HybridResult, split_lengths
+from .pipelined import PipelinedOffload, PipelineSchedule
+from .query_distribution import (
+    QueryAssignment,
+    QueryDistributionPlan,
+    QueryDistributor,
+    compare_strategies,
+)
+
+__all__ = [
+    "PCIeLink",
+    "PCIE_GEN2_X16",
+    "OffloadRegion",
+    "OffloadHandle",
+    "HybridExecutor",
+    "HybridResult",
+    "split_lengths",
+    "QueryAssignment",
+    "QueryDistributionPlan",
+    "QueryDistributor",
+    "compare_strategies",
+    "PipelinedOffload",
+    "PipelineSchedule",
+]

@@ -1,0 +1,105 @@
+"""Offload-region semantics (``#pragma offload`` in virtual time).
+
+Recreates the control flow of the paper's Figure 2 / Algorithm 2: an
+offload region ships inputs to the device, runs a kernel, ships outputs
+back, and can run *asynchronously* — ``signal(sem)`` hands back a handle
+immediately, ``wait(sem)`` blocks until completion.  Time is virtual
+(the device is a model), but the result payload is real: the region can
+carry an arbitrary Python computation so the search pipeline runs real
+alignments under modelled timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..exceptions import OffloadError
+from .pcie import PCIeLink
+
+__all__ = ["OffloadHandle", "OffloadRegion"]
+
+
+@dataclass
+class OffloadHandle:
+    """An armed ``signal``: completion time plus the kernel's result."""
+
+    ready_at: float
+    result: Any
+    waited: bool = False
+
+    def __post_init__(self) -> None:
+        if self.ready_at < 0:
+            raise OffloadError("completion time cannot be negative")
+
+
+class OffloadRegion:
+    """One ``target(mic)`` region with in/out transfer accounting.
+
+    Parameters
+    ----------
+    link:
+        The PCIe model transfers cross.
+    launch_seconds:
+        Fixed device-side launch cost per region invocation.
+    """
+
+    def __init__(self, link: PCIeLink, *, launch_seconds: float = 0.0) -> None:
+        if launch_seconds < 0:
+            raise OffloadError("launch overhead must be non-negative")
+        self.link = link
+        self.launch_seconds = launch_seconds
+        self._transferred_in = 0
+        self._transferred_out = 0
+
+    # ------------------------------------------------------------------
+    def run_async(
+        self,
+        *,
+        start_at: float = 0.0,
+        in_bytes: int = 0,
+        out_bytes: int = 0,
+        compute_seconds: float = 0.0,
+        kernel: Callable[[], Any] | None = None,
+    ) -> OffloadHandle:
+        """Launch the region; returns immediately with a handle.
+
+        ``compute_seconds`` is the modelled device time; ``kernel`` (if
+        given) is executed eagerly on the host to produce the real
+        result payload — its wall time is *not* what the model reports.
+        """
+        if start_at < 0:
+            raise OffloadError("start time cannot be negative")
+        if compute_seconds < 0:
+            raise OffloadError("compute time cannot be negative")
+        t = start_at
+        t += self.launch_seconds
+        t += self.link.transfer_seconds(in_bytes)
+        t += compute_seconds
+        t += self.link.transfer_seconds(out_bytes)
+        self._transferred_in += in_bytes
+        self._transferred_out += out_bytes
+        result = kernel() if kernel is not None else None
+        return OffloadHandle(ready_at=t, result=result)
+
+    def wait(self, handle: OffloadHandle, *, now: float = 0.0) -> float:
+        """Block on a signal; returns the time at which the wait ends.
+
+        ``max(now, handle.ready_at)`` — if the host arrives late the
+        wait is free, which is exactly the overlap Algorithm 2 exploits.
+        """
+        if handle.waited:
+            raise OffloadError("offload handle was already waited on")
+        handle.waited = True
+        return max(now, handle.ready_at)
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_in(self) -> int:
+        """Total bytes shipped host -> device through this region."""
+        return self._transferred_in
+
+    @property
+    def bytes_out(self) -> int:
+        """Total bytes shipped device -> host through this region."""
+        return self._transferred_out

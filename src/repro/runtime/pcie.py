@@ -1,0 +1,51 @@
+"""PCIe interconnect transfer-time model.
+
+The paper's Phi is "connected to the host server through a PCIe Gen2
+bus" (Section III).  Gen2 x16 carries 8 GB/s raw; after 8b/10b coding
+and DMA protocol overhead the sustained payload rate to a KNC card is
+about 6 GB/s, plus a per-transfer setup latency dominated by offload
+runtime bookkeeping (pinning, descriptor setup) rather than the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import OffloadError
+
+__all__ = ["PCIeLink", "PCIE_GEN2_X16"]
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """One direction-agnostic PCIe link.
+
+    Attributes
+    ----------
+    effective_gbytes_per_s:
+        Sustained payload bandwidth (GB/s).
+    setup_seconds:
+        Per-transfer fixed cost (DMA setup, buffer pinning).
+    """
+
+    name: str
+    effective_gbytes_per_s: float
+    setup_seconds: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.effective_gbytes_per_s <= 0:
+            raise OffloadError("link bandwidth must be positive")
+        if self.setup_seconds < 0:
+            raise OffloadError("link setup time must be non-negative")
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` across the link (0 bytes costs 0)."""
+        if nbytes < 0:
+            raise OffloadError(f"transfer size must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.setup_seconds + nbytes / (self.effective_gbytes_per_s * 1e9)
+
+
+#: The paper's interconnect: PCIe Gen2 x16 to the Phi (~6 GB/s sustained).
+PCIE_GEN2_X16 = PCIeLink(name="pcie-gen2-x16", effective_gbytes_per_s=6.0)

@@ -1,0 +1,188 @@
+"""Query-distribution hybrid strategy (paper Section IV, last sentence).
+
+Algorithm 2 splits the *database* between host and coprocessor.  The
+paper notes the alternative: "Query distribution is also possible but it
+would require a different load balancing strategy."  This module builds
+that strategy for multi-query runs (the realistic server scenario — the
+paper's own evaluation runs 20 queries):
+
+* each query is an indivisible job of ``query_len * database_residues``
+  cells (every query scans the whole database, which now lives in full
+  on *both* devices — one PCIe shipment, amortised);
+* devices are uniform machines with different speeds (the calibrated
+  intrinsic-SP rates), so assignment is scheduling on two uniform
+  machines; we use the classic LPT (longest-processing-time-first)
+  greedy onto the earliest-finishing machine;
+* per-query fixed costs (thread wakeup, offload launch) are charged per
+  job, which is what makes query distribution *win* for many short
+  queries — the database-split strategy pays both devices' fixed costs
+  on every query, the query-split strategy pays only one.
+
+:func:`compare_strategies` sets the two approaches against each other —
+the quantitative answer to the paper's aside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import OffloadError
+from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
+from .hybrid import HybridExecutor
+from .pcie import PCIE_GEN2_X16, PCIeLink
+
+__all__ = ["QueryAssignment", "QueryDistributionPlan", "QueryDistributor",
+           "compare_strategies"]
+
+
+@dataclass(frozen=True)
+class QueryAssignment:
+    """One query's placement and modelled runtime."""
+
+    name: str
+    query_len: int
+    device: str          # "host" or "device"
+    seconds: float
+
+
+@dataclass
+class QueryDistributionPlan:
+    """Outcome of scheduling a query set across the two devices."""
+
+    assignments: list[QueryAssignment]
+    host_seconds: float
+    device_seconds: float
+    transfer_seconds: float
+    total_cells: int
+
+    @property
+    def makespan(self) -> float:
+        """Wall time: the slower side, device including the DB shipment."""
+        return max(self.host_seconds, self.device_seconds + self.transfer_seconds)
+
+    @property
+    def gcups(self) -> float:
+        """Aggregate throughput over the whole query set."""
+        if self.makespan <= 0:
+            raise OffloadError("plan has no work")
+        return self.total_cells / self.makespan / 1e9
+
+    @property
+    def device_share(self) -> float:
+        """Fraction of cells assigned to the coprocessor."""
+        dev = sum(
+            a.query_len for a in self.assignments if a.device == "device"
+        )
+        total = sum(a.query_len for a in self.assignments)
+        return dev / total if total else 0.0
+
+    def queries_on(self, device: str) -> list[str]:
+        """Names of the queries placed on one side."""
+        return [a.name for a in self.assignments if a.device == device]
+
+
+class QueryDistributor:
+    """LPT scheduler for whole queries across host + coprocessor."""
+
+    def __init__(
+        self,
+        host: DevicePerformanceModel,
+        device: DevicePerformanceModel,
+        *,
+        link: PCIeLink = PCIE_GEN2_X16,
+        config: RunConfig | None = None,
+    ) -> None:
+        self.host = host
+        self.device = device
+        self.link = link
+        self.config = config or RunConfig()
+
+    def plan(
+        self,
+        queries: dict[str, int],
+        lengths: np.ndarray,
+    ) -> QueryDistributionPlan:
+        """Schedule ``queries`` (name -> length) over the database.
+
+        LPT: queries sorted by descending work, each placed on the side
+        that would finish it earliest given its current load.  The whole
+        database ships to the device once, up front.
+        """
+        if not queries:
+            raise OffloadError("query distribution needs at least one query")
+        arr = np.asarray(lengths, dtype=np.int64)
+        wl_host = Workload.from_lengths(arr, self.host.spec.lanes32)
+        wl_dev = Workload.from_lengths(arr, self.device.spec.lanes32)
+        transfer = self.link.transfer_seconds(int(arr.sum()))
+
+        host_load = 0.0
+        dev_load = 0.0
+        assignments: list[QueryAssignment] = []
+        order = sorted(queries.items(), key=lambda kv: kv[1], reverse=True)
+        for name, qlen in order:
+            host_cost = self.host.run_seconds(wl_host, qlen, self.config)
+            dev_cost = self.device.run_seconds(wl_dev, qlen, self.config)
+            # Earliest-finish placement, device offset by the shipment.
+            host_finish = host_load + host_cost
+            dev_finish = transfer + dev_load + dev_cost
+            if host_finish <= dev_finish:
+                host_load += host_cost
+                assignments.append(
+                    QueryAssignment(name, qlen, "host", host_cost)
+                )
+            else:
+                dev_load += dev_cost
+                assignments.append(
+                    QueryAssignment(name, qlen, "device", dev_cost)
+                )
+
+        total_cells = int(arr.sum()) * sum(queries.values())
+        return QueryDistributionPlan(
+            assignments=assignments,
+            host_seconds=host_load,
+            device_seconds=dev_load,
+            transfer_seconds=transfer,
+            total_cells=total_cells,
+        )
+
+
+def compare_strategies(
+    host: DevicePerformanceModel,
+    device: DevicePerformanceModel,
+    queries: dict[str, int],
+    lengths: np.ndarray,
+    *,
+    config: RunConfig | None = None,
+    split_resolution: float = 0.05,
+) -> dict[str, float]:
+    """Database-split (Algorithm 2) vs query-distribution GCUPS.
+
+    The database-split strategy runs every query at its own optimal
+    static fraction (the best Figure 8 point per query); the
+    query-distribution strategy schedules whole queries.  Returns
+    aggregate GCUPS under each strategy plus the query-split plan's
+    device share.
+    """
+    cfg = config or RunConfig()
+    arr = np.asarray(lengths, dtype=np.int64)
+
+    # Strategy A: per-query database split at the per-query optimum.
+    executor = HybridExecutor(host, device)
+    total_cells = 0
+    total_seconds = 0.0
+    for qlen in queries.values():
+        best = executor.best_split(arr, qlen, cfg, resolution=split_resolution)
+        total_cells += best.cells
+        total_seconds += best.total_seconds
+    db_split_gcups = total_cells / total_seconds / 1e9
+
+    # Strategy B: query distribution.
+    plan = QueryDistributor(host, device, config=cfg).plan(queries, arr)
+
+    return {
+        "db_split_gcups": db_split_gcups,
+        "query_split_gcups": plan.gcups,
+        "query_split_device_share": plan.device_share,
+    }

@@ -1,0 +1,38 @@
+"""Substitution matrices and gap penalty models.
+
+The paper scores alignments with BLOSUM62 and affine gap penalties of
+10 (open) and 2 (extend); this package provides that configuration as
+:data:`BLOSUM62` plus :func:`paper_gap_model`, together with the rest of
+the BLOSUM/PAM families a downstream user of a Smith-Waterman library
+expects to find.
+"""
+
+from .gaps import GapModel, LinearGapModel, paper_gap_model
+from .matrices import (
+    SubstitutionMatrix,
+    available_matrices,
+    get_matrix,
+    load_matrix_file,
+    match_mismatch_matrix,
+)
+from .data_blosum import BLOSUM45, BLOSUM50, BLOSUM62, BLOSUM80, BLOSUM90
+from .data_pam import PAM30, PAM70, PAM250
+
+__all__ = [
+    "SubstitutionMatrix",
+    "GapModel",
+    "LinearGapModel",
+    "paper_gap_model",
+    "available_matrices",
+    "get_matrix",
+    "load_matrix_file",
+    "match_mismatch_matrix",
+    "BLOSUM45",
+    "BLOSUM50",
+    "BLOSUM62",
+    "BLOSUM80",
+    "BLOSUM90",
+    "PAM30",
+    "PAM70",
+    "PAM250",
+]

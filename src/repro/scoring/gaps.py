@@ -1,0 +1,78 @@
+"""Affine gap penalty models.
+
+The paper's Eq. 5 defines the penalty of a gap of length ``x`` as
+``g(x) = q + r*x`` with ``q >= 0`` (open) and ``r >= 0`` (extend), i.e. a
+one-residue gap costs ``q + r``.  The evaluation uses ``q = 10`` and
+``r = 2`` — available here as :func:`paper_gap_model`.
+
+Note the convention: some tools define "gap open" as the cost of the
+*first* gap residue (``q + r`` here).  This library follows the paper's
+Eq. 5 exactly; :meth:`GapModel.first_gap_cost` gives the combined value
+the DP recurrences actually subtract when opening a gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import GapModelError
+
+__all__ = ["GapModel", "LinearGapModel", "paper_gap_model"]
+
+
+@dataclass(frozen=True)
+class GapModel:
+    """Affine gap penalties ``g(x) = open + extend * x``.
+
+    Attributes
+    ----------
+    open:
+        ``q`` of the paper's Eq. 5 — the one-off cost of starting a gap.
+    extend:
+        ``r`` of Eq. 5 — the per-residue cost of every gap position.
+    """
+
+    open: int
+    extend: int
+
+    def __post_init__(self) -> None:
+        if self.open < 0 or self.extend < 0:
+            raise GapModelError(
+                f"gap penalties must be non-negative, got "
+                f"open={self.open}, extend={self.extend}"
+            )
+        if self.open == 0 and self.extend == 0:
+            raise GapModelError("a zero-cost gap model makes alignment degenerate")
+
+    def penalty(self, length: int) -> int:
+        """``g(length)`` — the total penalty of a gap of ``length`` residues."""
+        if length < 0:
+            raise GapModelError(f"gap length must be non-negative, got {length}")
+        if length == 0:
+            return 0
+        return self.open + self.extend * length
+
+    @property
+    def first_gap_cost(self) -> int:
+        """Cost of the first residue of a gap: ``g(1) = open + extend``."""
+        return self.open + self.extend
+
+    @property
+    def is_linear(self) -> bool:
+        """True when ``open == 0`` (pure per-residue gap costs)."""
+        return self.open == 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"g(x) = {self.open} + {self.extend}x"
+
+
+class LinearGapModel(GapModel):
+    """A linear gap model ``g(x) = r*x`` (affine with zero open cost)."""
+
+    def __init__(self, extend: int) -> None:
+        super().__init__(open=0, extend=extend)
+
+
+def paper_gap_model() -> GapModel:
+    """The paper's evaluation setting: gap open 10, gap extend 2."""
+    return GapModel(open=10, extend=2)

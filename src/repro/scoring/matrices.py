@@ -1,0 +1,261 @@
+"""The :class:`SubstitutionMatrix` type.
+
+A substitution matrix is the ``V(a_i, b_j)`` table of the paper's Eq. 2: a
+square, symmetric, integer-valued scoring table indexed by residue codes.
+The class wraps a contiguous ``int32`` numpy array so that the alignment
+engines can do ``matrix.data[q_codes][:, d_codes]`` style gathers without
+conversion, and carries the alphabet it is defined over so mismatched
+matrix/sequence combinations fail loudly instead of silently mis-scoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet
+from ..exceptions import ScoringError
+
+__all__ = [
+    "SubstitutionMatrix",
+    "parse_matrix_text",
+    "load_matrix_file",
+    "match_mismatch_matrix",
+    "register_matrix",
+    "get_matrix",
+    "available_matrices",
+]
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A symmetric residue substitution scoring matrix.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"BLOSUM62"``.
+    alphabet:
+        The :class:`~repro.alphabet.Alphabet` the rows/columns refer to.
+    data:
+        ``(size, size)`` contiguous ``int32`` array of scores.
+    """
+
+    name: str
+    alphabet: Alphabet
+    data: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(np.asarray(self.data, dtype=np.int32))
+        n = self.alphabet.size
+        if arr.shape != (n, n):
+            raise ScoringError(
+                f"{self.name}: matrix shape {arr.shape} does not match "
+                f"{n}-letter alphabet"
+            )
+        if not np.array_equal(arr, arr.T):
+            i, j = np.argwhere(arr != arr.T)[0]
+            raise ScoringError(
+                f"{self.name}: matrix is not symmetric at "
+                f"({self.alphabet.letters[i]}, {self.alphabet.letters[j]}): "
+                f"{arr[i, j]} != {arr[j, i]}"
+            )
+        object.__setattr__(self, "data", arr)
+
+    @property
+    def size(self) -> int:
+        """Alphabet size (matrix dimension)."""
+        return self.alphabet.size
+
+    @property
+    def max_score(self) -> int:
+        """Largest entry (best possible per-cell match reward)."""
+        return int(self.data.max())
+
+    @property
+    def min_score(self) -> int:
+        """Smallest entry (worst mismatch penalty)."""
+        return int(self.data.min())
+
+    def score(self, a: str, b: str) -> int:
+        """Score a single residue pair given as letters."""
+        return int(self.data[self.alphabet.code_of(a), self.alphabet.code_of(b)])
+
+    def lookup(self, a_codes: np.ndarray, b_codes: np.ndarray) -> np.ndarray:
+        """Vectorised pairwise lookup: ``out[k] = V(a[k], b[k])``.
+
+        Both arrays must have broadcast-compatible shapes of residue codes.
+        """
+        return self.data[np.asarray(a_codes, dtype=np.intp),
+                         np.asarray(b_codes, dtype=np.intp)]
+
+    def row(self, code: int) -> np.ndarray:
+        """The score row for one residue code (a query-profile row)."""
+        if not 0 <= code < self.size:
+            raise ScoringError(f"residue code {code} out of range")
+        return self.data[code]
+
+    def with_name(self, name: str) -> "SubstitutionMatrix":
+        """Return a copy of this matrix under a different name."""
+        return SubstitutionMatrix(name, self.alphabet, self.data)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SubstitutionMatrix {self.name} {self.size}x{self.size}>"
+
+
+def load_matrix_file(
+    path, *, name: str | None = None, alphabet: Alphabet = PROTEIN
+) -> SubstitutionMatrix:
+    """Load an NCBI-format matrix file (arbitrary column order).
+
+    Real matrix files (``ftp.ncbi.nlm.nih.gov/blast/matrices``) may list
+    letters in any order and include comment lines.  Rows/columns are
+    re-ordered into the target alphabet's order; letters the alphabet
+    does not know are ignored, and alphabet letters the file lacks
+    default to the file's minimum score (a conservative penalty).
+    """
+    import pathlib
+
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    rows = [
+        line.split()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not rows:
+        raise ScoringError(f"{path}: empty matrix file")
+    header = rows[0]
+    if any(len(tok) != 1 for tok in header):
+        raise ScoringError(f"{path}: header must be single letters")
+    file_scores: dict[tuple[str, str], int] = {}
+    minimum = None
+    for row in rows[1:]:
+        letter, values = row[0], row[1:]
+        if len(values) != len(header):
+            raise ScoringError(
+                f"{path}: row {letter!r} has {len(values)} values for "
+                f"{len(header)} columns"
+            )
+        for tok, v in zip(header, values):
+            score = int(v)
+            file_scores[(letter, tok)] = score
+            minimum = score if minimum is None else min(minimum, score)
+    n = alphabet.size
+    data = np.full((n, n), minimum if minimum is not None else -1,
+                   dtype=np.int32)
+    for i, a in enumerate(alphabet.letters):
+        for j, b in enumerate(alphabet.letters):
+            if (a, b) in file_scores:
+                data[i, j] = file_scores[(a, b)]
+            elif (b, a) in file_scores:
+                data[i, j] = file_scores[(b, a)]
+    # Symmetrise conservatively in case the file itself is asymmetric.
+    data = np.minimum(data, data.T)
+    matrix_name = name or pathlib.Path(path).stem.upper()
+    return SubstitutionMatrix(matrix_name, alphabet, data)
+
+
+def parse_matrix_text(name: str, text: str, alphabet: Alphabet = PROTEIN) -> SubstitutionMatrix:
+    """Parse an NCBI-style whitespace matrix block into a matrix object.
+
+    The expected format is a header line of column letters followed by one
+    line per row: row letter then one integer per column.  Lines starting
+    with ``#`` and blank lines are ignored.  The letters must be exactly
+    the alphabet's letters, in order (this is how the bundled data modules
+    are written, and enforcing it catches transcription slips).
+    """
+    rows: list[list[str]] = [
+        line.split()
+        for line in text.strip().splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not rows:
+        raise ScoringError(f"{name}: empty matrix text")
+    header = rows[0]
+    if "".join(header) != alphabet.letters:
+        raise ScoringError(
+            f"{name}: header letters {''.join(header)!r} do not match "
+            f"alphabet {alphabet.letters!r}"
+        )
+    body = rows[1:]
+    if len(body) != alphabet.size:
+        raise ScoringError(
+            f"{name}: expected {alphabet.size} rows, found {len(body)}"
+        )
+    data = np.zeros((alphabet.size, alphabet.size), dtype=np.int32)
+    for i, row in enumerate(body):
+        if row[0] != alphabet.letters[i]:
+            raise ScoringError(
+                f"{name}: row {i} labelled {row[0]!r}, expected "
+                f"{alphabet.letters[i]!r}"
+            )
+        values = row[1:]
+        if len(values) != alphabet.size:
+            raise ScoringError(
+                f"{name}: row {row[0]!r} has {len(values)} values, "
+                f"expected {alphabet.size}"
+            )
+        data[i] = [int(v) for v in values]
+    return SubstitutionMatrix(name, alphabet, data)
+
+
+def match_mismatch_matrix(
+    match: int = 2,
+    mismatch: int = -1,
+    alphabet: Alphabet = PROTEIN,
+    *,
+    name: str | None = None,
+) -> SubstitutionMatrix:
+    """Build a simple match/mismatch matrix (useful for DNA-style tests).
+
+    Every diagonal entry is ``match`` and every off-diagonal entry is
+    ``mismatch``.  ``match`` must exceed ``mismatch`` or no alignment can
+    ever accumulate a positive score.
+    """
+    if match <= mismatch:
+        raise ScoringError(
+            f"match score ({match}) must exceed mismatch score ({mismatch})"
+        )
+    n = alphabet.size
+    data = np.full((n, n), mismatch, dtype=np.int32)
+    np.fill_diagonal(data, match)
+    return SubstitutionMatrix(
+        name or f"MATCH{match}_MISMATCH{mismatch}", alphabet, data
+    )
+
+
+_REGISTRY: dict[str, SubstitutionMatrix] = {}
+
+
+def register_matrix(matrix: SubstitutionMatrix) -> SubstitutionMatrix:
+    """Register a matrix for lookup by name via :func:`get_matrix`."""
+    _REGISTRY[matrix.name.upper()] = matrix
+    return matrix
+
+
+def get_matrix(name: str) -> SubstitutionMatrix:
+    """Look up a bundled matrix by (case-insensitive) name.
+
+    Raises
+    ------
+    ScoringError
+        If no matrix with that name has been registered.
+    """
+    # Importing the data modules populates the registry lazily so that
+    # ``get_matrix`` works regardless of import order.
+    from . import data_blosum, data_pam  # noqa: F401
+
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise ScoringError(
+            f"unknown matrix {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_matrices() -> list[str]:
+    """Names of all bundled/registered matrices."""
+    from . import data_blosum, data_pam  # noqa: F401
+
+    return sorted(_REGISTRY)

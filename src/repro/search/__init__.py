@@ -1,0 +1,42 @@
+"""Database-search pipeline — the paper's Algorithm 1 end to end.
+
+(1) load query and database, (2) pre-process (sort by length, pack lane
+groups), (3) align every group in parallel under a simulated OpenMP
+schedule, (4) sort scores descending.  Alignments are computed for real
+by the engines; time is accounted both as wall clock and as modelled
+device time when a :class:`~repro.perfmodel.DevicePerformanceModel` is
+attached.
+"""
+
+from .result import Hit, SearchResult
+from .pipeline import SearchPipeline
+from .gcups import gcups, Stopwatch
+from .streaming import StreamingSearch, StreamingResult
+from .multiquery import MultiQueryExecutor, MultiQueryOutcome
+from .hybrid_pipeline import HybridSearchPipeline, HybridSearchResult
+from .stats import (
+    GumbelFit,
+    attach_statistics,
+    bitscore,
+    evalue,
+    ungapped_lambda,
+)
+
+__all__ = [
+    "Hit",
+    "SearchResult",
+    "SearchPipeline",
+    "gcups",
+    "Stopwatch",
+    "GumbelFit",
+    "attach_statistics",
+    "bitscore",
+    "evalue",
+    "ungapped_lambda",
+    "StreamingSearch",
+    "StreamingResult",
+    "MultiQueryExecutor",
+    "MultiQueryOutcome",
+    "HybridSearchPipeline",
+    "HybridSearchResult",
+]

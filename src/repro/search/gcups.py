@@ -1,0 +1,58 @@
+"""GCUPS metric and timing helpers.
+
+GCUPS — giga cell updates per second — is "a widely used metric by the
+scientific community" (paper Section V-C) precisely because it is
+input-normalised: cells are ``|query| x |database residue|`` products, so
+two runs over different databases are comparable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..exceptions import PipelineError
+
+__all__ = ["gcups", "Stopwatch"]
+
+
+def gcups(cells: int, seconds: float) -> float:
+    """Giga cell updates per second.
+
+    Raises
+    ------
+    PipelineError
+        On non-positive time or negative cell counts, which would
+        silently report nonsense throughput.
+    """
+    if seconds <= 0:
+        raise PipelineError(f"elapsed time must be positive, got {seconds}")
+    if cells < 0:
+        raise PipelineError(f"cell count must be non-negative, got {cells}")
+    return cells / seconds / 1e9
+
+
+@dataclass
+class Stopwatch:
+    """Context-manager wall timer with an accumulating total.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.seconds >= 0
+    True
+    """
+
+    seconds: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._t0
+
+    def reset(self) -> None:
+        """Zero the accumulated time."""
+        self.seconds = 0.0

@@ -1,0 +1,33 @@
+"""Simulated SIMD substrate.
+
+The paper's performance story is driven by vector-ISA differences the
+authors could measure directly on hardware: the Sandy-Bridge Xeon's AVX
+has 256-bit registers and *no gather instruction* (query-profile lookups
+must be emulated with shuffles), while the Xeon Phi's 512-bit MIC ISA
+*does* gather (so QP costs much less there).  This package recreates the
+mechanism: :class:`VectorUnit` executes real numpy arithmetic in
+register-width chunks while counting the instructions a hand-written
+kernel would issue, and :mod:`repro.simd.kernels` runs the inter-task SW
+inner loop through it to obtain per-cell instruction mixes for every
+(ISA, element width, profile scheme) combination.  The performance model
+turns those mixes into GCUPS.
+"""
+
+from .isa import VectorISA, AVX_256, MIC_512, SSE_128, SCALAR_ISA, known_isas
+from .instrument import InstructionCounter, InstructionMix
+from .vector import VectorUnit
+from .kernels import sw_instruction_mix, KernelConfig
+
+__all__ = [
+    "VectorISA",
+    "AVX_256",
+    "MIC_512",
+    "SSE_128",
+    "SCALAR_ISA",
+    "known_isas",
+    "InstructionCounter",
+    "InstructionMix",
+    "VectorUnit",
+    "sw_instruction_mix",
+    "KernelConfig",
+]

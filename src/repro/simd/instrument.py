@@ -1,0 +1,98 @@
+"""Instruction counting for the simulated vector unit."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from ..exceptions import DeviceError
+
+__all__ = ["InstructionCounter", "InstructionMix", "INSTRUCTION_CLASSES"]
+
+#: The instruction classes the SW kernels issue.  ``gather`` only appears
+#: on gather-capable ISAs; gather emulation shows up as ``extract`` +
+#: ``insert`` + ``scalar_load`` instead.
+INSTRUCTION_CLASSES = (
+    "add",        # vector integer add/subtract
+    "max",        # vector integer max (the DP's workhorse)
+    "load",       # aligned contiguous vector load
+    "store",      # vector store
+    "broadcast",  # splat a scalar into all lanes
+    "gather",     # native indexed vector load
+    "extract",    # move one lane to a scalar register
+    "insert",     # move a scalar into one lane
+    "scalar_load",  # scalar memory load issued during gather emulation
+    "shift",      # cross-lane shift/permute
+    "mask",       # predication bookkeeping
+    "scalar_op",  # scalar bookkeeping op (loop control modelled elsewhere)
+)
+
+
+@dataclass
+class InstructionCounter:
+    """Mutable per-class instruction tally."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    def tally(self, kind: str, amount: int = 1) -> None:
+        """Record ``amount`` instructions of class ``kind``."""
+        if kind not in INSTRUCTION_CLASSES:
+            raise DeviceError(f"unknown instruction class {kind!r}")
+        if amount < 0:
+            raise DeviceError(f"instruction amount must be >= 0, got {amount}")
+        self.counts[kind] += amount
+
+    @property
+    def total(self) -> int:
+        """All instructions issued."""
+        return sum(self.counts.values())
+
+    def merge(self, other: "InstructionCounter") -> None:
+        """Fold another counter into this one."""
+        self.counts.update(other.counts)
+
+    def reset(self) -> None:
+        """Zero all tallies."""
+        self.counts.clear()
+
+    def as_mix(self, cells: int) -> "InstructionMix":
+        """Normalise to per-DP-cell counts."""
+        if cells < 1:
+            raise DeviceError(f"cell count must be positive, got {cells}")
+        return InstructionMix(
+            per_cell={k: v / cells for k, v in sorted(self.counts.items())},
+            cells=cells,
+        )
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Instructions issued per DP cell, by class.
+
+    This is the quantity the performance model consumes: with a
+    cycles-per-instruction-class table it becomes cycles/cell, and with
+    clock and core counts it becomes GCUPS.
+    """
+
+    per_cell: dict
+    cells: int
+
+    @property
+    def instructions_per_cell(self) -> float:
+        """Total instructions per DP cell."""
+        return sum(self.per_cell.values())
+
+    def weighted_cycles(self, cpi_table: dict) -> float:
+        """Cycles per cell under a per-class CPI table.
+
+        Classes missing from the table default to CPI 1.0.
+        """
+        return sum(
+            count * float(cpi_table.get(kind, 1.0))
+            for kind, count in self.per_cell.items()
+        )
+
+    def fraction(self, kind: str) -> float:
+        """Share of the total instruction stream in one class."""
+        total = self.instructions_per_cell
+        return self.per_cell.get(kind, 0.0) / total if total else 0.0

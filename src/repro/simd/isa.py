@@ -1,0 +1,99 @@
+"""Vector ISA descriptors.
+
+Structural facts only — what the hardware *can* do and how wide it is.
+Cost calibration (cycles per instruction class) lives with the
+performance model so the ISA table stays free of tuned constants.
+
+The two ISAs the paper targets:
+
+* ``AVX_256`` — Sandy-Bridge AVX: 256-bit registers.  Integer ops at
+  this width actually execute as 2x128-bit on Sandy Bridge, and there is
+  **no gather**: profile lookups are emulated with extract/insert
+  shuffles, the effect the paper blames for the Xeon's QP penalty
+  ("shuffle intrinsic instructions are needed", Section V-C1).
+* ``MIC_512`` — the Phi's 512-bit vector ISA with native gather and
+  per-lane write masks, the reason "non-contiguous memory accesses in
+  query profile scheme have less influence on intrinsic-QP performance"
+  (Section V-C2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DeviceError
+
+__all__ = ["VectorISA", "SSE_128", "AVX_256", "MIC_512", "SCALAR_ISA", "known_isas"]
+
+
+@dataclass(frozen=True)
+class VectorISA:
+    """Capabilities of one SIMD instruction set.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and the registry.
+    register_bits:
+        Architectural vector register width.
+    has_gather:
+        Whether indexed vector loads exist as one instruction.
+    has_masks:
+        Whether per-lane predication exists (MIC yes, AVX of that era no).
+    int_ops_per_register:
+        Micro-ops one logical integer vector instruction decodes into at
+        full register width (2 on Sandy Bridge AVX, whose integer units
+        are 128-bit; 1 elsewhere).
+    """
+
+    name: str
+    register_bits: int
+    has_gather: bool
+    has_masks: bool = False
+    int_ops_per_register: int = 1
+
+    def __post_init__(self) -> None:
+        if self.register_bits < 32 or self.register_bits % 32:
+            raise DeviceError(
+                f"register width must be a positive multiple of 32 bits, "
+                f"got {self.register_bits}"
+            )
+        if self.int_ops_per_register < 1:
+            raise DeviceError("int_ops_per_register must be >= 1")
+
+    def lanes(self, element_bits: int) -> int:
+        """Number of SIMD lanes for a given element width."""
+        if element_bits not in (8, 16, 32, 64):
+            raise DeviceError(f"unsupported element width {element_bits}")
+        if element_bits > self.register_bits:
+            raise DeviceError(
+                f"{element_bits}-bit elements do not fit a "
+                f"{self.register_bits}-bit register"
+            )
+        return self.register_bits // element_bits
+
+    def gather_instruction_count(self, element_bits: int) -> int:
+        """Instructions to gather one register's worth of elements.
+
+        Native gather is one instruction.  Without gather the classic
+        emulation extracts each index and inserts each loaded element:
+        roughly two instructions per lane (the shuffle sequence the
+        paper describes for the Xeon).
+        """
+        n = self.lanes(element_bits)
+        return 1 if self.has_gather else 2 * n
+
+
+#: 128-bit SSE (SWIPE's target; bundled for comparison studies).
+SSE_128 = VectorISA("sse", 128, has_gather=False)
+#: Sandy-Bridge AVX — the paper's Xeon E5-2670 (no gather, 2x128 int).
+AVX_256 = VectorISA("avx", 256, has_gather=False, int_ops_per_register=2)
+#: Xeon Phi 512-bit vectors — gather plus lane masks.
+MIC_512 = VectorISA("mic", 512, has_gather=True, has_masks=True)
+#: Degenerate one-lane ISA used for the paper's ``no-vec`` baseline.
+SCALAR_ISA = VectorISA("scalar", 32, has_gather=True)
+
+
+def known_isas() -> dict[str, VectorISA]:
+    """Name -> ISA mapping of the bundled instruction sets."""
+    return {isa.name: isa for isa in (SSE_128, AVX_256, MIC_512, SCALAR_ISA)}

@@ -1,0 +1,93 @@
+"""Unit tests for residue alphabets and sequence encoding."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import PROTEIN, PROTEIN_LETTERS, Alphabet, UnknownPolicy, decode, encode
+from repro.exceptions import AlphabetError, SequenceError
+
+
+class TestAlphabetConstruction:
+    def test_canonical_alphabet_has_24_letters(self):
+        assert PROTEIN.size == 24
+        assert PROTEIN.letters == "ARNDCQEGHILKMFPSTWYV" + "BZX*"
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(AlphabetError, match="duplicate"):
+            Alphabet("AAB", wildcard="B")
+
+    def test_empty_alphabet_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("", wildcard="X")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(AlphabetError, match="wildcard"):
+            Alphabet("ABC", wildcard="X")
+
+    def test_code_of_requires_single_character(self):
+        with pytest.raises(AlphabetError, match="single character"):
+            PROTEIN.code_of("AB")
+
+    def test_code_of_unknown_letter(self):
+        with pytest.raises(AlphabetError, match="not in the alphabet"):
+            PROTEIN.code_of("7")
+
+
+class TestEncoding:
+    def test_roundtrip_exact(self):
+        seq = "MKVLILACLVALALARE"
+        assert decode(encode(seq)) == seq
+
+    def test_lowercase_folds_to_uppercase(self):
+        assert np.array_equal(encode("mkvl"), encode("MKVL"))
+        assert decode(encode("mkvl")) == "MKVL"
+
+    def test_codes_are_matrix_order(self):
+        assert PROTEIN.code_of("A") == 0
+        assert PROTEIN.code_of("R") == 1
+        assert PROTEIN.code_of("V") == 19
+        assert PROTEIN.code_of("*") == 23
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(SequenceError, match="empty"):
+            encode("")
+
+    def test_unknown_raises_by_default(self):
+        with pytest.raises(AlphabetError, match="position 2"):
+            encode("MK7VL")
+
+    def test_unknown_maps_to_x_under_policy(self):
+        codes = encode("MK7VL", unknown=UnknownPolicy.MAP_TO_X)
+        assert decode(codes) == "MKXVL"
+
+    def test_encode_returns_uint8_contiguous(self):
+        codes = encode("MKVL")
+        assert codes.dtype == np.uint8
+        assert codes.flags["C_CONTIGUOUS"]
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(AlphabetError, match="out of range"):
+            decode(np.array([0, 200], dtype=np.uint8))
+
+    def test_is_valid(self):
+        assert PROTEIN.is_valid("ACDEFGHIKLMNPQRSTVWY")
+        assert PROTEIN.is_valid("BZX*")
+        assert not PROTEIN.is_valid("AC1")
+        assert not PROTEIN.is_valid("")
+
+    def test_unicode_letter_rejected(self):
+        with pytest.raises(AlphabetError):
+            encode("MKΩVL")
+
+
+class TestWildcard:
+    def test_wildcard_code(self):
+        assert PROTEIN.wildcard_code == PROTEIN.letters.index("X")
+
+    def test_custom_alphabet_encoding(self):
+        dna = Alphabet("ACGTN", wildcard="N")
+        assert dna.size == 5
+        codes = dna.encode("acgtn")
+        assert dna.decode(codes) == "ACGTN"
+        mapped = dna.encode("ACGTQ", unknown=UnknownPolicy.MAP_TO_X)
+        assert dna.decode(mapped) == "ACGTN"

@@ -1,0 +1,202 @@
+"""Tests for the CLI entry points and the reporting helpers."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.metrics import format_series, format_table, paper_comparison
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 20)])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.50" in text and "20" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [(1,)], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_format_series_bars(self):
+        text = format_series({1: 3.0, 2: 6.0}, x_label="threads")
+        assert "###" in text
+        assert "######" in text
+
+    def test_paper_comparison_ratio(self):
+        text = paper_comparison([("fig3", 30.4, 32.0)])
+        assert "1.05x" in text
+
+    def test_paper_comparison_non_numeric_paper_value(self):
+        text = paper_comparison([("fig3", "~1-2", 1.7)])
+        assert "~1-2" in text
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for cmd in ("search", "model", "hybrid", "info"):
+            args = parser.parse_args([cmd] if cmd != "search" else ["search"])
+            assert args.command == cmd
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "--query", "MKV"])
+        assert args.matrix == "BLOSUM62"
+        assert args.gap_open == 10 and args.gap_extend == 2
+
+
+class TestMain:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "intertask" in out
+        assert "BLOSUM62" in out
+        assert "xeon-phi-60c" in out
+
+    def test_search_synthetic(self, capsys):
+        code = main([
+            "search", "--query", "MKVLILACLVALALA",
+            "--synthetic-scale", "0.0001", "--top", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "#1" in out and "GCUPS" in out
+
+    def test_search_fasta_files(self, tmp_path, capsys):
+        db = tmp_path / "db.fasta"
+        db.write_text(">s1\nMKVLILACLVALALA\n>s2\nWWWWCCCC\n")
+        q = tmp_path / "q.fasta"
+        q.write_text(">myq\nMKVLILAC\n")
+        code = main([
+            "search", "--query-fasta", str(q), "--db-fasta", str(db),
+            "--top", "2", "--traceback",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "myq" in out
+        assert "s1" in out
+        assert "score=" in out  # traceback rendering
+
+    def test_search_missing_inputs(self, capsys):
+        assert main(["search", "--query", "MKV"]) == 2
+        assert main(["search", "--synthetic-scale", "0.0001"]) == 2
+
+    def test_search_bad_matrix_reports_error(self, tmp_path, capsys):
+        code = main([
+            "search", "--query", "MKV", "--synthetic-scale", "0.0001",
+            "--matrix", "NOPE",
+        ])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_model_scaled(self, capsys):
+        code = main(["model", "--query-length", "464", "--scale", "0.01"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "intrinsic-SP" in out and "no-vec" in out
+
+    def test_hybrid_coarse(self, capsys):
+        code = main(["hybrid", "--query-length", "1000", "--step", "0.25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best split" in out
+
+
+class TestAlignCommand:
+    def test_local_alignment_output(self, capsys):
+        assert main(["align", "WCHKWCHK", "AAWCHKGWCHKAA"]) == 0
+        out = capsys.readouterr().out
+        assert "local alignment" in out
+        assert "CIGAR" in out
+
+    def test_global_mode(self, capsys):
+        assert main(["align", "AAATTT", "AAAGTTT", "--mode", "global",
+                     "--gap-open", "0", "--gap-extend", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "global alignment" in out
+        assert "3M1D3M" in out
+
+    def test_semiglobal_mode(self, capsys):
+        assert main(["align", "WCHK", "AAWCHKAA", "--mode", "semiglobal"]) == 0
+        assert "semiglobal alignment" in capsys.readouterr().out
+
+    def test_no_positive_alignment(self, capsys):
+        assert main(["align", "AAA", "TTT", "--matrix", "BLOSUM62"]) == 0
+        assert "no alignment" in capsys.readouterr().out
+
+
+class TestBlastCommand:
+    def test_blast_synthetic(self, capsys):
+        query = "MKVLILACLVALALARELEELNVPGEIVESLSSSEESITRINKKIE" * 2
+        assert main(["blast", "--query", query,
+                     "--synthetic-scale", "0.0001", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "seeds" in out and "skipped" in out
+
+    def test_blast_needs_database(self, capsys):
+        assert main(["blast", "--query", "WCHKWCHK"]) == 2
+
+
+class TestSearchEvalues:
+    def test_evalue_table(self, capsys):
+        assert main([
+            "search", "--query", "MKVLILACLVALALARELEELNVPGEIVESLSSS",
+            "--synthetic-scale", "0.0003", "--evalues", "--top", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "E-value" in out
+        assert "bits" in out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--output", str(out_file),
+                     "--query-length", "1000"]) == 0
+        text = out_file.read_text()
+        assert "# Reproduction report" in text
+        assert "Figure 3" in text and "Figure 8" in text
+        assert "intrinsic-SP" in text
+
+    def test_report_to_stdout(self, capsys):
+        assert main(["report", "--query-length", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline summary" in out
+
+
+class TestFailureHandling:
+    def test_missing_db_fasta_reports_error(self, capsys):
+        code = main(["search", "--query", "MKV",
+                     "--db-fasta", "/nonexistent/db.fasta"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_fasta_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fasta"
+        bad.write_text("ACDE\n>late header\nMK\n")
+        code = main(["search", "--query", "MKV", "--db-fasta", str(bad)])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_blast_missing_file(self, capsys):
+        code = main(["blast", "--query", "WCHKWCHK",
+                     "--db-fasta", "/nope.fasta"])
+        assert code == 1
+
+
+class TestValidateCommand:
+    def test_validate_reports_all_targets(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 targets reproduced" in out
+        assert "V-C3/Fig.8" in out
+
+
+class TestTsvOutput:
+    def test_search_tsv(self, capsys):
+        assert main([
+            "search", "--query", "MKVLILACLVALALARELEELNVPGEIVESL",
+            "--synthetic-scale", "0.0001", "--top", "3", "--tsv",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 3
+        assert all(line.count("\t") >= 3 for line in out)

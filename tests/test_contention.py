@@ -1,0 +1,41 @@
+"""Unit tests for the shared-resource contention model."""
+
+import pytest
+
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.devices.threading_model import contention_factor
+from repro.exceptions import DeviceError
+
+
+class TestContentionFactor:
+    def test_single_thread_is_free(self):
+        assert contention_factor(XEON_E5_2670_DUAL, 1, 0.12) == 1.0
+
+    def test_full_cores_pay_full_coefficient(self):
+        assert contention_factor(XEON_E5_2670_DUAL, 16, 0.12) == pytest.approx(0.88)
+
+    def test_smt_threads_do_not_add_contention(self):
+        # Beyond one thread per core, demand is already priced by the
+        # SMT yield — the factor saturates.
+        at_cores = contention_factor(XEON_E5_2670_DUAL, 16, 0.12)
+        at_full = contention_factor(XEON_E5_2670_DUAL, 32, 0.12)
+        assert at_cores == at_full
+
+    def test_monotone_decreasing_in_threads(self):
+        values = [
+            contention_factor(XEON_PHI_57XX, t, 0.04) for t in range(1, 241)
+        ]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_zero_coefficient_disables(self):
+        assert contention_factor(XEON_E5_2670_DUAL, 32, 0.0) == 1.0
+
+    def test_invalid_coefficient(self):
+        with pytest.raises(DeviceError):
+            contention_factor(XEON_E5_2670_DUAL, 4, 1.0)
+        with pytest.raises(DeviceError):
+            contention_factor(XEON_E5_2670_DUAL, 4, -0.1)
+
+    def test_invalid_threads(self):
+        with pytest.raises(DeviceError):
+            contention_factor(XEON_E5_2670_DUAL, 0, 0.1)

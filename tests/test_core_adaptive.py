@@ -1,0 +1,113 @@
+"""Unit tests for the adaptive-precision (SWIPE ladder) engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_engine
+from repro.core.adaptive import LADDER_BITS, AdaptivePrecisionEngine, LadderResult
+from repro.exceptions import EngineError
+from repro.scoring import BLOSUM62, paper_gap_model
+from tests.conftest import random_protein
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return get_engine("scalar")
+
+
+class TestLadderCorrectness:
+    def test_scores_exact_on_mixed_batch(self, rng, oracle):
+        # Unrelated random pairs (small scores, resolved at 8 bits)
+        # mixed with near-identical pairs (saturate 8 and 16 bits).
+        g = paper_gap_model()
+        q = "ACDEFGHIKLMNPQRSTVWY" * 20  # 400 aa, self-score ~2000
+        batch = [random_protein(rng, int(rng.integers(20, 120)))
+                 for _ in range(20)]
+        batch.insert(3, q)            # saturates int8 and int16? (2036 < 32767: resolves at 16)
+        batch.insert(7, q * 9)        # self-score ~18k, still int16
+        engine = AdaptivePrecisionEngine(register_bits=256)
+        result = engine.score_batch(q, batch, BLOSUM62, g)
+        for k, s in enumerate(batch):
+            expect = oracle.score_pair(q, s, BLOSUM62, g).score
+            assert result.scores[k] == expect, k
+
+    def test_int16_saturation_reaches_32bit_stage(self, oracle):
+        g = paper_gap_model()
+        base = "ACDEFGHIKLMNPQRSTVWY" * 400  # 8000 aa, self-score ~40k > 32767
+        engine = AdaptivePrecisionEngine(register_bits=512)
+        result = engine.score_batch(base, [base, "AAAA"], BLOSUM62, g)
+        assert [s.element_bits for s in result.stages] == [8, 16, 32]
+        expect = oracle.score_pair(base[:100], base[:100], BLOSUM62, g).score
+        # cross-check just the small entry exactly; the big one via scan
+        scan = get_engine("scan")
+        assert result.scores[0] == scan.score_pair(base, base, BLOSUM62, g).score
+        assert result.scores[0] > 32767  # genuinely beyond int16
+
+    def test_all_narrow_when_nothing_saturates(self, rng):
+        g = paper_gap_model()
+        q = random_protein(rng, 30)
+        batch = [random_protein(rng, 30) for _ in range(12)]
+        result = AdaptivePrecisionEngine().score_batch(q, batch, BLOSUM62, g)
+        assert len(result.stages) >= 1
+        assert result.stages[0].saturated == 0 or len(result.stages) > 1
+        assert result.narrow_fraction == pytest.approx(
+            result.stages[0].cells / result.total_cells
+        )
+
+
+class TestLadderAccounting:
+    def test_lane_counts_follow_register_width(self):
+        eng = AdaptivePrecisionEngine(register_bits=512)
+        assert eng._stage_engine(8).lanes == 64
+        assert eng._stage_engine(16).lanes == 32
+        assert eng._stage_engine(32).lanes == 16
+
+    def test_stage_cells_sum_to_total(self, rng, oracle):
+        g = paper_gap_model()
+        q = random_protein(rng, 40)
+        batch = [random_protein(rng, 50) for _ in range(8)]
+        batch.append("ACDEFGHIKLMNPQRSTVWY" * 15)  # saturates int8
+        result = AdaptivePrecisionEngine().score_batch(q, batch, BLOSUM62, g)
+        assert result.total_cells == sum(s.cells for s in result.stages)
+        # Recomputation means total >= the plain batch cell count.
+        assert result.total_cells >= result.batch.cells
+
+    def test_effective_speedup_above_one_on_clean_batch(self, rng):
+        g = paper_gap_model()
+        q = random_protein(rng, 25)
+        batch = [random_protein(rng, 40) for _ in range(10)]
+        result = AdaptivePrecisionEngine(register_bits=256).score_batch(
+            q, batch, BLOSUM62, g
+        )
+        # Everything resolved at int8 -> 32 lanes vs 8 base lanes = 4x.
+        assert result.effective_lane_speedup(base_lanes=8) == pytest.approx(4.0)
+
+    def test_resolved_counts(self, rng):
+        g = paper_gap_model()
+        q = random_protein(rng, 30)
+        batch = [random_protein(rng, 30) for _ in range(5)]
+        result = AdaptivePrecisionEngine().score_batch(q, batch, BLOSUM62, g)
+        stage = result.stages[0]
+        assert stage.resolved == stage.sequences - stage.saturated
+
+    def test_invalid_register_width(self):
+        with pytest.raises(EngineError):
+            AdaptivePrecisionEngine(register_bits=100)
+        with pytest.raises(EngineError):
+            AdaptivePrecisionEngine(register_bits=16)
+
+
+class TestNoRecomputeFlag:
+    def test_clamped_scores_without_recompute(self, oracle):
+        from repro.core import InterTaskEngine
+
+        g = paper_gap_model()
+        seq = "ACDEFGHIKLMNPQRSTVWY" * 10  # self-score ~1000 > 127
+        eng = InterTaskEngine(lanes=4, saturate_bits=8)
+        clamped = eng.score_batch(
+            seq, [seq], BLOSUM62, g, recompute_saturated=False
+        )
+        assert clamped.saturated == [0]
+        assert clamped.scores[0] == 127  # pinned at the int8 cap
+        exact = eng.score_batch(seq, [seq], BLOSUM62, g)
+        assert exact.scores[0] == oracle.score_pair(seq, seq, BLOSUM62, g).score

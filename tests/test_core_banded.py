@@ -1,0 +1,116 @@
+"""Unit tests for the banded Smith-Waterman engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_engine
+from repro.core.banded import BandedEngine
+from repro.exceptions import EngineError
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+
+MM = match_mismatch_matrix(5, -4)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return get_engine("scalar")
+
+
+class TestWideBandExactness:
+    def test_full_width_band_equals_scalar(self, rng, oracle):
+        g = paper_gap_model()
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(2, 40)))
+            b = random_protein(rng, int(rng.integers(2, 40)))
+            wide = BandedEngine(width=max(len(a), len(b)) + 1)
+            assert (
+                wide.score_pair(a, b, BLOSUM62, g).score
+                == oracle.score_pair(a, b, BLOSUM62, g).score
+            )
+
+    def test_band_covering_optimal_path_is_exact(self, oracle):
+        # One small gap: a band of width >= gap size suffices.
+        g = GapModel(2, 1)
+        a, b = "AAATTTCCC", "AAAGTTTCCC"
+        exact = oracle.score_pair(a, b, MM, g).score
+        assert BandedEngine(width=2).score_pair(a, b, MM, g).score == exact
+
+
+class TestNarrowBandLowerBound:
+    def test_never_exceeds_exact_score(self, rng, oracle):
+        g = paper_gap_model()
+        for width in (0, 1, 3, 6):
+            a = random_protein(rng, 30)
+            b = random_protein(rng, 30)
+            banded = BandedEngine(width=width).score_pair(a, b, BLOSUM62, g)
+            exact = oracle.score_pair(a, b, BLOSUM62, g)
+            assert banded.score <= exact.score
+
+    def test_monotone_in_width(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 40)
+        b = random_protein(rng, 40)
+        scores = [
+            BandedEngine(width=w).score_pair(a, b, BLOSUM62, g).score
+            for w in (0, 2, 4, 8, 16, 45)
+        ]
+        assert scores == sorted(scores)
+
+    def test_zero_width_is_pure_diagonal(self, oracle):
+        # width 0, offset 0: only the main diagonal — no gaps possible.
+        g = paper_gap_model()
+        a = b = "WCHKWCHK"
+        banded = BandedEngine(width=0).score_pair(a, b, BLOSUM62, g)
+        assert banded.score == sum(BLOSUM62.score(c, c) for c in a)
+
+
+class TestOffset:
+    def test_offset_band_finds_shifted_alignment(self):
+        g = paper_gap_model()
+        # The true alignment lies on diagonal +5.
+        core = "WCHKWCHKWCHK"
+        query = core
+        db = "AAAAA" + core
+        on_diag = BandedEngine(width=1, offset=5).score_pair(
+            query, db, BLOSUM62, g
+        )
+        off_diag = BandedEngine(width=1, offset=0).score_pair(
+            query, db, BLOSUM62, g
+        )
+        expect = sum(BLOSUM62.score(c, c) for c in core)
+        assert on_diag.score == expect
+        assert off_diag.score < expect
+
+    def test_negative_offset(self):
+        g = paper_gap_model()
+        core = "WCHKWCHKWCHK"
+        query = "AAAAA" + core
+        db = core
+        banded = BandedEngine(width=1, offset=-5).score_pair(
+            query, db, BLOSUM62, g
+        )
+        assert banded.score == sum(BLOSUM62.score(c, c) for c in core)
+
+
+class TestAccounting:
+    def test_band_cells_bound(self):
+        eng = BandedEngine(width=2)
+        # Row i visits at most 2w+1 columns.
+        assert eng.band_cells(10, 100) <= 10 * 5
+        assert eng.band_cells(10, 3) <= 30
+
+    def test_cells_reported_matches_band(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 25)
+        b = random_protein(rng, 30)
+        eng = BandedEngine(width=4)
+        res = eng.score_pair(a, b, BLOSUM62, g)
+        assert res.cells == eng.band_cells(25, 30)
+        assert res.cells < 25 * 30
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EngineError):
+            BandedEngine(width=-1)
+        with pytest.raises(EngineError):
+            BandedEngine(width=2).band_cells(0, 5)

@@ -1,0 +1,107 @@
+"""Unit tests for the blocking policy helpers and result types."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocking import choose_block_cols, working_set_bytes
+from repro.core.types import AlignmentResult, BatchResult, CellCounter
+from repro.exceptions import EngineError
+
+
+class TestWorkingSet:
+    def test_sp_mode_counts_alphabet_planes(self):
+        sp = working_set_bytes(10, 8, profile="sequence")
+        qp = working_set_bytes(10, 8, profile="query")
+        assert sp == (4 + 24) * 10 * 8 * 4
+        assert qp == (4 + 1) * 10 * 8 * 4
+        assert sp > qp
+
+    def test_scales_linearly_in_cols_and_lanes(self):
+        assert working_set_bytes(20, 8) == 2 * working_set_bytes(10, 8)
+        assert working_set_bytes(10, 16) == 2 * working_set_bytes(10, 8)
+
+    def test_element_bytes(self):
+        assert working_set_bytes(10, 8, element_bytes=2) == working_set_bytes(10, 8) // 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(EngineError):
+            working_set_bytes(0, 8)
+        with pytest.raises(EngineError):
+            working_set_bytes(8, 0)
+
+
+class TestChooseBlockCols:
+    def test_fits_the_budget(self):
+        cache = 512 * 1024
+        cols = choose_block_cols(cache, 16, occupancy=0.5, min_cols=1)
+        assert working_set_bytes(cols, 16) <= cache * 0.5
+        # And one more column would not fit.
+        assert working_set_bytes(cols + 1, 16) > cache * 0.5
+
+    def test_floor_at_min_cols(self):
+        assert choose_block_cols(1024, 16, min_cols=64) == 64
+
+    def test_larger_cache_larger_tiles(self):
+        small = choose_block_cols(128 * 1024, 8)
+        large = choose_block_cols(2 * 1024 * 1024, 8)
+        assert large > small
+
+    def test_invalid_occupancy(self):
+        with pytest.raises(EngineError):
+            choose_block_cols(1024, 8, occupancy=0.0)
+        with pytest.raises(EngineError):
+            choose_block_cols(1024, 8, occupancy=1.5)
+
+    def test_invalid_cache(self):
+        with pytest.raises(EngineError):
+            choose_block_cols(0, 8)
+
+
+class TestAlignmentResult:
+    def test_negative_score_rejected(self):
+        with pytest.raises(ValueError):
+            AlignmentResult(score=-1)
+
+    def test_defaults(self):
+        r = AlignmentResult(score=0)
+        assert (r.end_query, r.end_db, r.cells) == (0, 0, 0)
+
+
+class TestBatchResult:
+    def test_scores_coerced_to_int64(self):
+        b = BatchResult(scores=[1, 2, 3], cells=10)
+        assert b.scores.dtype == np.int64
+        assert len(b) == 3
+
+    def test_saturated_default_empty(self):
+        assert BatchResult(scores=[1], cells=1).saturated == []
+
+
+class TestCellCounter:
+    def test_accumulates(self):
+        c = CellCounter()
+        c.add(10, 20)
+        c.add(5, 5)
+        assert c.cells == 225
+        assert c.alignments == 2
+
+    def test_merge(self):
+        a, b = CellCounter(), CellCounter()
+        a.add(2, 2)
+        b.add(3, 3)
+        a.merge(b)
+        assert c_total(a) == (13, 2)
+
+    def test_reset(self):
+        c = CellCounter()
+        c.add(4, 4)
+        c.reset()
+        assert (c.cells, c.alignments) == (0, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            CellCounter().add(0, 5)
+
+
+def c_total(c: CellCounter) -> tuple[int, int]:
+    return c.cells, c.alignments

@@ -1,0 +1,151 @@
+"""Cross-engine agreement and per-engine behaviour.
+
+The scalar engine is the oracle; every vectorised engine must produce
+identical scores on every input.  Parametrised across engines so a
+regression in any one kernel is localised immediately.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import available_engines, get_engine, sw_score
+from repro.core.engine import as_codes
+from repro.exceptions import EngineError, SequenceError
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+
+VECTOR_ENGINES = ["scan", "diagonal", "striped", "intertask"]
+MM = match_mismatch_matrix(5, -4)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return get_engine("scalar")
+
+
+class TestRegistry:
+    def test_all_engines_registered(self):
+        assert set(available_engines()) >= {
+            "scalar", "scan", "diagonal", "striped", "intertask"
+        }
+
+    def test_unknown_engine(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            get_engine("quantum")
+
+    def test_engine_kwargs_forwarded(self):
+        eng = get_engine("intertask", lanes=16, profile="query")
+        assert eng.lanes == 16
+
+    def test_sw_score_defaults_to_paper_config(self):
+        # BLOSUM62 with gaps 10/2: identical tryptophans score 11 each.
+        assert sw_score("WWW", "WWW") == 33
+
+
+@pytest.mark.parametrize("name", VECTOR_ENGINES)
+class TestAgreementWithScalar:
+    def test_random_pairs(self, name, oracle, rng):
+        eng = get_engine(name)
+        g = paper_gap_model()
+        for _ in range(25):
+            a = random_protein(rng, int(rng.integers(1, 60)))
+            b = random_protein(rng, int(rng.integers(1, 60)))
+            assert (
+                eng.score_pair(a, b, BLOSUM62, g).score
+                == oracle.score_pair(a, b, BLOSUM62, g).score
+            ), (a, b)
+
+    def test_extreme_length_ratio(self, name, oracle, rng):
+        eng = get_engine(name)
+        g = paper_gap_model()
+        a = random_protein(rng, 3)
+        b = random_protein(rng, 200)
+        assert (
+            eng.score_pair(a, b, BLOSUM62, g).score
+            == oracle.score_pair(a, b, BLOSUM62, g).score
+        )
+        assert (
+            eng.score_pair(b, a, BLOSUM62, g).score
+            == oracle.score_pair(b, a, BLOSUM62, g).score
+        )
+
+    def test_gap_heavy_optimum(self, name, oracle):
+        # Low gap costs force the optimum through long gap runs — the
+        # regime that stresses E/F propagation (and striped's lazy-F).
+        g = GapModel(1, 1)
+        a = "AAAATTTTCCCC"
+        b = "AAAAGGGGTTTTGGGGCCCC"
+        assert (
+            get_engine(name).score_pair(a, b, MM, g).score
+            == oracle.score_pair(a, b, MM, g).score
+        )
+
+    def test_single_residues(self, name, oracle):
+        g = paper_gap_model()
+        for a, b in (("A", "A"), ("A", "V"), ("W", "C")):
+            assert (
+                get_engine(name).score_pair(a, b, BLOSUM62, g).score
+                == oracle.score_pair(a, b, BLOSUM62, g).score
+            )
+
+    def test_ambiguity_codes(self, name, oracle):
+        g = paper_gap_model()
+        a, b = "MKXBZLV", "MKWBZIV"
+        assert (
+            get_engine(name).score_pair(a, b, BLOSUM62, g).score
+            == oracle.score_pair(a, b, BLOSUM62, g).score
+        )
+
+    def test_score_batch_matches_pairwise(self, name, oracle, rng):
+        eng = get_engine(name)
+        g = paper_gap_model()
+        q = random_protein(rng, 25)
+        seqs = [random_protein(rng, int(rng.integers(1, 50))) for _ in range(11)]
+        batch = eng.score_batch(q, seqs, BLOSUM62, g)
+        expect = [oracle.score_pair(q, s, BLOSUM62, g).score for s in seqs]
+        assert list(batch.scores) == expect
+        assert batch.cells == sum(25 * len(s) for s in seqs)
+
+
+class TestInputValidation:
+    @pytest.mark.parametrize("name", ["scalar"] + VECTOR_ENGINES)
+    def test_empty_rejected(self, name):
+        with pytest.raises(SequenceError):
+            get_engine(name).score_pair("", "ACD", BLOSUM62, paper_gap_model())
+
+    def test_as_codes_rejects_2d(self):
+        with pytest.raises(SequenceError, match="1-D"):
+            as_codes(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_as_codes_rejects_out_of_range(self):
+        with pytest.raises(SequenceError, match="out of range"):
+            as_codes(np.array([0, 99], dtype=np.uint8))
+
+    def test_as_codes_accepts_wider_ints(self):
+        codes = as_codes(np.array([0, 5, 19], dtype=np.int64))
+        assert codes.dtype == np.uint8
+
+    def test_as_codes_rejects_floats(self):
+        with pytest.raises(SequenceError, match="integers"):
+            as_codes(np.array([0.0, 1.0]))
+
+    def test_wrong_alphabet_matrix_rejected(self):
+        from repro.alphabet import Alphabet
+
+        dna = Alphabet("ACGTN", wildcard="N")
+        eng = get_engine("scan", alphabet=dna)
+        with pytest.raises(EngineError, match="different alphabet"):
+            eng.score_pair("ACGT", "ACGT", BLOSUM62, paper_gap_model())
+
+
+class TestEndPositions:
+    @pytest.mark.parametrize("name", ["scalar", "scan", "diagonal"])
+    def test_end_position_is_argmax(self, name, rng):
+        from repro.core.scalar import full_dp_matrices
+
+        g = paper_gap_model()
+        q = rng.integers(0, 20, 20).astype(np.uint8)
+        d = rng.integers(0, 20, 30).astype(np.uint8)
+        res = get_engine(name).score_pair(q, d, BLOSUM62, g)
+        H, _, _ = full_dp_matrices(q, d, BLOSUM62, g)
+        assert H[res.end_query, res.end_db] == res.score

@@ -1,0 +1,73 @@
+"""Unit tests for query/sequence profile construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import ProfileKind, QueryProfile, SequenceProfile
+from repro.exceptions import EngineError
+from repro.scoring import BLOSUM62
+from tests.conftest import random_codes
+
+
+class TestProfileKind:
+    def test_parse_strings(self):
+        assert ProfileKind.parse("query") is ProfileKind.QUERY
+        assert ProfileKind.parse("sequence") is ProfileKind.SEQUENCE
+
+    def test_parse_passthrough(self):
+        assert ProfileKind.parse(ProfileKind.QUERY) is ProfileKind.QUERY
+
+    def test_parse_invalid(self):
+        with pytest.raises(EngineError):
+            ProfileKind.parse("stripey")
+
+
+class TestQueryProfile:
+    def test_rows_match_matrix(self, rng):
+        q = random_codes(rng, 12)
+        qp = QueryProfile.build(q, BLOSUM62)
+        assert qp.length == 12
+        for i in range(12):
+            assert np.array_equal(qp.data[i], BLOSUM62.data[q[i]])
+
+    def test_row_scores_gather(self, rng):
+        q = random_codes(rng, 5)
+        d = random_codes(rng, 9)
+        qp = QueryProfile.build(q, BLOSUM62)
+        expect = BLOSUM62.data[q[2]][d.astype(np.intp)]
+        assert np.array_equal(qp.row_scores(2, d), expect)
+
+    def test_memory_is_query_by_alphabet(self, rng):
+        qp = QueryProfile.build(random_codes(rng, 100), BLOSUM62)
+        # |Q| x |E| x 4 bytes — the paper calls this negligible.
+        assert qp.nbytes == 100 * 24 * 4
+
+    def test_data_contiguous(self, rng):
+        qp = QueryProfile.build(random_codes(rng, 7), BLOSUM62)
+        assert qp.data.flags["C_CONTIGUOUS"]
+
+
+class TestSequenceProfile:
+    def test_planes_match_matrix(self, rng):
+        group = rng.integers(0, 20, (15, 4)).astype(np.uint8)
+        sp = SequenceProfile.build(group, BLOSUM62)
+        for c in (0, 5, 23):
+            assert np.array_equal(
+                sp.row_scores(c), BLOSUM62.data[c][group.astype(np.intp)]
+            )
+
+    def test_memory_is_alphabet_times_group(self, rng):
+        group = rng.integers(0, 20, (10, 8)).astype(np.uint8)
+        sp = SequenceProfile.build(group, BLOSUM62)
+        # |E| x N x L x 4 — the memory cost the paper notes for SP.
+        assert sp.nbytes == 24 * 10 * 8 * 4
+
+    def test_rejects_non_2d_group(self, rng):
+        with pytest.raises(EngineError, match="n_max, lanes"):
+            SequenceProfile.build(random_codes(rng, 10), BLOSUM62)
+
+    def test_plane_contiguous(self, rng):
+        group = rng.integers(0, 20, (6, 4)).astype(np.uint8)
+        sp = SequenceProfile.build(group, BLOSUM62)
+        assert sp.data.flags["C_CONTIGUOUS"]
+        assert sp.row_scores(3).base is sp.data  # a view, no copy

@@ -1,0 +1,113 @@
+"""Unit tests for the reference scalar engine (hand-checked values)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ScalarEngine
+from repro.core.scalar import full_dp_matrices
+from repro.exceptions import SequenceError
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+
+MM = match_mismatch_matrix(5, -4)
+
+
+@pytest.fixture
+def engine():
+    return ScalarEngine()
+
+
+class TestKnownScores:
+    def test_identity_no_gaps(self, engine):
+        res = engine.score_pair("ACDEF", "ACDEF", MM, paper_gap_model())
+        assert res.score == 25
+        assert (res.end_query, res.end_db) == (5, 5)
+
+    def test_single_mismatch_inside(self, engine):
+        # ACDEF vs ACTEF: 4 matches + 1 mismatch beats splitting.
+        res = engine.score_pair("ACDEF", "ACTEF", MM, paper_gap_model())
+        assert res.score == 4 * 5 - 4
+
+    def test_local_trims_negative_ends(self, engine):
+        # Leading garbage on the query must not reduce the score.
+        res = engine.score_pair("WWWWWACDE", "ACDE", MM, paper_gap_model())
+        assert res.score == 20
+        assert res.end_query == 9
+
+    def test_gap_in_query_row(self, engine):
+        # g(x) = 0 + 1x: skipping db's G costs 1, keeping 6 matches.
+        g = GapModel(0, 1)
+        res = engine.score_pair("AAATTT", "AAAGTTT", MM, g)
+        assert res.score == 6 * 5 - 1
+
+    def test_gap_in_db_column(self, engine):
+        g = GapModel(0, 1)
+        res = engine.score_pair("AAAGTTT", "AAATTT", MM, g)
+        assert res.score == 6 * 5 - 1
+
+    def test_affine_two_gap_run(self, engine):
+        # AA--TT vs AAGGTT: one gap of length 2, g(2) = 2 + 2 = 4.
+        g = GapModel(2, 1)
+        res = engine.score_pair("AATT", "AAGGTT", MM, g)
+        assert res.score == 4 * 5 - 4
+
+    def test_affine_prefers_one_long_gap_over_two_short(self, engine):
+        # With a big open cost, one length-2 gap beats two length-1 gaps.
+        g = GapModel(8, 1)
+        res = engine.score_pair("AAATTT", "AAAGGTTT", MM, g)
+        assert res.score == 6 * 5 - (8 + 2)
+
+    def test_disjoint_sequences_score_zero(self, engine):
+        res = engine.score_pair("AAAA", "TTTT", MM, paper_gap_model())
+        assert res.score == 0
+        assert (res.end_query, res.end_db) == (0, 0)
+
+    def test_paper_parameters_blosum62(self, engine):
+        # Identical residues under BLOSUM62 sum their diagonal scores.
+        res = engine.score_pair("WCH", "WCH", BLOSUM62, paper_gap_model())
+        assert res.score == 11 + 9 + 8
+
+    def test_cells_accounting(self, engine):
+        res = engine.score_pair("ACDE", "ACD", MM, paper_gap_model())
+        assert res.cells == 12
+
+    def test_single_residue_pair(self, engine):
+        res = engine.score_pair("A", "A", MM, paper_gap_model())
+        assert res.score == 5
+        res = engine.score_pair("A", "T", MM, paper_gap_model())
+        assert res.score == 0
+
+    def test_empty_sequence_rejected(self, engine):
+        with pytest.raises(SequenceError):
+            engine.score_pair("", "ACD", MM, paper_gap_model())
+
+
+class TestFullDPMatrices:
+    def test_borders_are_zero(self):
+        q = np.array([0, 1, 2], dtype=np.uint8)
+        d = np.array([0, 1], dtype=np.uint8)
+        H, E, F = full_dp_matrices(q, d, BLOSUM62, paper_gap_model())
+        assert (H[0, :] == 0).all()
+        assert (H[:, 0] == 0).all()
+
+    def test_h_never_negative(self, rng):
+        q = rng.integers(0, 20, 12).astype(np.uint8)
+        d = rng.integers(0, 20, 15).astype(np.uint8)
+        H, _, _ = full_dp_matrices(q, d, BLOSUM62, paper_gap_model())
+        assert (H >= 0).all()
+
+    def test_max_matches_engine(self, rng):
+        q = rng.integers(0, 20, 10).astype(np.uint8)
+        d = rng.integers(0, 20, 14).astype(np.uint8)
+        H, _, _ = full_dp_matrices(q, d, BLOSUM62, paper_gap_model())
+        eng = ScalarEngine()
+        assert int(H.max()) == eng.score_pair(q, d, BLOSUM62, paper_gap_model()).score
+
+    def test_e_recurrence_holds(self, rng):
+        q = rng.integers(0, 20, 8).astype(np.uint8)
+        d = rng.integers(0, 20, 9).astype(np.uint8)
+        g = paper_gap_model()
+        H, E, F = full_dp_matrices(q, d, BLOSUM62, g)
+        for i in range(1, 9):
+            for j in range(2, 10):
+                assert E[i, j] == max(H[i, j - 1] - g.first_gap_cost,
+                                      E[i, j - 1] - g.extend)

@@ -1,0 +1,103 @@
+"""Unit tests specific to the Farrar striped engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import StripedEngine, get_engine
+from repro.core.striped import build_striped_profile
+from repro.exceptions import EngineError
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+
+MM = match_mismatch_matrix(5, -4)
+
+
+class TestStripedProfile:
+    def test_layout_mapping(self):
+        from repro.alphabet import PROTEIN
+
+        query = PROTEIN.encode("ARNDCQEG")  # length 8
+        profile, s = build_striped_profile(query, BLOSUM62, lanes=4)
+        assert s == 2
+        # profile[c, t, k] corresponds to query position k*s + t.
+        for t in range(2):
+            for k in range(4):
+                qpos = k * 2 + t
+                assert profile[0, t, k] == BLOSUM62.data[0, query[qpos]]
+
+    def test_padding_positions_poisoned(self):
+        from repro.alphabet import PROTEIN
+
+        query = PROTEIN.encode("ARNDC")  # 5 residues, 4 lanes -> s=2, 3 pads
+        profile, s = build_striped_profile(query, BLOSUM62, lanes=4)
+        idx = np.arange(s * 4).reshape(4, s).T
+        pad_slots = idx >= 5
+        assert (profile[:, pad_slots] < -1_000_000).all()
+
+    def test_invalid_lanes(self):
+        from repro.alphabet import PROTEIN
+
+        with pytest.raises(EngineError):
+            build_striped_profile(PROTEIN.encode("ARN"), BLOSUM62, lanes=0)
+
+
+class TestLazyF:
+    """Inputs engineered so F must cross segment boundaries."""
+
+    def test_long_vertical_gap_through_segments(self):
+        # The query's gap run spans several stripe segments; without a
+        # correct lazy-F pass the cross-segment propagation is lost.
+        oracle = get_engine("scalar")
+        g = GapModel(2, 1)
+        q = "AAAA" + "G" * 17 + "TTTT"  # long insert in the query
+        d = "AAAATTTT"
+        for lanes in (2, 4, 8):
+            eng = StripedEngine(lanes=lanes)
+            assert (
+                eng.score_pair(q, d, MM, g).score
+                == oracle.score_pair(q, d, MM, g).score
+            ), lanes
+
+    def test_multiple_wraps(self, rng):
+        # Tiny gap costs + a long query force repeated lazy-F wraps.
+        oracle = get_engine("scalar")
+        g = GapModel(1, 1)
+        q = random_protein(rng, 33)
+        d = random_protein(rng, 7)
+        eng = StripedEngine(lanes=8)
+        assert (
+            eng.score_pair(q, d, MM, g).score
+            == oracle.score_pair(q, d, MM, g).score
+        )
+
+    def test_zero_extend_rejected(self):
+        eng = StripedEngine(lanes=4)
+        with pytest.raises(EngineError, match="gap extend"):
+            eng.score_pair("ACD", "ACD", BLOSUM62, GapModel(5, 0))
+
+
+class TestLaneConfigurations:
+    @pytest.mark.parametrize("lanes", [1, 2, 3, 5, 8, 16])
+    def test_any_lane_count_correct(self, lanes, rng):
+        oracle = get_engine("scalar")
+        g = paper_gap_model()
+        q = random_protein(rng, 21)
+        d = random_protein(rng, 34)
+        assert (
+            StripedEngine(lanes=lanes).score_pair(q, d, BLOSUM62, g).score
+            == oracle.score_pair(q, d, BLOSUM62, g).score
+        )
+
+    def test_query_shorter_than_lanes(self, rng):
+        oracle = get_engine("scalar")
+        g = paper_gap_model()
+        q = random_protein(rng, 3)
+        d = random_protein(rng, 20)
+        assert (
+            StripedEngine(lanes=16).score_pair(q, d, BLOSUM62, g).score
+            == oracle.score_pair(q, d, BLOSUM62, g).score
+        )
+
+    def test_invalid_lane_count(self):
+        with pytest.raises(EngineError):
+            StripedEngine(lanes=0)

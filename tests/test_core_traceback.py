@@ -1,0 +1,115 @@
+"""Traceback validity tests (paper Section II step 4)."""
+
+import pytest
+
+from repro.core import align_pair, get_engine
+from repro.core.types import Traceback
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+
+MM = match_mismatch_matrix(5, -4)
+
+
+def rescore(tb: Traceback, matrix, gaps) -> int:
+    """Independently re-score an alignment from its aligned strings."""
+    total = 0
+    gap_q = gap_d = 0
+    for a, b in zip(tb.aligned_query, tb.aligned_db):
+        if a == "-":
+            gap_q += 1
+            if gap_d:
+                total -= gaps.penalty(gap_d)
+                gap_d = 0
+        elif b == "-":
+            gap_d += 1
+            if gap_q:
+                total -= gaps.penalty(gap_q)
+                gap_q = 0
+        else:
+            if gap_q:
+                total -= gaps.penalty(gap_q)
+                gap_q = 0
+            if gap_d:
+                total -= gaps.penalty(gap_d)
+                gap_d = 0
+            total += matrix.score(a, b)
+    total -= gaps.penalty(gap_q) + gaps.penalty(gap_d)
+    return total
+
+
+class TestTracebackCorrectness:
+    def test_alignment_rescores_to_reported_score(self, rng):
+        g = paper_gap_model()
+        for _ in range(15):
+            a = random_protein(rng, int(rng.integers(2, 40)))
+            b = random_protein(rng, int(rng.integers(2, 40)))
+            tb = align_pair(a, b, BLOSUM62, g)
+            if tb.score:
+                assert rescore(tb, BLOSUM62, g) == tb.score
+
+    def test_score_matches_engine(self, rng):
+        g = paper_gap_model()
+        eng = get_engine("scalar")
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(2, 30)))
+            b = random_protein(rng, int(rng.integers(2, 30)))
+            assert (
+                align_pair(a, b, BLOSUM62, g).score
+                == eng.score_pair(a, b, BLOSUM62, g).score
+            )
+
+    def test_aligned_strings_match_coordinates(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 30)
+        b = random_protein(rng, 30)
+        tb = align_pair(a, b, BLOSUM62, g)
+        if tb.score:
+            # De-gapped rows equal the claimed subsequences.
+            assert tb.aligned_query.replace("-", "") == a[tb.start_query - 1 : tb.end_query]
+            assert tb.aligned_db.replace("-", "") == b[tb.start_db - 1 : tb.end_db]
+
+    def test_gapped_alignment_renders_gaps(self):
+        g = GapModel(0, 1)
+        tb = align_pair("AAATTT", "AAAGTTT", MM, g)
+        assert tb.score == 29
+        assert tb.aligned_query == "AAA-TTT"
+        assert tb.aligned_db == "AAAGTTT"
+        assert tb.cigar() == "3M1D3M"
+
+    def test_gap_in_db(self):
+        g = GapModel(0, 1)
+        tb = align_pair("AAAGTTT", "AAATTT", MM, g)
+        assert tb.aligned_db == "AAA-TTT"
+        assert tb.cigar() == "3M1I3M"
+
+    def test_zero_score_yields_empty_alignment(self):
+        tb = align_pair("AAA", "TTT", MM, paper_gap_model())
+        assert tb.score == 0
+        assert tb.aligned_query == "" and tb.aligned_db == ""
+        assert tb.length == 0
+        assert tb.identity == 0.0
+
+    def test_identity_of_exact_match(self):
+        tb = align_pair("WCHK", "WCHK", BLOSUM62, paper_gap_model())
+        assert tb.identity == 1.0
+        assert tb.gaps == 0
+
+    def test_pretty_contains_score_and_rows(self):
+        tb = align_pair("WCHK", "WCHK", BLOSUM62, paper_gap_model())
+        text = tb.pretty()
+        assert "score=" in text and "Q WCHK" in text and "D WCHK" in text
+
+    def test_local_coordinates_trim_ends(self):
+        tb = align_pair("GGGWCHKGGG", "WCHK", BLOSUM62, paper_gap_model())
+        assert (tb.start_query, tb.end_query) == (4, 7)
+        assert (tb.start_db, tb.end_db) == (1, 4)
+
+
+class TestTracebackTypes:
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Traceback(1, "AB", "A", 1, 2, 1, 1)
+
+    def test_cigar_run_length_encoding(self):
+        tb = Traceback(10, "AB--C", "ABXX-", 1, 3, 1, 4)
+        assert tb.cigar() == "2M2D1I"

@@ -1,0 +1,105 @@
+"""Unit tests for the SequenceDatabase container."""
+
+import numpy as np
+import pytest
+
+from repro.db import SequenceDatabase, parse_fasta_text, write_fasta
+from repro.db.fasta import FastaRecord
+from repro.exceptions import DatabaseError
+
+
+def make_db(lengths=(5, 3, 9, 1)):
+    recs = [
+        FastaRecord(f"S{i} test", "ACDEFGHIKL" * 5)
+        for i in range(len(lengths))
+    ]
+    recs = [
+        FastaRecord(f"S{i} test", ("ACDEFGHIKL" * 5)[:n])
+        for i, n in enumerate(lengths)
+    ]
+    return SequenceDatabase.from_records(recs, name="toy")
+
+
+class TestConstruction:
+    def test_from_records(self):
+        db = make_db()
+        assert len(db) == 4
+        assert db.total_residues == 18
+        assert db.max_length == 9
+        assert db.mean_length == 4.5
+
+    def test_header_sequence_count_mismatch(self):
+        with pytest.raises(DatabaseError):
+            SequenceDatabase("x", [np.array([1], dtype=np.uint8)], [])
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(DatabaseError, match="empty"):
+            SequenceDatabase("x", [np.array([], dtype=np.uint8)], ["h"])
+
+    def test_unknown_residues_map_to_x(self):
+        db = SequenceDatabase.from_records([FastaRecord("h", "MK1L")])
+        from repro.alphabet import PROTEIN
+
+        assert PROTEIN.decode(db.sequences[0]) == "MKXL"
+
+    def test_from_fasta_file(self, tmp_path):
+        path = tmp_path / "small.fasta"
+        write_fasta([FastaRecord("a", "MKVL"), FastaRecord("b", "ACD")], path)
+        db = SequenceDatabase.from_fasta(path)
+        assert db.name == "small"
+        assert len(db) == 2
+
+
+class TestStats:
+    def test_stats_dict(self):
+        stats = make_db().stats()
+        assert stats["sequences"] == 4
+        assert stats["total_residues"] == 18
+        assert stats["max_length"] == 9
+
+    def test_lengths_array(self):
+        assert list(make_db().lengths) == [5, 3, 9, 1]
+
+    def test_empty_database_stat_errors(self):
+        db = SequenceDatabase("e", [], [])
+        with pytest.raises(DatabaseError):
+            db.max_length
+        with pytest.raises(DatabaseError):
+            db.mean_length
+
+
+class TestSortingSubsetting:
+    def test_sorted_by_length_ascending(self):
+        db = make_db().sorted_by_length()
+        assert list(db.lengths) == [1, 3, 5, 9]
+
+    def test_sorted_descending(self):
+        db = make_db().sorted_by_length(descending=True)
+        assert list(db.lengths) == [9, 5, 3, 1]
+
+    def test_sort_is_stable(self):
+        db = make_db(lengths=(4, 4, 4))
+        order = db.length_order()
+        assert list(order) == [0, 1, 2]
+
+    def test_subset_preserves_order_and_headers(self):
+        db = make_db()
+        sub = db.subset(np.array([2, 0]))
+        assert list(sub.lengths) == [9, 5]
+        assert sub.headers[0].startswith("S2")
+
+    def test_subset_out_of_range(self):
+        with pytest.raises(DatabaseError):
+            make_db().subset(np.array([7]))
+
+    def test_get_by_accession(self):
+        header, seq = make_db().get("S2")
+        assert header.startswith("S2")
+        assert len(seq) == 9
+
+    def test_get_missing_accession(self):
+        with pytest.raises(DatabaseError, match="not found"):
+            make_db().get("NOPE")
+
+    def test_iteration_yields_sequences(self):
+        assert [len(s) for s in make_db()] == [5, 3, 9, 1]

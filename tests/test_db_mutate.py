@@ -1,0 +1,119 @@
+"""Unit tests for the homolog mutation generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import sw_score
+from repro.db import SyntheticSwissProt
+from repro.db.mutate import PlantedHomolog, mutate, plant_homologs
+from repro.exceptions import DatabaseError
+from tests.conftest import random_codes
+
+
+class TestMutate:
+    def test_zero_rate_is_identity(self, rng):
+        seq = random_codes(rng, 50)
+        out = mutate(seq, 0.0, rng=rng)
+        assert np.array_equal(out, seq)
+
+    def test_output_is_valid_codes(self, rng):
+        seq = random_codes(rng, 100)
+        out = mutate(seq, 0.4, rng=rng)
+        assert out.dtype == np.uint8
+        assert out.size > 0
+        assert int(out.max()) < 20
+
+    def test_rate_controls_divergence(self, rng):
+        # Higher mutation rates must lower the SW score against the
+        # parent, on average.
+        seq = random_codes(rng, 150)
+        self_score = sw_score(seq, seq)
+        scores = {}
+        for rate in (0.1, 0.5):
+            trials = [
+                sw_score(seq, mutate(seq, rate, rng=rng)) for _ in range(5)
+            ]
+            scores[rate] = float(np.mean(trials))
+        assert self_score > scores[0.1] > scores[0.5]
+
+    def test_indels_change_length(self, rng):
+        seq = random_codes(rng, 200)
+        outs = [
+            mutate(seq, 0.3, indel_fraction=1.0, rng=rng) for _ in range(5)
+        ]
+        assert any(len(o) != len(seq) for o in outs)
+
+    def test_no_indels_preserves_length(self, rng):
+        seq = random_codes(rng, 80)
+        out = mutate(seq, 0.5, indel_fraction=0.0, rng=rng)
+        assert len(out) == len(seq)
+
+    def test_deterministic_with_seeded_rng(self, rng):
+        seq = random_codes(rng, 60)
+        a = mutate(seq, 0.3, rng=np.random.default_rng(1))
+        b = mutate(seq, 0.3, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)
+
+    def test_conservative_substitution_bias(self, rng):
+        # Mutants keep higher scores than uniformly random replacements.
+        from repro.scoring import BLOSUM62
+
+        seq = random_codes(rng, 300)
+        mutant = mutate(seq, 1.0, indel_fraction=0.0,
+                        rng=np.random.default_rng(2))
+        uniform = np.random.default_rng(2).integers(0, 20, 300).astype(np.uint8)
+        biased = int(BLOSUM62.lookup(seq, mutant).sum())
+        random_pairs = int(BLOSUM62.lookup(seq, uniform).sum())
+        assert biased > random_pairs
+
+    def test_invalid_parameters(self, rng):
+        seq = random_codes(rng, 10)
+        with pytest.raises(DatabaseError):
+            mutate(seq, 1.5)
+        with pytest.raises(DatabaseError):
+            mutate(seq, 0.1, indel_fraction=-0.1)
+        with pytest.raises(DatabaseError):
+            mutate(seq, 0.1, max_indel=0)
+
+
+class TestPlantHomologs:
+    @pytest.fixture(scope="class")
+    def background(self):
+        return SyntheticSwissProt().generate(scale=0.0001)
+
+    def test_counts_and_indices(self, background, rng):
+        queries = {"qA": random_codes(rng, 80), "qB": random_codes(rng, 60)}
+        db, planted = plant_homologs(background, queries, [0.1, 0.4], per_rate=2)
+        assert len(db) == len(background) + 2 * 2 * 2
+        assert len(planted) == 8
+        # Indices point at actual homolog entries.
+        for p in planted:
+            assert db.headers[p.index].startswith(f"HOM|{p.parent}|")
+
+    def test_homologs_detectable_by_score(self, background, rng):
+        query = random_codes(rng, 100)
+        db, planted = plant_homologs(background, {"q": query}, [0.1])
+        from repro.search import SearchPipeline
+
+        result = SearchPipeline().search(query, db, top_k=1)
+        assert result.hits[0].index == planted[0].index
+
+    def test_deterministic(self, background, rng):
+        queries = {"q": random_codes(rng, 50)}
+        db1, p1 = plant_homologs(background, queries, [0.2], seed=7)
+        db2, p2 = plant_homologs(background, queries, [0.2], seed=7)
+        assert p1 == p2
+        assert all(
+            np.array_equal(a, b)
+            for a, b in zip(db1.sequences, db2.sequences)
+        )
+
+    def test_invalid_inputs(self, background, rng):
+        with pytest.raises(DatabaseError):
+            plant_homologs(background, {}, [0.1])
+        with pytest.raises(DatabaseError):
+            plant_homologs(background, {"q": random_codes(rng, 10)}, [1.5])
+        with pytest.raises(DatabaseError):
+            plant_homologs(
+                background, {"q": random_codes(rng, 10)}, [0.1], per_rate=0
+            )

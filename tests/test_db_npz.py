@@ -1,0 +1,100 @@
+"""Tests for the binary database format."""
+
+import numpy as np
+import pytest
+
+from repro.db import SequenceDatabase, SyntheticSwissProt
+from repro.db.fasta import FastaRecord
+from repro.db.io_npz import load_npz, save_npz
+from repro.exceptions import DatabaseError
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SyntheticSwissProt().generate(scale=0.0002)
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        nbytes = save_npz(db, path)
+        assert nbytes > 0
+        loaded = load_npz(path)
+        assert loaded.name == db.name
+        assert loaded.headers == db.headers
+        assert len(loaded) == len(db)
+        for a, b in zip(loaded.sequences, db.sequences):
+            assert np.array_equal(a, b)
+
+    def test_roundtrip_preserves_search_results(self, db, tmp_path, rng):
+        from repro.search import SearchPipeline
+        from tests.conftest import random_protein
+
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        loaded = load_npz(path)
+        q = random_protein(rng, 30)
+        a = SearchPipeline().search(q, db)
+        b = SearchPipeline().search(q, loaded)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_suffix_added_when_missing(self, db, tmp_path):
+        save_npz(db, tmp_path / "plain")
+        assert (tmp_path / "plain.npz").exists()
+
+    def test_compressed_smaller_than_fasta(self, db, tmp_path):
+        from repro.db import write_fasta
+        from repro.db.fasta import FastaRecord
+
+        npz = tmp_path / "db.npz"
+        save_npz(db, npz)
+        fasta = tmp_path / "db.fasta"
+        write_fasta(
+            (FastaRecord(h, db.alphabet.decode(s))
+             for h, s in zip(db.headers, db.sequences)),
+            fasta,
+        )
+        assert npz.stat().st_size < fasta.stat().st_size
+
+
+class TestValidation:
+    def test_empty_database_rejected(self, tmp_path):
+        with pytest.raises(DatabaseError, match="empty"):
+            save_npz(SequenceDatabase("e", [], []), tmp_path / "e.npz")
+
+    def test_newline_header_rejected(self, tmp_path):
+        db = SequenceDatabase.from_records([FastaRecord("ok", "MKV")])
+        broken = SequenceDatabase(
+            "x", db.sequences, ["bad\nheader"], db.alphabet
+        )
+        with pytest.raises(DatabaseError, match="newline"):
+            save_npz(broken, tmp_path / "x.npz")
+
+    def test_corrupt_offsets_detected(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["offsets"] = fields["offsets"][:-1]  # truncate
+        np.savez_compressed(path, **fields)
+        with pytest.raises(DatabaseError):
+            load_npz(path)
+
+    def test_version_mismatch_detected(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["version"] = np.int64(99)
+        np.savez_compressed(path, **fields)
+        with pytest.raises(DatabaseError, match="version"):
+            load_npz(path)
+
+    def test_missing_field_detected(self, db, tmp_path):
+        path = tmp_path / "db.npz"
+        save_npz(db, path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files if k != "headers"}
+        np.savez_compressed(path, **fields)
+        with pytest.raises(DatabaseError, match="missing field"):
+            load_npz(path)

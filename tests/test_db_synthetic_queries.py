@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic Swiss-Prot generator and the query set."""
+
+import numpy as np
+import pytest
+
+from repro.db import PAPER_QUERIES, SWISSPROT_2013_11, SyntheticSwissProt, make_query_set
+from repro.db.queries import QuerySpec
+from repro.db.synthetic import ROBINSON_FREQUENCIES, SwissProtProfile
+from repro.exceptions import DatabaseError
+
+
+class TestProfile:
+    def test_paper_envelope(self):
+        # Section V-B: 192,480,382 aa in 541,561 sequences, max 35,213.
+        assert SWISSPROT_2013_11.sequences == 541_561
+        assert SWISSPROT_2013_11.total_residues == 192_480_382
+        assert SWISSPROT_2013_11.max_length == 35_213
+        assert 350 < SWISSPROT_2013_11.mean_length < 360
+
+    def test_scaled_envelope(self):
+        s = SWISSPROT_2013_11.scaled(0.001)
+        assert s.sequences == round(541_561 * 0.001)
+        assert abs(s.total_residues - 192_480) <= 1
+
+    def test_invalid_scale(self):
+        with pytest.raises(DatabaseError):
+            SWISSPROT_2013_11.scaled(0.0)
+
+    def test_invalid_profile(self):
+        with pytest.raises(DatabaseError):
+            SwissProtProfile("bad", sequences=0, total_residues=0, max_length=10)
+
+
+class TestLengths:
+    def test_full_scale_exact_totals(self):
+        lengths = SyntheticSwissProt().lengths()
+        assert len(lengths) == 541_561
+        assert int(lengths.sum()) == 192_480_382
+        assert int(lengths.max()) == 35_213
+        assert int(lengths.min()) >= SWISSPROT_2013_11.min_length
+
+    def test_deterministic_in_seed(self):
+        a = SyntheticSwissProt(seed=1).lengths(scale=0.001)
+        b = SyntheticSwissProt(seed=1).lengths(scale=0.001)
+        c = SyntheticSwissProt(seed=2).lengths(scale=0.001)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_scaled_totals_exact(self):
+        lengths = SyntheticSwissProt().lengths(scale=0.003)
+        prof = SWISSPROT_2013_11.scaled(0.003)
+        assert int(lengths.sum()) == prof.total_residues
+        assert len(lengths) == prof.sequences
+
+    def test_distribution_shape(self):
+        # Lognormal-ish: median well below mean (right-skewed).
+        lengths = SyntheticSwissProt().lengths(scale=0.01)
+        assert np.median(lengths) < lengths.mean()
+
+
+class TestGenerate:
+    def test_small_database_statistics(self):
+        db = SyntheticSwissProt().generate(scale=0.0002)
+        prof = SWISSPROT_2013_11.scaled(0.0002)
+        assert len(db) == prof.sequences
+        assert db.total_residues == prof.total_residues
+
+    def test_generation_deterministic(self):
+        a = SyntheticSwissProt(seed=5).generate(scale=0.0001)
+        b = SyntheticSwissProt(seed=5).generate(scale=0.0001)
+        assert all(np.array_equal(x, y) for x, y in zip(a.sequences, b.sequences))
+
+    def test_not_pre_sorted(self):
+        # The paper's pre-sort step must have work to do.
+        db = SyntheticSwissProt().generate(scale=0.0005)
+        lengths = db.lengths
+        assert not np.array_equal(lengths, np.sort(lengths))
+
+    def test_residue_composition_close_to_background(self):
+        db = SyntheticSwissProt().generate(scale=0.001)
+        counts = np.zeros(20)
+        for s in db.sequences:
+            counts += np.bincount(s, minlength=24)[:20]
+        freqs = counts / counts.sum()
+        expect = ROBINSON_FREQUENCIES / ROBINSON_FREQUENCIES.sum()
+        assert np.abs(freqs - expect).max() < 0.01
+
+    def test_headers_carry_lengths(self):
+        db = SyntheticSwissProt().generate(scale=0.0001)
+        for h, s in zip(db.headers, db.sequences):
+            assert f"length={len(s)}" in h
+
+
+class TestQueries:
+    def test_twenty_queries_with_paper_range(self):
+        # Section V-B: 20 queries "ranging in length from 144 to 5478".
+        assert len(PAPER_QUERIES) == 20
+        assert PAPER_QUERIES[0].length == 144
+        assert PAPER_QUERIES[-1].length == 5478
+        lengths = [q.length for q in PAPER_QUERIES]
+        assert lengths == sorted(lengths)
+
+    def test_paper_accessions_present(self):
+        accs = {q.accession for q in PAPER_QUERIES}
+        # The accessions listed in Section V-B.
+        assert {"P02232", "P01008", "Q9UKN1", "P0C6B8", "Q7TMA5"} <= accs
+
+    def test_make_query_set_lengths(self):
+        qs = make_query_set()
+        for spec in PAPER_QUERIES:
+            assert len(qs[spec.accession]) == spec.length
+
+    def test_query_set_deterministic(self):
+        a = make_query_set(seed=3)
+        b = make_query_set(seed=3)
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_invalid_spec(self):
+        with pytest.raises(DatabaseError):
+            QuerySpec("X", 0)

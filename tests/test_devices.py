@@ -1,0 +1,209 @@
+"""Unit tests for device specs, threading, scheduling and cache models."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    XEON_E5_2670_DUAL, XEON_PHI_57XX,
+    CacheModel, DeviceSpec, ParallelFor, Schedule,
+    paper_devices, smt_throughput, thread_layout,
+)
+from repro.exceptions import DeviceError, ScheduleError
+from repro.simd import AVX_256
+
+
+class TestSpecs:
+    def test_paper_topologies(self):
+        # Section V-A: 2x8-core Xeon with HT; 60-core Phi with 4 threads.
+        assert XEON_E5_2670_DUAL.cores == 16
+        assert XEON_E5_2670_DUAL.max_threads == 32
+        assert XEON_E5_2670_DUAL.clock_ghz == 2.60
+        assert XEON_PHI_57XX.cores == 60
+        assert XEON_PHI_57XX.max_threads == 240
+
+    def test_paper_tdp_quotes(self):
+        # Section V-C3: "120 watts" per Xeon chip, "240" for the Phi.
+        assert XEON_E5_2670_DUAL.tdp_watts == 240.0  # two chips
+        assert XEON_PHI_57XX.tdp_watts == 240.0
+
+    def test_vector_lanes(self):
+        assert XEON_E5_2670_DUAL.lanes32 == 8
+        assert XEON_PHI_57XX.lanes32 == 16
+
+    def test_blocking_budget_is_l2(self):
+        assert XEON_E5_2670_DUAL.last_level_cache_bytes() == 256 * 1024
+        assert XEON_PHI_57XX.last_level_cache_bytes() == 512 * 1024
+
+    def test_thread_validation(self):
+        with pytest.raises(DeviceError):
+            XEON_E5_2670_DUAL.validate_thread_count(33)
+        with pytest.raises(DeviceError):
+            XEON_E5_2670_DUAL.validate_thread_count(0)
+
+    def test_smt_yield_length_enforced(self):
+        with pytest.raises(DeviceError, match="smt_yield"):
+            DeviceSpec(
+                name="bad", cores=2, threads_per_core=2, clock_ghz=1.0,
+                isa=AVX_256, l1_kb_per_core=32, l2_kb_per_core=256,
+                l3_kb_shared=0, tdp_watts=100, smt_yield=(1.0,),
+            )
+
+    def test_smt_yield_must_not_decrease(self):
+        with pytest.raises(DeviceError, match="reduce"):
+            DeviceSpec(
+                name="bad", cores=2, threads_per_core=2, clock_ghz=1.0,
+                isa=AVX_256, l1_kb_per_core=32, l2_kb_per_core=256,
+                l3_kb_shared=0, tdp_watts=100, smt_yield=(1.0, 0.9),
+            )
+
+    def test_paper_devices_mapping(self):
+        devs = paper_devices()
+        assert devs["xeon"] is XEON_E5_2670_DUAL
+        assert devs["phi"] is XEON_PHI_57XX
+
+
+class TestThreadingModel:
+    def test_scatter_placement(self):
+        layout = thread_layout(XEON_E5_2670_DUAL, 20)
+        assert sum(layout) == 20
+        assert max(layout) == 2 and min(layout) == 1
+
+    def test_one_thread_per_core_up_to_core_count(self):
+        layout = thread_layout(XEON_E5_2670_DUAL, 16)
+        assert all(k == 1 for k in layout)
+
+    def test_xeon_throughput_shape(self):
+        # Linear to 16 cores, then HT adds only the SMT yield (the
+        # paper's efficiency quotes imply g(32)/g(16) ~ 1.59).
+        t16 = smt_throughput(XEON_E5_2670_DUAL, 16)
+        t32 = smt_throughput(XEON_E5_2670_DUAL, 32)
+        assert t16 == pytest.approx(16.0)
+        assert t32 == pytest.approx(16 * 1.59)
+        assert t32 < 32  # HT never doubles
+
+    def test_phi_needs_multiple_threads_per_core(self):
+        # One resident thread reaches only ~half a core (in-order).
+        t60 = smt_throughput(XEON_PHI_57XX, 60)
+        t240 = smt_throughput(XEON_PHI_57XX, 240)
+        assert t60 == pytest.approx(60 * 0.50)
+        assert t240 == pytest.approx(60.0)
+
+    def test_monotone_in_threads(self):
+        values = [smt_throughput(XEON_PHI_57XX, t) for t in range(1, 241)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+
+class TestParallelFor:
+    def test_every_iteration_assigned_once(self, rng):
+        costs = rng.integers(1, 100, 137).astype(float)
+        for sched in Schedule:
+            res = ParallelFor(8, sched).run(costs)
+            assert (res.assignment >= 0).all()
+            assert len(res.assignment) == 137
+
+    def test_work_callback_executes_each_once(self, rng):
+        costs = rng.integers(1, 10, 50).astype(float)
+        seen = []
+        ParallelFor(4, Schedule.DYNAMIC).run(costs, work=seen.append)
+        assert sorted(seen) == list(range(50))
+
+    def test_makespan_bounds(self, rng):
+        costs = rng.integers(1, 100, 200).astype(float)
+        for sched in Schedule:
+            res = ParallelFor(8, sched).run(costs)
+            assert res.makespan >= costs.sum() / 8 - 1e-9  # lower bound
+            assert res.makespan <= costs.sum()             # upper bound
+            assert res.makespan >= costs.max()             # critical path
+
+    def test_loads_sum_to_total(self, rng):
+        costs = rng.integers(1, 50, 64).astype(float)
+        res = ParallelFor(5, "guided").run(costs)
+        assert res.thread_loads.sum() == pytest.approx(costs.sum())
+
+    def test_dynamic_beats_static_on_sorted_work(self, rng):
+        # The paper's observation (Section IV): with the database sorted
+        # by length, iteration costs trend upward and static's contiguous
+        # blocks are badly unbalanced; "dynamic outperforms static
+        # significantly", guided is "slightly minor" behind dynamic.
+        costs = np.sort(rng.lognormal(5, 1.2, 400))
+        dyn = ParallelFor(16, Schedule.DYNAMIC).run(costs)
+        sta = ParallelFor(16, Schedule.STATIC).run(costs)
+        gui = ParallelFor(16, Schedule.GUIDED).run(costs)
+        assert dyn.makespan < 0.6 * sta.makespan
+        assert dyn.makespan <= gui.makespan
+        assert gui.makespan < sta.makespan
+
+    def test_uniform_work_all_policies_near_ideal(self):
+        costs = np.ones(1600)
+        for sched in Schedule:
+            res = ParallelFor(16, sched).run(costs)
+            assert res.efficiency > 0.99
+
+    def test_single_thread_efficiency_is_one(self, rng):
+        costs = rng.integers(1, 9, 30).astype(float)
+        res = ParallelFor(1, Schedule.DYNAMIC).run(costs)
+        assert res.efficiency == pytest.approx(1.0)
+        assert res.makespan == pytest.approx(costs.sum())
+
+    def test_empty_workload(self):
+        res = ParallelFor(4).run(np.array([]))
+        assert res.makespan == 0.0
+
+    def test_dynamic_chunking(self, rng):
+        costs = rng.integers(1, 9, 40).astype(float)
+        res = ParallelFor(4, Schedule.DYNAMIC, chunk=8).run(costs)
+        # Chunked dynamic assigns contiguous runs of 8.
+        for start in range(0, 40, 8):
+            assert len(set(res.assignment[start : start + 8])) == 1
+
+    def test_guided_chunks_decrease(self):
+        pf = ParallelFor(4, Schedule.GUIDED)
+        chunks = pf._chunks(1000)
+        sizes = [len(c) for c in chunks]
+        assert sizes[0] > sizes[-1]
+        assert sum(sizes) == 1000
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ScheduleError):
+            ParallelFor(0)
+        with pytest.raises(ScheduleError):
+            ParallelFor(4, chunk=0)
+        with pytest.raises(ScheduleError):
+            ParallelFor(4, "fancy")
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ScheduleError):
+            ParallelFor(4).run(np.array([1.0, -2.0]))
+
+    def test_imbalance_metric(self):
+        res = ParallelFor(2, Schedule.STATIC).run(np.array([10.0, 1.0]))
+        assert res.imbalance > 1.0
+
+
+class TestCacheModel:
+    def test_resident_set_full_speed(self):
+        cm = CacheModel(cache_bytes=1024 * 1024, miss_stall_factor=2.0)
+        assert cm.throughput_factor(100 * 1024) == 1.0
+
+    def test_streaming_set_hits_stall_floor(self):
+        cm = CacheModel(cache_bytes=1024, miss_stall_factor=2.0)
+        assert cm.throughput_factor(100 * 1024 * 1024) == pytest.approx(0.5)
+
+    def test_monotone_in_working_set(self):
+        cm = CacheModel(cache_bytes=64 * 1024, miss_stall_factor=3.0)
+        sizes = [2 ** k for k in range(10, 26)]
+        factors = [cm.throughput_factor(s) for s in sizes]
+        assert all(b <= a for a, b in zip(factors, factors[1:]))
+
+    def test_per_thread_budget_shrinks_with_smt(self):
+        one = CacheModel.for_device(XEON_PHI_57XX, 60, miss_stall_factor=2.0)
+        four = CacheModel.for_device(XEON_PHI_57XX, 240, miss_stall_factor=2.0)
+        assert four.cache_bytes == one.cache_bytes // 4
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceError):
+            CacheModel(cache_bytes=0, miss_stall_factor=2.0)
+        with pytest.raises(DeviceError):
+            CacheModel(cache_bytes=1024, miss_stall_factor=0.5)
+        with pytest.raises(DeviceError):
+            CacheModel(1024, 2.0).miss_fraction(-1)

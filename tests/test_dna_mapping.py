@@ -1,0 +1,76 @@
+"""DNA / generic-alphabet support: the read-mapping building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA
+from repro.core import get_engine
+from repro.core.banded import BandedEngine
+from repro.heuristic import KmerWordCoder
+from repro.scoring import GapModel, match_mismatch_matrix
+
+MATRIX = match_mismatch_matrix(2, -3, alphabet=DNA)
+GAPS = GapModel(5, 2)
+
+
+class TestDnaAlphabet:
+    def test_encode_decode(self):
+        codes = DNA.encode("acgtn")
+        assert DNA.decode(codes) == "ACGTN"
+
+    def test_engines_accept_dna(self, rng):
+        a = rng.integers(0, 4, 30).astype(np.uint8)
+        b = rng.integers(0, 4, 30).astype(np.uint8)
+        for name in ("scalar", "scan", "diagonal", "striped", "intertask"):
+            eng = get_engine(name, alphabet=DNA)
+            score = eng.score_pair(a, b, MATRIX, GAPS).score
+            assert score >= 0
+
+    def test_all_dna_engines_agree(self, rng):
+        ref = get_engine("scalar", alphabet=DNA)
+        for _ in range(8):
+            a = rng.integers(0, 4, int(rng.integers(5, 40))).astype(np.uint8)
+            b = rng.integers(0, 4, int(rng.integers(5, 40))).astype(np.uint8)
+            expect = ref.score_pair(a, b, MATRIX, GAPS).score
+            for name in ("scan", "diagonal", "intertask"):
+                eng = get_engine(name, alphabet=DNA)
+                assert eng.score_pair(a, b, MATRIX, GAPS).score == expect
+
+    def test_kmer_coder_over_dna(self, rng):
+        coder = KmerWordCoder(11, DNA)
+        seq = rng.integers(0, 4, 50).astype(np.uint8)
+        words = coder.words_of(seq)
+        assert len(words) == 40
+        assert np.array_equal(coder.decode(int(words[7])), seq[7:18])
+
+
+class TestSeededMapping:
+    def test_planted_read_maps_to_true_locus(self, rng):
+        # End-to-end miniature of examples/read_mapping.py.
+        reference = rng.integers(0, 4, 5000).astype(np.uint8)
+        true_pos = 3210
+        read = reference[true_pos : true_pos + 80].copy()
+        read[10] = (read[10] + 1) % 4  # one substitution
+        k = 15
+        coder = KmerWordCoder(k, DNA)
+        index: dict[int, list[int]] = {}
+        for pos, word in enumerate(coder.words_of(reference)):
+            index.setdefault(int(word), []).append(pos)
+        # Seed with the first error-free k-mer of the read.
+        words = coder.words_of(read)
+        hit = None
+        for off in range(len(words)):
+            candidates = index.get(int(words[off]), [])
+            if candidates:
+                hit = (off, candidates[0])
+                break
+        assert hit is not None
+        q_off, r_pos = hit
+        w0 = max(0, r_pos - q_off - 8)
+        window = reference[w0 : w0 + len(read) + 16]
+        engine = BandedEngine(alphabet=DNA, width=8)
+        result = engine.score_pair(read, window, MATRIX, GAPS)
+        est = w0 + result.end_db - result.end_query
+        assert abs(est - true_pos) <= 8
+        # 79 matches, 1 mismatch.
+        assert result.score == 79 * 2 - 3

@@ -1,0 +1,112 @@
+"""Tests for global (NW) and semi-global alignment."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_engine
+from repro.core.global_align import global_align, semiglobal_align
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+from tests.test_core_traceback import rescore
+
+MM = match_mismatch_matrix(5, -4)
+
+
+def global_rescore(tb, matrix, gaps) -> int:
+    """Re-score a global alignment (terminal gaps included)."""
+    return rescore(tb, matrix, gaps)
+
+
+class TestGlobalKnownValues:
+    def test_identical_sequences(self):
+        tb = global_align("WCHK", "WCHK", BLOSUM62, paper_gap_model())
+        assert tb.score == sum(BLOSUM62.score(c, c) for c in "WCHK")
+        assert tb.aligned_query == "WCHK"
+        assert tb.identity == 1.0
+
+    def test_forced_terminal_gap(self):
+        # Global must pay for the trailing database residues.
+        g = GapModel(2, 1)
+        tb = global_align("AAA", "AAATT", MM, g)
+        assert tb.score == 15 - (2 + 2)
+        assert tb.aligned_query == "AAA--"
+        assert tb.aligned_db == "AAATT"
+
+    def test_negative_score_possible(self):
+        tb = global_align("WWWW", "CCCC", BLOSUM62, paper_gap_model())
+        assert tb.score < 0
+
+    def test_internal_gap(self):
+        g = GapModel(0, 1)
+        tb = global_align("AAATTT", "AAAGTTT", MM, g)
+        assert tb.score == 30 - 1
+        assert tb.aligned_query == "AAA-TTT"
+
+    def test_consumes_both_sequences(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 15)
+        b = random_protein(rng, 22)
+        tb = global_align(a, b, BLOSUM62, g)
+        assert tb.aligned_query.replace("-", "") == a
+        assert tb.aligned_db.replace("-", "") == b
+
+    def test_rescore_matches(self, rng):
+        g = paper_gap_model()
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(2, 20)))
+            b = random_protein(rng, int(rng.integers(2, 20)))
+            tb = global_align(a, b, BLOSUM62, g)
+            assert global_rescore(tb, BLOSUM62, g) == tb.score
+
+
+class TestSemiGlobal:
+    def test_query_embedded_in_database(self):
+        g = paper_gap_model()
+        tb = semiglobal_align("WCHK", "AAAAWCHKAAAA", BLOSUM62, g)
+        # Free database ends: full score, no gap columns.
+        assert tb.score == sum(BLOSUM62.score(c, c) for c in "WCHK")
+        assert tb.aligned_query == "WCHK"
+        assert (tb.start_db, tb.end_db) == (5, 8)
+
+    def test_whole_query_must_align(self):
+        g = paper_gap_model()
+        # Local alignment would drop the mismatching tail; semi-global
+        # cannot.
+        tb = semiglobal_align("WCHKPPP", "WCHKGGG", BLOSUM62, g)
+        assert tb.aligned_query.replace("-", "") == "WCHKPPP"
+        local = get_engine("scalar").score_pair(
+            "WCHKPPP", "WCHKGGG", BLOSUM62, g
+        )
+        assert tb.score < local.score
+
+    def test_rescore_matches(self, rng):
+        g = paper_gap_model()
+        for _ in range(10):
+            a = random_protein(rng, int(rng.integers(2, 12)))
+            b = random_protein(rng, int(rng.integers(8, 30)))
+            tb = semiglobal_align(a, b, BLOSUM62, g)
+            assert rescore(tb, BLOSUM62, g) == tb.score
+            assert tb.aligned_query.replace("-", "") == a
+
+
+class TestModeOrdering:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_local_ge_semiglobal_ge_global(self, trial, rng):
+        # Local may skip anything; semi-global must keep the query;
+        # global must keep both — each restriction can only lower the
+        # optimum.
+        g = paper_gap_model()
+        a = random_protein(rng, int(rng.integers(3, 18)))
+        b = random_protein(rng, int(rng.integers(3, 25)))
+        local = get_engine("scalar").score_pair(a, b, BLOSUM62, g).score
+        semi = semiglobal_align(a, b, BLOSUM62, g).score
+        glob = global_align(a, b, BLOSUM62, g).score
+        assert local >= semi >= glob
+
+    def test_all_modes_agree_on_identical_pair(self):
+        g = paper_gap_model()
+        s = "WCHKWCHK"
+        expect = sum(BLOSUM62.score(c, c) for c in s)
+        assert get_engine("scalar").score_pair(s, s, BLOSUM62, g).score == expect
+        assert semiglobal_align(s, s, BLOSUM62, g).score == expect
+        assert global_align(s, s, BLOSUM62, g).score == expect

@@ -1,0 +1,153 @@
+"""Tests for matrix-file loading, reverse complement and all-pairs."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import DNA, PROTEIN, reverse_complement
+from repro.core.allpairs import score_all_pairs, similarity_matrix
+from repro.exceptions import AlphabetError, EngineError, ScoringError
+from repro.scoring import BLOSUM62, load_matrix_file, paper_gap_model
+from tests.conftest import random_protein
+
+
+class TestLoadMatrixFile:
+    def _write(self, tmp_path, text, name="custom.mat"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_reordered_columns_accepted(self, tmp_path):
+        # Columns in a different order than the alphabet.
+        path = self._write(tmp_path, "\n".join([
+            "   C  A  R",
+            "C  9  0 -3",
+            "A  0  4 -1",
+            "R -3 -1  5",
+        ]))
+        m = load_matrix_file(path)
+        assert m.score("A", "A") == 4
+        assert m.score("C", "C") == 9
+        assert m.score("A", "R") == -1
+        assert m.name == "CUSTOM"
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = self._write(tmp_path, "# a comment\n\n  A\nA 7\n")
+        m = load_matrix_file(path, name="SINGLE")
+        assert m.score("A", "A") == 7
+
+    def test_missing_letters_get_minimum(self, tmp_path):
+        path = self._write(tmp_path, "  A C\nA 4 0\nC 0 9\n")
+        m = load_matrix_file(path)
+        # W is absent from the file -> the file minimum (0).
+        assert m.score("W", "W") == 0
+
+    def test_asymmetric_file_symmetrised_conservatively(self, tmp_path):
+        path = self._write(tmp_path, "  A C\nA 4 2\nC 1 9\n")
+        m = load_matrix_file(path)
+        assert m.score("A", "C") == m.score("C", "A") == 1
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = self._write(tmp_path, " AB C\nA 1 2\n")
+        with pytest.raises(ScoringError):
+            load_matrix_file(path)
+
+    def test_row_width_mismatch_rejected(self, tmp_path):
+        path = self._write(tmp_path, "  A C\nA 4\n")
+        with pytest.raises(ScoringError):
+            load_matrix_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = self._write(tmp_path, "# nothing\n")
+        with pytest.raises(ScoringError, match="empty"):
+            load_matrix_file(path)
+
+    def test_roundtrip_of_bundled_matrix(self, tmp_path):
+        # Writing BLOSUM62 out in alphabet order and reloading must give
+        # back the identical table.
+        lines = ["  " + " ".join(PROTEIN.letters)]
+        for i, a in enumerate(PROTEIN.letters):
+            lines.append(
+                a + " " + " ".join(str(int(v)) for v in BLOSUM62.data[i])
+            )
+        path = self._write(tmp_path, "\n".join(lines))
+        m = load_matrix_file(path)
+        assert np.array_equal(m.data, BLOSUM62.data)
+
+
+class TestReverseComplement:
+    def test_known_value(self):
+        assert DNA.decode(reverse_complement(DNA.encode("AACGT"))) == "ACGTT"
+
+    def test_involution(self, rng):
+        codes = rng.integers(0, 5, 50).astype(np.uint8)
+        twice = reverse_complement(reverse_complement(codes))
+        assert np.array_equal(twice, codes)
+
+    def test_n_maps_to_n(self):
+        assert DNA.decode(reverse_complement(DNA.encode("NNN"))) == "NNN"
+
+    def test_rejects_non_dna_codes(self):
+        with pytest.raises(AlphabetError):
+            reverse_complement(np.array([7], dtype=np.uint8))
+
+    def test_mapping_score_invariance(self, rng):
+        # A read and its reverse complement align equally well to the
+        # reference and its reverse complement, respectively.
+        from repro.core import get_engine
+        from repro.scoring import GapModel, match_mismatch_matrix
+
+        mm = match_mismatch_matrix(2, -3, alphabet=DNA)
+        g = GapModel(5, 2)
+        eng = get_engine("scan", alphabet=DNA)
+        ref = rng.integers(0, 4, 80).astype(np.uint8)
+        read = ref[20:50]
+        fwd = eng.score_pair(read, ref, mm, g).score
+        rev = eng.score_pair(
+            reverse_complement(read), reverse_complement(ref), mm, g
+        ).score
+        assert fwd == rev
+
+
+class TestAllPairs:
+    def test_matrix_symmetric_with_self_diagonal(self, rng):
+        g = paper_gap_model()
+        seqs = [random_protein(rng, int(rng.integers(10, 40)))
+                for _ in range(6)]
+        scores = score_all_pairs(seqs, BLOSUM62, g)
+        assert np.array_equal(scores, scores.T)
+        for k, s in enumerate(seqs):
+            assert scores[k, k] == sum(BLOSUM62.score(c, c) for c in s)
+
+    def test_matches_pairwise_engine(self, rng):
+        from repro.core import get_engine
+
+        g = paper_gap_model()
+        seqs = [random_protein(rng, 20) for _ in range(4)]
+        scores = score_all_pairs(seqs, BLOSUM62, g)
+        scan = get_engine("scan")
+        for i in range(4):
+            for j in range(4):
+                assert scores[i, j] == scan.score_pair(
+                    seqs[i], seqs[j], BLOSUM62, g
+                ).score
+
+    def test_similarity_properties(self, rng):
+        g = paper_gap_model()
+        base = random_protein(rng, 60)
+        seqs = [base, base, random_protein(rng, 60)]
+        sim = similarity_matrix(seqs, BLOSUM62, g)
+        assert sim[0, 1] == pytest.approx(1.0)   # identical pair
+        assert np.diag(sim) == pytest.approx(1.0)
+        assert sim[0, 2] < 0.5                   # unrelated pair
+        assert (sim >= 0).all() and (sim <= 1.0 + 1e-9).all()
+
+    def test_containment_reads_high(self, rng):
+        g = paper_gap_model()
+        long_seq = random_protein(rng, 100)
+        short_seq = long_seq[30:60]
+        sim = similarity_matrix([long_seq, short_seq], BLOSUM62, g)
+        assert sim[0, 1] == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EngineError):
+            score_all_pairs([], BLOSUM62, paper_gap_model())

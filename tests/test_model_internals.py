@@ -1,0 +1,171 @@
+"""White-box tests of the performance-model internals."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.perfmodel import DevicePerformanceModel, RunConfig, Workload
+
+
+@pytest.fixture(scope="module")
+def xeon():
+    return DevicePerformanceModel(XEON_E5_2670_DUAL)
+
+
+@pytest.fixture(scope="module")
+def phi():
+    return DevicePerformanceModel(XEON_PHI_57XX)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return Workload.from_lengths(
+        SyntheticSwissProt().lengths(scale=0.02), 16
+    )
+
+
+class TestCyclesPerCell:
+    def test_intrinsic_cheapest(self, xeon, phi):
+        for model in (xeon, phi):
+            intr = model.cycles_per_cell("intrinsic", "sequence")
+            simd = model.cycles_per_cell("simd", "sequence")
+            novec = model.cycles_per_cell("novec", "sequence")
+            assert intr < simd < novec
+
+    def test_qp_costs_more_cycles(self, xeon, phi):
+        for model in (xeon, phi):
+            assert (
+                model.cycles_per_cell("intrinsic", "query")
+                > model.cycles_per_cell("intrinsic", "sequence")
+            )
+
+    def test_phi_gather_cpi_applied(self, phi):
+        # With gather CPI ~8, the QP penalty exceeds the raw instruction
+        # difference.
+        qp = phi.cycles_per_cell("intrinsic", "query")
+        sp = phi.cycles_per_cell("intrinsic", "sequence")
+        assert qp - sp > 0.3
+
+    def test_core_rate_inverse_of_cycles(self, xeon):
+        cpc = xeon.cycles_per_cell("intrinsic", "sequence")
+        rate = xeon.core_rate("intrinsic", "sequence")
+        assert rate == pytest.approx(xeon.spec.clock_ghz * 1e9 / cpc)
+
+
+class TestScheduleEfficiencyCache:
+    def test_cache_hit_returns_same_object(self, xeon, wl):
+        a = xeon.schedule_efficiency(wl, 16)
+        b = xeon.schedule_efficiency(wl, 16)
+        assert a == b
+        assert (wl.fingerprint, 16, list(xeon._sched_cache)[0][2]) in [
+            k for k in xeon._sched_cache
+        ] or len(xeon._sched_cache) >= 1
+
+    def test_different_threads_different_entries(self, xeon, wl):
+        xeon.schedule_efficiency(wl, 4)
+        xeon.schedule_efficiency(wl, 8)
+        keys = {k[1] for k in xeon._sched_cache if k[0] == wl.fingerprint}
+        assert {4, 8} <= keys
+
+    def test_efficiency_in_unit_interval(self, xeon, wl):
+        for t in (1, 4, 32):
+            eff = xeon.schedule_efficiency(wl, t)
+            assert 0 < eff <= 1.0
+
+
+class TestCacheFactor:
+    def test_blocked_at_least_unblocked(self, phi, wl):
+        for threads in (60, 240):
+            blocked = phi.cache_factor(wl, threads, blocking=True)
+            unblocked = phi.cache_factor(wl, threads, blocking=False)
+            assert blocked >= unblocked
+
+    def test_factor_bounded(self, phi, wl):
+        f = phi.cache_factor(wl, 240, blocking=False)
+        assert 1.0 / phi.cal.miss_stall_factor <= f <= 1.0
+
+    def test_more_resident_threads_never_help_cache(self, phi, wl):
+        one = phi.cache_factor(wl, 60, blocking=False)
+        four = phi.cache_factor(wl, 240, blocking=False)
+        assert four <= one
+
+    def test_qp_smaller_working_set(self, phi, wl):
+        # QP keeps only one profile row hot; SP keeps 24 planes.
+        qp = phi.cache_factor(wl, 240, blocking=False, profile="query")
+        sp = phi.cache_factor(wl, 240, blocking=False, profile="sequence")
+        assert qp >= sp
+
+
+class TestRunSeconds:
+    def test_fixed_overhead_additive(self, xeon, wl):
+        cfg = RunConfig()
+        t1 = xeon.run_seconds(wl, 100, cfg)
+        t2 = xeon.run_seconds(wl, 200, cfg)
+        # Compute scales linearly with query length; fixed part cancels.
+        compute1 = t1 - xeon.cal.fixed_run_seconds
+        compute2 = t2 - xeon.cal.fixed_run_seconds
+        assert compute2 == pytest.approx(2 * compute1, rel=1e-6)
+
+    def test_gcups_below_rate_ceiling(self, xeon, wl):
+        cfg = RunConfig()
+        g = xeon.gcups(wl, 1000, cfg)
+        ceiling = xeon.rate(wl, cfg) / 1e9
+        assert g < ceiling
+
+    def test_threads_default_is_max(self, xeon, wl):
+        explicit = xeon.gcups(wl, 500, RunConfig(threads=32))
+        default = xeon.gcups(wl, 500, RunConfig(threads=None))
+        assert explicit == default
+
+
+class TestOffloadTimingComposition:
+    def test_start_at_shifts_completion(self):
+        from repro.runtime import OffloadRegion, PCIE_GEN2_X16
+
+        region = OffloadRegion(PCIE_GEN2_X16)
+        base = region.run_async(compute_seconds=1.0)
+        shifted = region.run_async(start_at=5.0, compute_seconds=1.0)
+        assert shifted.ready_at == pytest.approx(base.ready_at + 5.0)
+
+    def test_in_and_out_both_charged(self):
+        from repro.runtime import OffloadRegion, PCIE_GEN2_X16
+
+        region = OffloadRegion(PCIE_GEN2_X16)
+        nbytes = 600_000_000
+        both = region.run_async(in_bytes=nbytes, out_bytes=nbytes)
+        one = region.run_async(in_bytes=nbytes)
+        assert both.ready_at == pytest.approx(
+            one.ready_at + PCIE_GEN2_X16.transfer_seconds(nbytes)
+        )
+
+
+class TestRoofline:
+    def test_points_structurally_sound(self, phi, wl):
+        from repro.perfmodel.roofline import roofline_analysis
+
+        for p in roofline_analysis(phi, wl):
+            assert p.ops_per_cell > 0
+            assert p.bytes_per_cell >= 0
+            assert p.attainable_cells_per_s <= p.compute_roof_cells_per_s
+            assert p.bound in ("compute", "bandwidth")
+
+    def test_blocked_is_compute_bound(self, phi, wl):
+        from repro.perfmodel import RunConfig
+        from repro.perfmodel.roofline import roofline_analysis
+
+        (p,) = roofline_analysis(
+            phi, wl, configs=[RunConfig(blocking=True)]
+        )
+        assert p.bound == "compute"
+        assert p.intensity == float("inf") or p.intensity > 10
+
+    def test_novec_rejected(self, phi, wl):
+        from repro.exceptions import ModelError
+        from repro.perfmodel import RunConfig
+        from repro.perfmodel.roofline import roofline_analysis
+
+        with pytest.raises(ModelError):
+            roofline_analysis(
+                phi, wl, configs=[RunConfig(vectorization="novec")]
+            )

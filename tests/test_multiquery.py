@@ -1,0 +1,70 @@
+"""Tests for the multi-query batch executor."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt, make_query_set
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.exceptions import PipelineError
+from repro.perfmodel import DevicePerformanceModel
+from repro.search import SearchPipeline
+from repro.search.multiquery import MultiQueryExecutor
+from tests.conftest import random_codes
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return MultiQueryExecutor(
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SyntheticSwissProt().generate(scale=0.00015)
+
+
+@pytest.fixture(scope="module")
+def queries(rng_module=None):
+    gen = np.random.default_rng(8)
+    return {f"q{i}": gen.integers(0, 20, n).astype(np.uint8)
+            for i, n in enumerate((40, 90, 150, 220, 300))}
+
+
+class TestExecution:
+    def test_every_query_searched(self, executor, db, queries):
+        outcome = executor.run(queries, db, top_k=3)
+        assert set(outcome.results) == set(queries)
+        for name, q in queries.items():
+            assert outcome.results[name].query_length == len(q)
+
+    def test_results_identical_to_plain_pipeline(self, executor, db, queries):
+        # Placement must not change the scores: both sides search the
+        # same database with exact engines.
+        outcome = executor.run(queries, db)
+        reference = SearchPipeline()
+        for name, q in queries.items():
+            expect = reference.search(q, db)
+            assert np.array_equal(outcome.results[name].scores, expect.scores)
+
+    def test_placement_follows_plan(self, executor, db, queries):
+        outcome = executor.run(queries, db)
+        placement = outcome.placement()
+        assert set(placement) == set(queries)
+        assert set(placement.values()) <= {"host", "device"}
+
+    def test_gcups_accounting(self, executor, db, queries):
+        outcome = executor.run(queries, db)
+        assert outcome.total_cells == sum(
+            len(q) * db.total_residues for q in queries.values()
+        )
+        assert outcome.modeled_gcups > 0
+
+    def test_empty_inputs_rejected(self, executor, db, queries):
+        from repro.db import SequenceDatabase
+
+        with pytest.raises(PipelineError):
+            executor.run({}, db)
+        with pytest.raises(PipelineError):
+            executor.run(queries, SequenceDatabase("e", [], []))

@@ -1,0 +1,48 @@
+"""The headline acceptance test: every paper target reproduces."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.perfmodel import PAPER_TARGETS, PaperTarget, validate_against_paper
+
+
+class TestTargetTable:
+    def test_every_target_has_section_reference(self):
+        for t in PAPER_TARGETS:
+            assert t.section.startswith("V-")
+            assert t.value > 0
+            assert 0 < t.tolerance < 0.2
+
+    def test_check_semantics_relative(self):
+        t = PaperTarget("x", "V-C1", "d", 100.0, 0.10)
+        assert t.check(105.0)
+        assert not t.check(115.0)
+
+    def test_check_semantics_absolute_for_efficiency(self):
+        t = PaperTarget("efficiency.x", "V-C1", "d", 0.88, 0.05)
+        assert t.check(0.815 + 0.02)
+        assert not t.check(0.80)
+
+    def test_zero_target_rejected(self):
+        t = PaperTarget("x", "V-C1", "d", 1.0, 0.1)
+        object.__setattr__(t, "value", 0.0)
+        with pytest.raises(ModelError):
+            t.check(1.0)
+
+
+class TestFullValidation:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return validate_against_paper()
+
+    def test_all_targets_reproduced(self, record):
+        failures = {k: v for k, v in record.items() if not v["ok"]}
+        assert not failures, failures
+
+    def test_record_covers_every_target(self, record):
+        assert set(record) == {t.key for t in PAPER_TARGETS}
+
+    def test_anchors_exact(self, record):
+        # The two anchored numbers are exact by construction.
+        assert record["xeon.intrinsic_sp.peak"]["measured"] == pytest.approx(32.0)
+        assert record["phi.intrinsic_sp"]["measured"] == pytest.approx(34.9)

@@ -1,0 +1,105 @@
+"""Tests for the transfer/compute overlap pipeline."""
+
+import pytest
+
+from repro.exceptions import OffloadError
+from repro.runtime import PCIE_GEN2_X16
+from repro.runtime.pipelined import PipelinedOffload
+
+
+@pytest.fixture
+def offload():
+    return PipelinedOffload(PCIE_GEN2_X16)
+
+
+GB = 1_000_000_000
+
+
+class TestSchedule:
+    def test_single_chunk_equals_naive(self, offload):
+        s = offload.schedule(GB, compute_seconds=2.0, chunks=1)
+        assert s.pipelined_seconds == pytest.approx(s.naive_seconds)
+
+    def test_overlap_never_slower_when_setup_free(self):
+        from repro.runtime.pcie import PCIeLink
+
+        free_setup = PipelinedOffload(
+            PCIeLink("ideal", effective_gbytes_per_s=6.0, setup_seconds=0.0)
+        )
+        for chunks in (1, 2, 8, 32):
+            s = free_setup.schedule(GB, compute_seconds=2.0, chunks=chunks)
+            assert s.pipelined_seconds <= s.naive_seconds + 1e-12
+
+    def test_compute_bound_hides_almost_all_transfer(self, offload):
+        # Compute 10x the wire time: only the first chunk's transfer is
+        # exposed.
+        wire = PCIE_GEN2_X16.transfer_seconds(GB)
+        s = offload.schedule(GB, compute_seconds=10 * wire, chunks=16)
+        assert s.exposed_transfer_fraction < 0.15
+        assert s.pipelined_seconds == pytest.approx(
+            10 * wire + s.transfer_seconds / 16, rel=0.05
+        )
+
+    def test_transfer_bound_cannot_hide_wire(self, offload):
+        # Compute much faster than the wire: the wire dominates and the
+        # pipeline saves only the (small) compute overlap.
+        wire = PCIE_GEN2_X16.transfer_seconds(GB)
+        s = offload.schedule(GB, compute_seconds=wire / 10, chunks=16)
+        assert s.pipelined_seconds >= s.transfer_seconds
+        assert s.exposed_transfer_fraction > 0.8
+
+    def test_makespan_lower_bound(self, offload):
+        s = offload.schedule(GB, compute_seconds=1.0, chunks=8)
+        assert s.pipelined_seconds >= max(s.compute_seconds,
+                                          s.transfer_seconds)
+
+    def test_savings_accounting(self, offload):
+        s = offload.schedule(GB, compute_seconds=2.0, chunks=8)
+        assert s.savings_seconds == pytest.approx(
+            s.naive_seconds - s.pipelined_seconds
+        )
+        assert s.savings_seconds > 0
+
+    def test_invalid_inputs(self, offload):
+        with pytest.raises(OffloadError):
+            offload.schedule(-1, 1.0)
+        with pytest.raises(OffloadError):
+            offload.schedule(GB, -1.0)
+        with pytest.raises(OffloadError):
+            offload.schedule(GB, 1.0, chunks=0)
+        with pytest.raises(OffloadError):
+            PipelinedOffload(launch_seconds=-1.0)
+
+
+class TestBestChunkCount:
+    def test_optimum_beats_extremes(self, offload):
+        wire = PCIE_GEN2_X16.transfer_seconds(GB)
+        best = offload.best_chunk_count(GB, compute_seconds=2 * wire)
+        one = offload.schedule(GB, 2 * wire, chunks=1)
+        assert best.pipelined_seconds <= one.pipelined_seconds
+
+    def test_setup_latency_penalises_tiny_chunks(self):
+        from repro.runtime.pcie import PCIeLink
+
+        laggy = PipelinedOffload(
+            PCIeLink("laggy", effective_gbytes_per_s=6.0, setup_seconds=0.05)
+        )
+        few = laggy.schedule(GB, compute_seconds=0.3, chunks=4)
+        many = laggy.schedule(GB, compute_seconds=0.3, chunks=64)
+        assert few.pipelined_seconds < many.pipelined_seconds
+
+    def test_empty_candidates_rejected(self, offload):
+        with pytest.raises(OffloadError):
+            offload.best_chunk_count(GB, 1.0, candidates=())
+
+    def test_swissprot_scale_scenario(self, offload):
+        # The paper's actual numbers: 192 MB database, ~5.5 s of Phi
+        # compute for the shortest query at 34.9 GCUPS... transfer is
+        # already small, and pipelining makes it negligible.
+        total_bytes = 192_480_382
+        compute = 144 * 192_480_382 / 34.9e9
+        best = offload.best_chunk_count(total_bytes, compute)
+        assert best.exposed_transfer_fraction < 0.2
+        assert best.pipelined_seconds < offload.schedule(
+            total_bytes, compute, chunks=1
+        ).pipelined_seconds

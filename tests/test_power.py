@@ -1,0 +1,103 @@
+"""Unit tests for the power/energy extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.exceptions import ModelError
+from repro.perfmodel import DevicePerformanceModel
+from repro.perfmodel.power import (
+    DevicePower, energy_sweep, hybrid_energy, optimal_splits,
+)
+from repro.runtime import HybridExecutor
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return HybridExecutor(
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+
+
+@pytest.fixture(scope="module")
+def lengths():
+    # Full-scale: the paper's Fig. 8 regime.  Small scales are
+    # tail-dominated on 240 threads (one outlier group per thread) and
+    # fixed-overhead-dominated, which flips the optima.
+    return SyntheticSwissProt().lengths()
+
+
+class TestDevicePower:
+    def test_busy_power_is_paper_tdp(self):
+        assert DevicePower(XEON_E5_2670_DUAL).busy_watts == 240.0
+        assert DevicePower(XEON_PHI_57XX).busy_watts == 240.0
+
+    def test_idle_power_fraction(self):
+        p = DevicePower(XEON_PHI_57XX, idle_fraction=0.25)
+        assert p.idle_watts == pytest.approx(60.0)
+
+    def test_energy_split_between_states(self):
+        p = DevicePower(XEON_PHI_57XX, idle_fraction=0.5)
+        # 2 s busy at 240 W + 3 s idle at 120 W.
+        assert p.energy_joules(2.0, 5.0) == pytest.approx(2 * 240 + 3 * 120)
+
+    def test_fully_busy_run(self):
+        p = DevicePower(XEON_E5_2670_DUAL)
+        assert p.energy_joules(4.0, 4.0) == pytest.approx(4 * 240)
+
+    def test_invalid_times(self):
+        p = DevicePower(XEON_E5_2670_DUAL)
+        with pytest.raises(ModelError):
+            p.energy_joules(-1.0, 2.0)
+        with pytest.raises(ModelError):
+            p.energy_joules(3.0, 2.0)
+
+    def test_invalid_idle_fraction(self):
+        with pytest.raises(ModelError):
+            DevicePower(XEON_E5_2670_DUAL, idle_fraction=1.5)
+
+
+class TestHybridEnergy:
+    def test_energy_accounting_consistent(self, executor, lengths):
+        r = executor.run(lengths, 5478, 0.5)
+        e = hybrid_energy(
+            r, DevicePower(XEON_E5_2670_DUAL), DevicePower(XEON_PHI_57XX)
+        )
+        # Bounds: between all-idle and all-busy both devices.
+        lo = r.total_seconds * (240 * 0.35 + 240 * 0.35)
+        hi = r.total_seconds * (240 + 240)
+        assert lo <= e.joules <= hi
+        assert e.average_watts == pytest.approx(e.joules / r.total_seconds)
+        assert e.energy_delay_product == pytest.approx(e.joules * r.total_seconds)
+
+    def test_balanced_split_wastes_least_idle(self, executor, lengths):
+        # At a very lopsided split one device idles most of the run, so
+        # energy per cell is worse than at the balanced optimum.  (Run
+        # with the longest paper query so compute, not the Phi's fixed
+        # launch overhead, dominates — the regime of Fig. 8.)
+        sweep = energy_sweep(executor, lengths, 5478, [0.1, 0.5, 0.9])
+        assert sweep[0.5].cells_per_joule > sweep[0.1].cells_per_joule
+        assert sweep[0.5].cells_per_joule > sweep[0.9].cells_per_joule
+
+    def test_optimal_splits_structure(self, executor, lengths):
+        opt = optimal_splits(executor, lengths, 5478, resolution=0.1)
+        assert set(opt) == {"performance", "energy", "edp"}
+        perf = opt["performance"]
+        # The throughput optimum can never beat the energy optimum on
+        # cells/joule, by definition of the argmax.
+        assert opt["energy"].cells_per_joule >= perf.cells_per_joule
+        assert opt["edp"].energy_delay_product <= perf.energy_delay_product
+
+    def test_invalid_resolution(self, executor, lengths):
+        with pytest.raises(ModelError):
+            optimal_splits(executor, lengths, 100, resolution=0.0)
+
+    def test_host_only_energy_includes_idle_phi(self, executor, lengths):
+        # Even a host-only run pays the idle coprocessor's power — the
+        # cost argument for buying the accelerator only if you use it.
+        sweep = energy_sweep(executor, lengths, 5478, [0.0])
+        e = sweep[0.0]
+        idle_phi_joules = e.result.total_seconds * 240 * 0.35
+        assert e.joules > idle_phi_joules

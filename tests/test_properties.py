@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the load-bearing correctness guarantees of the library:
+engine agreement on arbitrary inputs, the algebraic invariants of
+Smith-Waterman scores, FASTA round-tripping, scheduler conservation and
+split conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import get_engine
+from repro.db import parse_fasta_text, write_fasta
+from repro.db.fasta import FastaRecord
+from repro.devices import ParallelFor, Schedule
+from repro.runtime import split_lengths
+from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+protein_text = st.text(alphabet="ARNDCQEGHILKMFPSTWYVBZX", min_size=1, max_size=48)
+short_protein = st.text(alphabet="ARNDCQEGHILKMFPSTWYV", min_size=1, max_size=24)
+gap_models = st.tuples(
+    st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=6)
+).map(lambda t: GapModel(*t))
+
+MM = match_mismatch_matrix(5, -4)
+
+
+class TestEngineAgreement:
+    @SETTINGS
+    @given(a=protein_text, b=protein_text, gaps=gap_models)
+    def test_all_engines_equal_scalar(self, a, b, gaps):
+        oracle = get_engine("scalar").score_pair(a, b, BLOSUM62, gaps).score
+        for name in ("scan", "diagonal", "intertask"):
+            assert get_engine(name).score_pair(a, b, BLOSUM62, gaps).score == oracle
+
+    @SETTINGS
+    @given(a=protein_text, b=protein_text, gaps=gap_models,
+           lanes=st.integers(min_value=1, max_value=9))
+    def test_striped_equals_scalar(self, a, b, gaps, lanes):
+        oracle = get_engine("scalar").score_pair(a, b, BLOSUM62, gaps).score
+        assert (
+            get_engine("striped", lanes=lanes).score_pair(a, b, BLOSUM62, gaps).score
+            == oracle
+        )
+
+    @SETTINGS
+    @given(a=protein_text, b=protein_text,
+           block=st.integers(min_value=1, max_value=60))
+    def test_blocking_invisible(self, a, b, block):
+        from repro.scoring import paper_gap_model
+
+        g = paper_gap_model()
+        plain = get_engine("intertask").score_pair(a, b, BLOSUM62, g).score
+        blocked = get_engine("intertask", block_cols=block).score_pair(
+            a, b, BLOSUM62, g
+        ).score
+        assert plain == blocked
+
+
+class TestScoreAlgebra:
+    @SETTINGS
+    @given(a=protein_text, b=protein_text, gaps=gap_models)
+    def test_symmetry(self, a, b, gaps):
+        # BLOSUM62 is symmetric, so score(A,B) == score(B,A).
+        eng = get_engine("scan")
+        assert (
+            eng.score_pair(a, b, BLOSUM62, gaps).score
+            == eng.score_pair(b, a, BLOSUM62, gaps).score
+        )
+
+    @SETTINGS
+    @given(a=short_protein, gaps=gap_models)
+    def test_self_alignment_is_diagonal_sum(self, a, gaps):
+        # Over the 20 standard residues every self-substitution is
+        # positive and its row maximum, so aligning a sequence with
+        # itself scores the full diagonal sum.  (Not true of the
+        # ambiguity codes: X-X is negative.)
+        eng = get_engine("scan")
+        expect = sum(BLOSUM62.score(c, c) for c in a)
+        assert eng.score_pair(a, a, BLOSUM62, gaps).score == expect
+
+    @SETTINGS
+    @given(a=protein_text, b=protein_text, gaps=gap_models)
+    def test_score_non_negative_and_bounded(self, a, b, gaps):
+        s = get_engine("scan").score_pair(a, b, BLOSUM62, gaps).score
+        assert 0 <= s <= min(len(a), len(b)) * BLOSUM62.max_score
+
+    @SETTINGS
+    @given(a=short_protein, b=short_protein, extra=short_protein, gaps=gap_models)
+    def test_monotone_under_concatenation(self, a, b, extra, gaps):
+        # Appending database residues can only reveal better local
+        # alignments, never destroy existing ones.
+        eng = get_engine("scan")
+        base = eng.score_pair(a, b, BLOSUM62, gaps).score
+        assert eng.score_pair(a, b + extra, BLOSUM62, gaps).score >= base
+
+    @SETTINGS
+    @given(a=short_protein, b=short_protein)
+    def test_higher_gap_costs_never_raise_score(self, a, b):
+        eng = get_engine("scan")
+        cheap = eng.score_pair(a, b, BLOSUM62, GapModel(2, 1)).score
+        pricey = eng.score_pair(a, b, BLOSUM62, GapModel(12, 3)).score
+        assert pricey <= cheap
+
+    @SETTINGS
+    @given(a=short_protein, b=short_protein, gaps=gap_models)
+    def test_substring_hit_guarantee(self, a, b, gaps):
+        # b embedded in a database sequence scores at least its self-hit.
+        eng = get_engine("scan")
+        db = a + b + a
+        self_hit = sum(BLOSUM62.score(c, c) for c in b)
+        assert eng.score_pair(b, db, BLOSUM62, gaps).score >= self_hit
+
+
+class TestTracebackProperties:
+    @SETTINGS
+    @given(a=short_protein, b=short_protein, gaps=gap_models)
+    def test_traceback_rescores_exactly(self, a, b, gaps):
+        from repro.core import align_pair
+        from tests.test_core_traceback import rescore
+
+        tb = align_pair(a, b, BLOSUM62, gaps)
+        if tb.score:
+            assert rescore(tb, BLOSUM62, gaps) == tb.score
+            assert tb.aligned_query.replace("-", "") == a[tb.start_query - 1 : tb.end_query]
+            assert tb.aligned_db.replace("-", "") == b[tb.start_db - 1 : tb.end_db]
+
+
+class TestFastaRoundtrip:
+    header_text = st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1, max_size=30,
+    )
+
+    @SETTINGS
+    @given(
+        records=st.lists(
+            st.tuples(header_text, protein_text), min_size=1, max_size=8
+        ),
+        width=st.sampled_from([0, 1, 7, 60, 1000]),
+    )
+    def test_write_then_parse_is_identity(self, records, width):
+        import io
+
+        recs = [FastaRecord(h, s) for h, s in records]
+        buf = io.StringIO()
+        write_fasta(recs, buf, width=width)
+        assert parse_fasta_text(buf.getvalue()) == recs
+
+
+class TestSchedulerProperties:
+    costs_strategy = st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0, max_size=120,
+    )
+
+    @SETTINGS
+    @given(costs=costs_strategy, threads=st.integers(min_value=1, max_value=16),
+           schedule=st.sampled_from(list(Schedule)))
+    def test_conservation_and_bounds(self, costs, threads, schedule):
+        arr = np.asarray(costs)
+        res = ParallelFor(threads, schedule).run(arr)
+        # Every iteration assigned exactly once.
+        assert len(res.assignment) == len(arr)
+        if len(arr):
+            assert (res.assignment >= 0).all()
+            assert (res.assignment < threads).all()
+        # Work conservation.
+        assert res.thread_loads.sum() == pytest.approx(arr.sum())
+        # Makespan bounds (relative tolerance: loads are accumulated
+        # floating-point sums).
+        if len(arr):
+            lower = max(arr.max(initial=0.0), arr.sum() / threads)
+            assert res.makespan >= lower * (1 - 1e-9) - 1e-9
+            assert res.makespan <= arr.sum() * (1 + 1e-9) + 1e-9
+
+    @SETTINGS
+    @given(costs=st.lists(st.integers(min_value=1, max_value=1000),
+                          min_size=1, max_size=100),
+           threads=st.integers(min_value=1, max_value=8))
+    def test_dynamic_never_worse_than_twice_optimal(self, costs, threads):
+        # Greedy list scheduling is a 2-approximation of the optimum.
+        arr = np.asarray(costs, dtype=float)
+        res = ParallelFor(threads, Schedule.DYNAMIC).run(arr)
+        lower = max(arr.max(), arr.sum() / threads)
+        assert res.makespan <= 2 * lower
+
+
+class TestSplitProperties:
+    @SETTINGS
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=40_000),
+                         min_size=2, max_size=300),
+        fraction=st.floats(min_value=0.05, max_value=0.95),
+    )
+    def test_split_conserves_and_approximates(self, lengths, fraction):
+        arr = np.asarray(lengths, dtype=np.int64)
+        host, dev = split_lengths(arr, fraction)
+        assert host.sum() + dev.sum() == arr.sum()
+        assert len(host) + len(dev) == len(arr)
+        # Achieved fraction within half the largest element of target.
+        tolerance = max(arr.max() / arr.sum(), 0.02)
+        assert abs(dev.sum() / arr.sum() - fraction) <= tolerance + 1e-9
+
+
+class TestLaneGroupProperties:
+    @SETTINGS
+    @given(
+        lengths=st.lists(st.integers(min_value=1, max_value=200),
+                         min_size=1, max_size=60),
+        lanes=st.integers(min_value=1, max_value=16),
+    )
+    def test_groups_partition_input(self, lengths, lanes):
+        from repro.core import build_lane_groups
+
+        gen = np.random.default_rng(0)
+        seqs = [gen.integers(0, 20, n).astype(np.uint8) for n in lengths]
+        groups = build_lane_groups(seqs, lanes)
+        indices = sorted(int(i) for g in groups for i in g.indices)
+        assert indices == list(range(len(seqs)))
+        total = sum(int(g.lengths.sum()) for g in groups)
+        assert total == sum(lengths)
+        for g in groups:
+            assert g.n_max == int(g.lengths.max())

@@ -1,0 +1,79 @@
+"""Tests for the retrieval-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.metrics import average_precision, rank_indices, recall_at_k
+
+
+class TestRanking:
+    def test_descending_stable(self):
+        scores = np.array([5, 9, 5, 1])
+        assert list(rank_indices(scores)) == [1, 0, 2, 3]
+
+    def test_rejects_2d(self):
+        with pytest.raises(PipelineError):
+            rank_indices(np.zeros((2, 2)))
+
+
+class TestRecall:
+    def test_perfect_ranking(self):
+        scores = np.array([10, 9, 1, 0, 0])
+        assert recall_at_k(scores, {0, 1}, k=2) == 1.0
+
+    def test_partial(self):
+        scores = np.array([10, 0, 9, 0, 8])
+        assert recall_at_k(scores, {0, 1}, k=2) == 0.5
+
+    def test_k_larger_than_db(self):
+        scores = np.array([3, 2, 1])
+        assert recall_at_k(scores, {2}, k=100) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PipelineError):
+            recall_at_k(np.array([1.0]), set(), 1)
+        with pytest.raises(PipelineError):
+            recall_at_k(np.array([1.0]), {0}, 0)
+
+
+class TestAveragePrecision:
+    def test_perfect_is_one(self):
+        scores = np.array([9, 8, 7, 0, 0])
+        assert average_precision(scores, {0, 1, 2}) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        # Single relevant item ranked last of 4.
+        scores = np.array([9, 8, 7, 1])
+        assert average_precision(scores, {3}) == pytest.approx(0.25)
+
+    def test_interleaved(self):
+        # Relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2.
+        scores = np.array([9, 8, 7, 0])
+        assert average_precision(scores, {0, 2}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_monotone_under_improvement(self, rng):
+        scores = rng.normal(size=50)
+        relevant = {3, 7, 11}
+        base = average_precision(scores, relevant)
+        improved = scores.copy()
+        for r in relevant:
+            improved[r] += 100  # push relevant to the top
+        assert average_precision(improved, relevant) >= base
+
+    def test_search_integration(self, rng):
+        # Planted homolog must give AP = 1 for the exact search.
+        from repro.db import SyntheticSwissProt
+        from repro.db.mutate import plant_homologs
+        from repro.search import SearchPipeline
+        from tests.conftest import random_codes
+
+        bg = SyntheticSwissProt().generate(scale=0.0001)
+        q = random_codes(rng, 90)
+        db, planted = plant_homologs(bg, {"q": q}, [0.1, 0.2], per_rate=1)
+        result = SearchPipeline().search(q, db)
+        relevant = {p.index for p in planted}
+        assert average_precision(result.scores, relevant) == pytest.approx(1.0)
+        assert recall_at_k(result.scores, relevant, k=len(relevant)) == 1.0

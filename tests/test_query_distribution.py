@@ -1,0 +1,113 @@
+"""Tests for the query-distribution hybrid strategy extension."""
+
+import numpy as np
+import pytest
+
+from repro.db import PAPER_QUERIES, SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.exceptions import OffloadError
+from repro.perfmodel import DevicePerformanceModel
+from repro.runtime.query_distribution import (
+    QueryDistributor, compare_strategies,
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return (
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+
+
+@pytest.fixture(scope="module")
+def lengths():
+    return SyntheticSwissProt().lengths(scale=0.02)
+
+
+@pytest.fixture(scope="module")
+def paper_query_set():
+    return {q.accession: q.length for q in PAPER_QUERIES}
+
+
+class TestPlan:
+    def test_every_query_assigned_exactly_once(self, models, lengths,
+                                               paper_query_set):
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        names = [a.name for a in plan.assignments]
+        assert sorted(names) == sorted(paper_query_set)
+
+    def test_both_sides_used_on_paper_set(self, models, lengths,
+                                          paper_query_set):
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        assert plan.queries_on("host")
+        assert plan.queries_on("device")
+
+    def test_loads_sum_to_assigned_costs(self, models, lengths,
+                                         paper_query_set):
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        host_sum = sum(a.seconds for a in plan.assignments
+                       if a.device == "host")
+        dev_sum = sum(a.seconds for a in plan.assignments
+                      if a.device == "device")
+        assert host_sum == pytest.approx(plan.host_seconds)
+        assert dev_sum == pytest.approx(plan.device_seconds)
+
+    def test_makespan_includes_transfer(self, models, lengths,
+                                        paper_query_set):
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        assert plan.makespan >= plan.device_seconds + plan.transfer_seconds \
+            or plan.makespan == plan.host_seconds
+        assert plan.transfer_seconds > 0
+
+    def test_lpt_balances_loads(self, models, lengths, paper_query_set):
+        # The two sides' finish times should be within the largest
+        # single job of each other (the LPT guarantee flavour).
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        finish_h = plan.host_seconds
+        finish_d = plan.device_seconds + plan.transfer_seconds
+        biggest = max(a.seconds for a in plan.assignments)
+        assert abs(finish_h - finish_d) <= biggest + 1e-9
+
+    def test_single_query_runs_on_faster_side(self, models, lengths):
+        plan = QueryDistributor(*models).plan({"q": 5478}, lengths)
+        assert len(plan.assignments) == 1
+        # With only one job there is no parallelism; it lands wherever
+        # it finishes earliest.
+        assert plan.makespan == pytest.approx(
+            min(
+                plan.host_seconds
+                or plan.device_seconds + plan.transfer_seconds,
+                plan.host_seconds
+                + (plan.device_seconds + plan.transfer_seconds),
+            )
+        )
+
+    def test_empty_query_set_rejected(self, models, lengths):
+        with pytest.raises(OffloadError):
+            QueryDistributor(*models).plan({}, lengths)
+
+    def test_gcups_positive(self, models, lengths, paper_query_set):
+        plan = QueryDistributor(*models).plan(paper_query_set, lengths)
+        assert plan.gcups > 0
+        assert 0.0 < plan.device_share < 1.0
+
+
+class TestStrategyComparison:
+    def test_comparison_structure(self, models, lengths):
+        queries = {q.accession: q.length for q in PAPER_QUERIES[:6]}
+        out = compare_strategies(*models, queries, lengths,
+                                 split_resolution=0.25)
+        assert set(out) == {
+            "db_split_gcups", "query_split_gcups", "query_split_device_share"
+        }
+        assert out["db_split_gcups"] > 0
+        assert out["query_split_gcups"] > 0
+
+    def test_query_split_wins_on_many_short_queries(self, models, lengths):
+        # Many short queries: the db-split pays BOTH devices' fixed
+        # launch costs per query; query distribution pays one each.
+        queries = {f"short{i}": 144 for i in range(12)}
+        out = compare_strategies(*models, queries, lengths,
+                                 split_resolution=0.25)
+        assert out["query_split_gcups"] > out["db_split_gcups"]

@@ -1,0 +1,171 @@
+"""Unit tests for the PCIe, offload and hybrid runtime models."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.exceptions import OffloadError
+from repro.perfmodel import DevicePerformanceModel, RunConfig
+from repro.runtime import (
+    PCIE_GEN2_X16, HybridExecutor, OffloadRegion, PCIeLink, split_lengths,
+)
+
+
+class TestPCIe:
+    def test_zero_bytes_free(self):
+        assert PCIE_GEN2_X16.transfer_seconds(0) == 0.0
+
+    def test_bandwidth_dominates_large_transfers(self):
+        # 6 GB at 6 GB/s ~ 1 second.
+        t = PCIE_GEN2_X16.transfer_seconds(6_000_000_000)
+        assert t == pytest.approx(1.0, rel=0.01)
+
+    def test_setup_dominates_small_transfers(self):
+        t = PCIE_GEN2_X16.transfer_seconds(64)
+        assert t == pytest.approx(PCIE_GEN2_X16.setup_seconds, rel=0.01)
+
+    def test_monotone(self):
+        a = PCIE_GEN2_X16.transfer_seconds(1_000)
+        b = PCIE_GEN2_X16.transfer_seconds(1_000_000)
+        assert b > a
+
+    def test_invalid_parameters(self):
+        with pytest.raises(OffloadError):
+            PCIeLink("bad", effective_gbytes_per_s=0)
+        with pytest.raises(OffloadError):
+            PCIE_GEN2_X16.transfer_seconds(-1)
+
+
+class TestOffloadRegion:
+    def test_async_timing_composition(self):
+        region = OffloadRegion(PCIE_GEN2_X16, launch_seconds=0.1)
+        h = region.run_async(
+            in_bytes=6_000_000_000, out_bytes=0, compute_seconds=2.0
+        )
+        assert h.ready_at == pytest.approx(0.1 + 1.0 + 2.0, rel=0.02)
+
+    def test_kernel_result_carried(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        h = region.run_async(kernel=lambda: 42)
+        assert h.result == 42
+
+    def test_wait_overlap_is_free_when_host_late(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        h = region.run_async(compute_seconds=1.0)
+        assert region.wait(h, now=5.0) == 5.0
+
+    def test_wait_blocks_when_device_late(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        h = region.run_async(compute_seconds=9.0)
+        assert region.wait(h, now=1.0) == pytest.approx(h.ready_at)
+
+    def test_double_wait_rejected(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        h = region.run_async()
+        region.wait(h)
+        with pytest.raises(OffloadError, match="already waited"):
+            region.wait(h)
+
+    def test_transfer_accounting(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        region.run_async(in_bytes=100, out_bytes=8)
+        region.run_async(in_bytes=50, out_bytes=4)
+        assert region.bytes_in == 150
+        assert region.bytes_out == 12
+
+    def test_invalid_arguments(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        with pytest.raises(OffloadError):
+            region.run_async(compute_seconds=-1)
+        with pytest.raises(OffloadError):
+            region.run_async(start_at=-1)
+        with pytest.raises(OffloadError):
+            OffloadRegion(PCIE_GEN2_X16, launch_seconds=-0.1)
+
+
+class TestSplitLengths:
+    def test_partition_conserves_residues(self, rng):
+        lengths = rng.integers(10, 1000, 500)
+        host, dev = split_lengths(lengths, 0.55)
+        assert host.sum() + dev.sum() == lengths.sum()
+        assert len(host) + len(dev) == 500
+
+    def test_fraction_accuracy(self, rng):
+        lengths = rng.integers(10, 1000, 500)
+        _, dev = split_lengths(lengths, 0.55)
+        assert abs(dev.sum() / lengths.sum() - 0.55) < 0.02
+
+    def test_edge_fractions(self, rng):
+        lengths = rng.integers(10, 100, 50)
+        host, dev = split_lengths(lengths, 0.0)
+        assert len(dev) == 0 and len(host) == 50
+        host, dev = split_lengths(lengths, 1.0)
+        assert len(host) == 0 and len(dev) == 50
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(OffloadError):
+            split_lengths(rng.integers(1, 9, 5), 1.2)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return HybridExecutor(
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+
+
+@pytest.fixture(scope="module")
+def full_lengths():
+    return SyntheticSwissProt().lengths()
+
+
+class TestHybrid:
+    """Figure 8 shape: unimodal, peak near the middle, ~62.6 GCUPS."""
+
+    def test_endpoints_match_single_devices(self, executor, full_lengths):
+        host_only = executor.run(full_lengths, 5478, 0.0)
+        dev_only = executor.run(full_lengths, 5478, 1.0)
+        assert host_only.gcups == pytest.approx(32.0, rel=0.02)
+        # The Phi alone pays the PCIe transfer of the whole database.
+        assert dev_only.gcups == pytest.approx(34.9, rel=0.02)
+
+    def test_peak_location_and_value(self, executor, full_lengths):
+        best = executor.best_split(full_lengths, 5478)
+        # Paper: optimum "close to a homogeneous distribution"
+        # (45% Xeon / 55% Phi) reaching 62.6 GCUPS.
+        assert 0.45 <= best.device_fraction <= 0.60
+        assert best.gcups == pytest.approx(62.6, rel=0.05)
+
+    def test_peak_beats_both_endpoints(self, executor, full_lengths):
+        best = executor.best_split(full_lengths, 5478)
+        assert best.gcups > 1.7 * 32.0 * 0.9  # near-additive combination
+
+    def test_sweep_is_unimodal(self, executor, full_lengths):
+        fractions = [k * 0.1 for k in range(11)]
+        sweep = executor.sweep(full_lengths, 5478, fractions)
+        values = [sweep[f].gcups for f in fractions]
+        peak = values.index(max(values))
+        assert all(b >= a * 0.999 for a, b in zip(values[:peak], values[1 : peak + 1]))
+        assert all(a >= b * 0.999 for a, b in zip(values[peak:], values[peak + 1 :]))
+
+    def test_overlap_efficiency_peaks_at_optimum(self, executor, full_lengths):
+        best = executor.best_split(full_lengths, 5478)
+        off = executor.run(full_lengths, 5478, 0.9)
+        assert best.overlap_efficiency > off.overlap_efficiency
+
+    def test_total_is_max_of_sides(self, executor, full_lengths):
+        r = executor.run(full_lengths, 5478, 0.4)
+        assert r.total_seconds == pytest.approx(
+            max(r.host_seconds, r.device_seconds)
+        )
+
+    def test_invalid_resolution(self, executor, full_lengths):
+        with pytest.raises(OffloadError):
+            executor.best_split(full_lengths, 100, resolution=0.0)
+
+    def test_empty_split_raises_nothing_but_counts_work(self, executor, full_lengths):
+        r = executor.run(full_lengths, 100, 0.0)
+        assert r.device_seconds == 0.0
+        assert r.cells == 100 * int(full_lengths.sum())

@@ -1,0 +1,55 @@
+"""Unit tests for the affine gap model (paper Eq. 5)."""
+
+import pytest
+
+from repro.exceptions import GapModelError
+from repro.scoring import GapModel, LinearGapModel, paper_gap_model
+
+
+class TestGapModel:
+    def test_paper_values(self):
+        g = paper_gap_model()
+        assert g.open == 10
+        assert g.extend == 2
+        assert g.first_gap_cost == 12
+
+    def test_penalty_formula(self):
+        g = GapModel(10, 2)
+        # g(x) = q + r*x per Eq. 5
+        assert g.penalty(1) == 12
+        assert g.penalty(5) == 20
+        assert g.penalty(0) == 0
+
+    def test_penalty_monotone_in_length(self):
+        g = GapModel(7, 3)
+        values = [g.penalty(x) for x in range(1, 20)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(GapModelError):
+            GapModel(10, 2).penalty(-1)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(GapModelError):
+            GapModel(-1, 2)
+        with pytest.raises(GapModelError):
+            GapModel(1, -2)
+
+    def test_zero_zero_rejected(self):
+        with pytest.raises(GapModelError, match="degenerate"):
+            GapModel(0, 0)
+
+    def test_linear_model(self):
+        g = LinearGapModel(3)
+        assert g.is_linear
+        assert g.open == 0
+        assert g.penalty(4) == 12
+
+    def test_affine_is_not_linear(self):
+        assert not paper_gap_model().is_linear
+
+    def test_frozen(self):
+        g = paper_gap_model()
+        with pytest.raises(AttributeError):
+            g.open = 5

@@ -1,0 +1,143 @@
+"""Unit tests for substitution matrices and the bundled data."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import PROTEIN, Alphabet
+from repro.exceptions import ScoringError
+from repro.scoring import (
+    BLOSUM45, BLOSUM50, BLOSUM62, BLOSUM80, BLOSUM90,
+    PAM30, PAM70, PAM250,
+    SubstitutionMatrix, available_matrices, get_matrix, match_mismatch_matrix,
+)
+from repro.scoring.matrices import parse_matrix_text
+
+ALL_MATRICES = [BLOSUM45, BLOSUM50, BLOSUM62, BLOSUM80, BLOSUM90, PAM30, PAM70, PAM250]
+
+
+class TestMatrixType:
+    def test_symmetry_enforced(self):
+        data = np.zeros((24, 24), dtype=np.int32)
+        data[0, 1] = 5  # asymmetric on purpose
+        with pytest.raises(ScoringError, match="not symmetric"):
+            SubstitutionMatrix("BAD", PROTEIN, data)
+
+    def test_shape_enforced(self):
+        with pytest.raises(ScoringError, match="shape"):
+            SubstitutionMatrix("BAD", PROTEIN, np.zeros((4, 4), dtype=np.int32))
+
+    def test_score_by_letter(self):
+        assert BLOSUM62.score("A", "A") == 4
+        assert BLOSUM62.score("W", "W") == 11
+        assert BLOSUM62.score("A", "R") == -1
+        assert BLOSUM62.score("r", "a") == -1  # case-folded
+
+    def test_lookup_vectorised(self):
+        a = PROTEIN.encode("ARND")
+        b = PROTEIN.encode("AAAA")
+        expect = [BLOSUM62.score(x, "A") for x in "ARND"]
+        assert list(BLOSUM62.lookup(a, b)) == expect
+
+    def test_row_is_view_of_data(self):
+        row = BLOSUM62.row(0)
+        assert row.shape == (24,)
+        assert row[0] == 4
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ScoringError):
+            BLOSUM62.row(24)
+
+    def test_min_max_scores(self):
+        assert BLOSUM62.max_score == 11  # W-W
+        assert BLOSUM62.min_score == -4
+
+    def test_with_name(self):
+        other = BLOSUM62.with_name("COPY")
+        assert other.name == "COPY"
+        assert np.array_equal(other.data, BLOSUM62.data)
+
+
+class TestBundledData:
+    @pytest.mark.parametrize("matrix", ALL_MATRICES, ids=lambda m: m.name)
+    def test_symmetric(self, matrix):
+        assert np.array_equal(matrix.data, matrix.data.T)
+
+    @pytest.mark.parametrize("matrix", ALL_MATRICES, ids=lambda m: m.name)
+    def test_diagonal_positive_for_standard_residues(self, matrix):
+        diag = np.diag(matrix.data)[:20]
+        assert (diag > 0).all(), f"{matrix.name} has a non-positive self-score"
+
+    @pytest.mark.parametrize("matrix", ALL_MATRICES, ids=lambda m: m.name)
+    def test_diagonal_dominates_row_for_standard_residues(self, matrix):
+        # A residue never scores higher against a different residue than
+        # against itself (holds for all BLOSUM/PAM members bundled).
+        data = matrix.data[:20, :20]
+        for i in range(20):
+            assert data[i, i] == data[i].max()
+
+    def test_blosum62_spot_values(self):
+        # Entry-by-entry spot checks against the NCBI table.
+        cases = {
+            ("A", "A"): 4, ("R", "K"): 2, ("N", "B"): 3, ("D", "E"): 2,
+            ("C", "C"): 9, ("Q", "Z"): 3, ("G", "G"): 6, ("H", "Y"): 2,
+            ("I", "V"): 3, ("L", "M"): 2, ("F", "Y"): 3, ("P", "P"): 7,
+            ("W", "F"): 1, ("X", "X"): -1, ("*", "*"): 1, ("A", "*"): -4,
+            ("S", "T"): 1, ("E", "Q"): 2,
+        }
+        for (a, b), v in cases.items():
+            assert BLOSUM62.score(a, b) == v, (a, b)
+
+    def test_registry_lookup(self):
+        assert get_matrix("blosum62") is BLOSUM62
+        assert get_matrix("PAM250") is PAM250
+        assert "BLOSUM62" in available_matrices()
+
+    def test_registry_unknown(self):
+        with pytest.raises(ScoringError, match="unknown matrix"):
+            get_matrix("BLOSUM999")
+
+
+class TestMatchMismatch:
+    def test_structure(self):
+        m = match_mismatch_matrix(2, -3)
+        assert m.score("A", "A") == 2
+        assert m.score("A", "C") == -3
+
+    def test_match_must_exceed_mismatch(self):
+        with pytest.raises(ScoringError):
+            match_mismatch_matrix(1, 1)
+
+    def test_custom_alphabet(self):
+        dna = Alphabet("ACGTN", wildcard="N")
+        m = match_mismatch_matrix(5, -4, alphabet=dna)
+        assert m.size == 5
+
+
+class TestParser:
+    def test_header_mismatch(self):
+        with pytest.raises(ScoringError, match="header"):
+            parse_matrix_text("T", "A B\nA 1 0\nB 0 1")
+
+    def test_row_label_mismatch(self):
+        letters = PROTEIN.letters
+        header = " ".join(letters)
+        rows = "\n".join(
+            (letters[i] if i else "Z") + " " + " ".join(["0"] * 24)
+            for i in range(24)
+        )
+        with pytest.raises(ScoringError, match="row 0"):
+            parse_matrix_text("T", header + "\n" + rows)
+
+    def test_empty_text(self):
+        with pytest.raises(ScoringError, match="empty"):
+            parse_matrix_text("T", "   \n# just a comment\n")
+
+    def test_comments_ignored(self):
+        header = " ".join(PROTEIN.letters)
+        rows = "\n".join(
+            f"{c} " + " ".join(["1" if c == d else "0" for d in PROTEIN.letters])
+            for c in PROTEIN.letters
+        )
+        m = parse_matrix_text("ID", "# comment\n" + header + "\n" + rows)
+        assert m.score("A", "A") == 1
+        assert m.score("A", "R") == 0

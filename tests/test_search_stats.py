@@ -1,0 +1,139 @@
+"""Tests for the Karlin-Altschul / Gumbel statistics extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.db.mutate import plant_homologs
+from repro.exceptions import ModelError
+from repro.scoring import BLOSUM62, PAM250, match_mismatch_matrix
+from repro.search import SearchPipeline
+from repro.search.stats import (
+    GumbelFit, attach_statistics, bitscore, evalue, ungapped_lambda,
+)
+
+
+class TestUngappedLambda:
+    def test_blosum62_lambda_near_literature_value(self):
+        # Ungapped BLOSUM62 with standard background: lambda ~ 0.318
+        # (the canonical BLAST value is 0.3176).
+        lam = ungapped_lambda(BLOSUM62)
+        assert lam == pytest.approx(0.318, abs=0.01)
+
+    def test_lambda_satisfies_defining_equation(self):
+        from repro.db.synthetic import ROBINSON_FREQUENCIES
+
+        lam = ungapped_lambda(BLOSUM62)
+        p = ROBINSON_FREQUENCIES / ROBINSON_FREQUENCIES.sum()
+        s = BLOSUM62.data[:20, :20]
+        total = float(
+            (np.outer(p, p) * np.exp(lam * s)).sum()
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_different_matrices_different_lambda(self):
+        assert ungapped_lambda(BLOSUM62) != pytest.approx(
+            ungapped_lambda(PAM250), abs=1e-3
+        )
+
+    def test_positive_expectation_rejected(self):
+        # match/mismatch +2/-1 over uniform background has E[s] > 0.
+        always_positive = match_mismatch_matrix(5, 4)
+        with pytest.raises(ModelError, match="negative"):
+            ungapped_lambda(always_positive, np.full(20, 1 / 20))
+
+    def test_bad_frequency_shape(self):
+        with pytest.raises(ModelError):
+            ungapped_lambda(BLOSUM62, np.full(4, 0.25))
+
+
+class TestGumbelFit:
+    def test_recovers_parameters_from_synthetic_gumbel(self, rng):
+        # Draw from a known Gumbel and check the moments fit recovers it.
+        lam_true = 0.25
+        mu_true = 40.0
+        sample = rng.gumbel(mu_true, 1.0 / lam_true, size=20_000)
+        fit = GumbelFit.from_scores(sample, query_len=100, db_residues=100 * 20_000)
+        assert fit.lam == pytest.approx(lam_true, rel=0.05)
+        # K encodes mu: exp(lam*mu)/(m*n_mean).
+        k_true = math.exp(lam_true * mu_true) / (100 * 100)
+        assert fit.k == pytest.approx(k_true, rel=0.5)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ModelError, match="at least 10"):
+            GumbelFit.from_scores(np.ones(5), 10, 100)
+
+    def test_degenerate_scores(self):
+        with pytest.raises(ModelError, match="degenerate"):
+            GumbelFit.from_scores(np.full(100, 7.0), 10, 100)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            GumbelFit(lam=-1.0, k=0.1)
+        with pytest.raises(ModelError):
+            GumbelFit(lam=0.3, k=0.0)
+
+
+class TestEvalue:
+    FIT = GumbelFit(lam=0.3, k=0.04)
+
+    def test_higher_score_lower_evalue(self):
+        e1 = evalue(50, 100, 1_000_000, self.FIT)
+        e2 = evalue(100, 100, 1_000_000, self.FIT)
+        assert e2 < e1
+
+    def test_bigger_database_higher_evalue(self):
+        e_small = evalue(80, 100, 1_000_000, self.FIT)
+        e_big = evalue(80, 100, 100_000_000, self.FIT)
+        assert e_big == pytest.approx(100 * e_small)
+
+    def test_bitscore_monotone(self):
+        assert bitscore(100, self.FIT) > bitscore(50, self.FIT)
+
+    def test_invalid_space(self):
+        with pytest.raises(ModelError):
+            evalue(10, 0, 100, self.FIT)
+
+
+class TestAttachStatistics:
+    @pytest.fixture(scope="class")
+    def search_result(self):
+        bg = SyntheticSwissProt().generate(scale=0.0003)
+        rng = np.random.default_rng(11)
+        query = rng.integers(0, 20, 120).astype(np.uint8)
+        db, planted = plant_homologs(bg, {"q": query}, [0.15], per_rate=1)
+        result = SearchPipeline().search(query, db, top_k=10)
+        return result, planted
+
+    def test_planted_homolog_is_significant(self, search_result):
+        result, planted = search_result
+        stats = attach_statistics(result)
+        by_index = {h.index: (e, b) for h, e, b in stats}
+        e_homolog, _ = by_index[planted[0].index]
+        assert e_homolog < 1e-3  # far beyond chance
+
+    def test_background_hits_not_significant(self, search_result):
+        result, _ = search_result
+        stats = attach_statistics(result)
+        # The weakest of the top-10 hits is background noise: E >= ~0.01.
+        weakest_e = stats[-1][1]
+        assert weakest_e > 1e-2
+
+    def test_order_matches_hits(self, search_result):
+        result, _ = search_result
+        stats = attach_statistics(result)
+        assert [h.index for h, _, _ in stats] == [h.index for h in result.hits]
+        evalues = [e for _, e, _ in stats]
+        assert evalues == sorted(evalues)  # scores desc -> evalues asc
+
+    def test_explicit_fit_respected(self, search_result):
+        result, _ = search_result
+        fit = GumbelFit(lam=0.3, k=0.05)
+        stats = attach_statistics(result, fit)
+        h0 = result.hits[0]
+        db_residues = result.cells // result.query_length
+        assert stats[0][1] == pytest.approx(
+            evalue(h0.score, result.query_length, db_residues, fit)
+        )

@@ -1,0 +1,288 @@
+"""Unit tests for the simulated SIMD substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.simd import (
+    AVX_256, MIC_512, SCALAR_ISA, SSE_128,
+    InstructionCounter, KernelConfig, VectorISA, VectorUnit,
+    known_isas, sw_instruction_mix,
+)
+
+
+class TestISA:
+    def test_lane_counts(self):
+        assert AVX_256.lanes(32) == 8
+        assert MIC_512.lanes(32) == 16
+        assert MIC_512.lanes(16) == 32
+        assert SSE_128.lanes(8) == 16
+        assert SCALAR_ISA.lanes(32) == 1
+
+    def test_paper_gather_asymmetry(self):
+        # Section V-C1: "Intel's Xeon does not incorporate vector gather
+        # functionality"; Section V-C2: the Phi does.
+        assert not AVX_256.has_gather
+        assert MIC_512.has_gather
+
+    def test_gather_instruction_count(self):
+        assert MIC_512.gather_instruction_count(32) == 1
+        # Emulation: ~2 instructions per lane.
+        assert AVX_256.gather_instruction_count(32) == 16
+
+    def test_invalid_element_width(self):
+        with pytest.raises(DeviceError):
+            AVX_256.lanes(12)
+
+    def test_element_wider_than_register(self):
+        with pytest.raises(DeviceError):
+            SCALAR_ISA.lanes(64)
+
+    def test_invalid_register_width(self):
+        with pytest.raises(DeviceError):
+            VectorISA("bad", 48, has_gather=False)
+
+    def test_known_isas(self):
+        assert set(known_isas()) == {"sse", "avx", "mic", "scalar"}
+
+
+class TestInstructionCounter:
+    def test_tally_and_total(self):
+        c = InstructionCounter()
+        c.tally("add", 5)
+        c.tally("max", 3)
+        assert c.total == 8
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(DeviceError):
+            InstructionCounter().tally("frobnicate")
+
+    def test_negative_rejected(self):
+        with pytest.raises(DeviceError):
+            InstructionCounter().tally("add", -1)
+
+    def test_merge_and_reset(self):
+        a, b = InstructionCounter(), InstructionCounter()
+        a.tally("add", 2)
+        b.tally("add", 3)
+        a.merge(b)
+        assert a.counts["add"] == 5
+        a.reset()
+        assert a.total == 0
+
+    def test_as_mix(self):
+        c = InstructionCounter()
+        c.tally("add", 100)
+        mix = c.as_mix(cells=50)
+        assert mix.per_cell["add"] == 2.0
+        assert mix.instructions_per_cell == 2.0
+
+    def test_mix_weighted_cycles(self):
+        c = InstructionCounter()
+        c.tally("add", 10)
+        c.tally("gather", 10)
+        mix = c.as_mix(10)
+        assert mix.weighted_cycles({"gather": 10.0}) == 1.0 + 10.0
+
+    def test_mix_invalid_cells(self):
+        with pytest.raises(DeviceError):
+            InstructionCounter().as_mix(0)
+
+
+class TestVectorUnit:
+    def test_arithmetic_is_exact(self, rng):
+        vu = VectorUnit(AVX_256)
+        a = rng.integers(-100, 100, 37)
+        b = rng.integers(-100, 100, 37)
+        assert np.array_equal(vu.add(a, b), a + b)
+        assert np.array_equal(vu.max(a, b), np.maximum(a, b))
+        assert np.array_equal(vu.sub(a, b), a - b)
+
+    def test_register_counting(self):
+        vu = VectorUnit(AVX_256)  # 8 lanes
+        vu.add(np.zeros(17), np.zeros(17))  # ceil(17/8) = 3 registers
+        # AVX integer ops are 2x128-bit micro-ops.
+        assert vu.counter.counts["add"] == 6
+
+    def test_scalar_unit_counts_per_element(self):
+        vu = VectorUnit(SCALAR_ISA)
+        vu.max(np.zeros(10), np.zeros(10))
+        assert vu.counter.counts["max"] == 10
+
+    def test_gather_native_vs_emulated(self):
+        table = np.arange(100)
+        idx = np.arange(16)
+        native = VectorUnit(MIC_512)
+        out = native.gather(table, idx)
+        assert np.array_equal(out, idx)
+        assert native.counter.counts["gather"] == 1
+        emulated = VectorUnit(AVX_256)
+        emulated.gather(table, idx)
+        assert emulated.counter.counts["gather"] == 0
+        assert emulated.counter.counts["extract"] == 16
+        assert emulated.counter.counts["scalar_load"] == 16
+
+    def test_lane_shift(self):
+        vu = VectorUnit(AVX_256)
+        out = vu.lane_shift(np.array([1, 2, 3]), fill=-9)
+        assert list(out) == [-9, 1, 2]
+
+    def test_running_max_exact(self, rng):
+        vu = VectorUnit(MIC_512)
+        a = rng.integers(-50, 50, (20, 4))
+        assert np.array_equal(vu.running_max(a), np.maximum.accumulate(a, axis=0))
+
+    def test_store_shape_mismatch(self):
+        vu = VectorUnit(AVX_256)
+        with pytest.raises(DeviceError):
+            vu.store(np.zeros(3), np.zeros(4))
+
+    def test_masked_select(self):
+        vu = VectorUnit(MIC_512)
+        out = vu.masked_select(np.array([True, False]), np.array([1, 1]), np.array([2, 2]))
+        assert list(out) == [1, 2]
+        assert vu.counter.counts["mask"] == 1
+
+
+class TestKernelMixes:
+    def test_qp_gathers_only_on_query_profile(self):
+        qp = sw_instruction_mix(KernelConfig(isa=MIC_512, profile="query"))
+        sp = sw_instruction_mix(KernelConfig(isa=MIC_512, profile="sequence"))
+        assert qp.per_cell.get("gather", 0) > 0
+        assert sp.per_cell.get("gather", 0) == 0
+
+    def test_avx_qp_uses_shuffle_emulation(self):
+        qp = sw_instruction_mix(KernelConfig(isa=AVX_256, profile="query"))
+        assert qp.per_cell.get("gather", 0) == 0
+        assert qp.per_cell.get("extract", 0) > 0
+        assert qp.per_cell.get("scalar_load", 0) > 0
+
+    def test_guided_issues_more_instructions(self):
+        for isa in (AVX_256, MIC_512):
+            simd = sw_instruction_mix(KernelConfig(isa=isa, vectorization="simd"))
+            intr = sw_instruction_mix(KernelConfig(isa=isa, vectorization="intrinsic"))
+            assert simd.instructions_per_cell > intr.instructions_per_cell
+
+    def test_novec_costs_most_per_cell(self):
+        novec = sw_instruction_mix(KernelConfig(isa=AVX_256, vectorization="novec"))
+        intr = sw_instruction_mix(KernelConfig(isa=AVX_256, vectorization="intrinsic"))
+        assert novec.instructions_per_cell > 2 * intr.instructions_per_cell
+
+    def test_wider_registers_fewer_instructions(self):
+        avx = sw_instruction_mix(KernelConfig(isa=AVX_256, profile="sequence"))
+        mic = sw_instruction_mix(KernelConfig(isa=MIC_512, profile="sequence"))
+        assert mic.instructions_per_cell < avx.instructions_per_cell
+
+    def test_labels(self):
+        assert KernelConfig(isa=AVX_256, vectorization="novec").label == "no-vec"
+        assert KernelConfig(isa=AVX_256, vectorization="simd", profile="query").label == "simd-QP"
+        assert KernelConfig(isa=MIC_512).label == "intrinsic-SP"
+
+    def test_invalid_config(self):
+        with pytest.raises(DeviceError):
+            KernelConfig(isa=AVX_256, vectorization="hyper")
+        with pytest.raises(DeviceError):
+            KernelConfig(isa=AVX_256, profile="both")
+
+    def test_mix_deterministic(self):
+        a = sw_instruction_mix(KernelConfig(isa=MIC_512))
+        b = sw_instruction_mix(KernelConfig(isa=MIC_512))
+        assert a.per_cell == b.per_cell
+
+
+class TestInstrumentedKernelCorrectness:
+    def test_scores_match_intertask_engine(self, rng):
+        from repro.core import InterTaskEngine, build_lane_groups
+        from repro.scoring import BLOSUM62, paper_gap_model
+        from repro.simd.kernels import _NEG, run_instrumented_group
+
+        gaps = paper_gap_model()
+        seqs = [rng.integers(0, 20, int(rng.integers(5, 60))).astype(np.uint8)
+                for _ in range(16)]
+        q = rng.integers(0, 20, 24).astype(np.uint8)
+        group = build_lane_groups(seqs, 16)[0]
+        sub_ext = np.concatenate(
+            (BLOSUM62.data.astype(np.int64),
+             np.full((24, 1), _NEG // 2, dtype=np.int64)), axis=1)
+        codes = np.minimum(group.codes, 24).astype(np.intp)
+        for vec in ("novec", "simd", "intrinsic"):
+            for prof in ("query", "sequence"):
+                cfg = KernelConfig(isa=MIC_512, vectorization=vec, profile=prof)
+                best, _ = run_instrumented_group(
+                    cfg, q, codes, group.lengths, sub_ext, 10, 2)
+                ref, _ = InterTaskEngine(lanes=16).score_group(
+                    q, group, BLOSUM62, gaps)
+                assert np.array_equal(best, ref), (vec, prof)
+
+
+class TestInstrumentedStripedKernel:
+    def test_scores_match_oracle(self, rng):
+        from repro.core import get_engine
+        from repro.scoring import BLOSUM62, paper_gap_model
+        from repro.simd.kernels import run_instrumented_striped
+
+        g = paper_gap_model()
+        oracle = get_engine("scalar")
+        sub = BLOSUM62.data.astype(np.int64)
+        for _ in range(8):
+            q = rng.integers(0, 20, int(rng.integers(3, 40))).astype(np.uint8)
+            d = rng.integers(0, 20, int(rng.integers(3, 40))).astype(np.uint8)
+            score, _ = run_instrumented_striped(MIC_512, q, d, sub, 10, 2)
+            assert score == oracle.score_pair(q, d, BLOSUM62, g).score
+
+    def test_zero_extend_rejected(self, rng):
+        from repro.scoring import BLOSUM62
+        from repro.simd.kernels import run_instrumented_striped
+
+        q = rng.integers(0, 20, 8).astype(np.uint8)
+        with pytest.raises(DeviceError):
+            run_instrumented_striped(
+                AVX_256, q, q, BLOSUM62.data.astype(np.int64), 5, 0
+            )
+
+    def test_striped_wastes_lanes_on_short_queries(self, rng):
+        # The instruction-level version of the paper's Section IV
+        # argument ("especially when aligning short sequences"): the
+        # striped layout strides the *query* across lanes, so a query
+        # shorter than a register leaves lanes padded and the per-cell
+        # instruction count balloons; at long queries the waste
+        # amortises away.
+        from repro.scoring import BLOSUM62
+        from repro.simd.kernels import run_instrumented_striped
+
+        sub = BLOSUM62.data.astype(np.int64)
+        d = rng.integers(0, 20, 64).astype(np.uint8)
+
+        def per_cell(qlen: int) -> float:
+            q = rng.integers(0, 20, qlen).astype(np.uint8)
+            _, c = run_instrumented_striped(MIC_512, q, d, sub, 10, 2)
+            return c.total / (qlen * len(d))
+
+        short = per_cell(5)    # 5 of 16 lanes useful
+        medium = per_cell(16)  # exactly one register
+        long = per_cell(128)   # 8 full stripe rows
+        assert short > 2 * long
+        assert short > medium > long
+
+    def test_intertask_insensitive_to_lane_fill_by_length(self, rng):
+        # The inter-task kernel's per-cell cost barely moves with query
+        # length — its lanes are different sequences, always full.
+        from repro.core import build_lane_groups
+        from repro.scoring import BLOSUM62
+        from repro.simd.kernels import _NEG, run_instrumented_group
+
+        sub_ext = np.concatenate(
+            (BLOSUM62.data.astype(np.int64),
+             np.full((24, 1), _NEG // 2, dtype=np.int64)), axis=1)
+        seqs = [rng.integers(0, 20, 64).astype(np.uint8) for _ in range(16)]
+        group = build_lane_groups(seqs, 16)[0]
+        codes = np.minimum(group.codes, 24).astype(np.intp)
+        cfg = KernelConfig(isa=MIC_512)
+
+        def per_cell(qlen: int) -> float:
+            q = rng.integers(0, 20, qlen).astype(np.uint8)
+            _, c = run_instrumented_group(
+                cfg, q, codes, group.lengths, sub_ext, 10, 2)
+            return c.total / (qlen * int(group.lengths.sum()))
+
+        assert per_cell(5) < 2 * per_cell(128)

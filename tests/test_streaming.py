@@ -1,0 +1,99 @@
+"""Tests for the streaming (out-of-core) search driver."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt, write_fasta
+from repro.db.fasta import FastaRecord
+from repro.exceptions import PipelineError
+from repro.search import SearchPipeline
+from repro.search.streaming import StreamingSearch
+from tests.conftest import random_protein
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SyntheticSwissProt().generate(scale=0.0003)
+
+
+@pytest.fixture(scope="module")
+def records(db):
+    return [
+        FastaRecord(h, db.alphabet.decode(s))
+        for h, s in zip(db.headers, db.sequences)
+    ]
+
+
+class TestStreamEqualsBatch:
+    def test_top_hits_match_pipeline(self, db, records, rng):
+        q = random_protein(rng, 35)
+        streamed = StreamingSearch(chunk_size=37, top_k=10).search_records(
+            q, iter(records)
+        )
+        batch = SearchPipeline().search(q, db, top_k=10)
+        assert [h.score for h in streamed.hits] == [
+            h.score for h in batch.hits
+        ]
+        assert [h.header for h in streamed.hits] == [
+            h.header for h in batch.hits
+        ]
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 100, 10_000])
+    def test_chunk_size_invisible(self, db, records, rng, chunk_size):
+        q = random_protein(rng, 20)
+        result = StreamingSearch(
+            chunk_size=chunk_size, top_k=5
+        ).search_records(q, iter(records))
+        expect = StreamingSearch(chunk_size=64, top_k=5).search_records(
+            q, iter(records)
+        )
+        assert [h.score for h in result.hits] == [h.score for h in expect.hits]
+        assert result.chunks == -(-len(records) // chunk_size)
+
+    def test_accounting(self, db, records, rng):
+        q = random_protein(rng, 25)
+        result = StreamingSearch(chunk_size=50).search_records(q, iter(records))
+        assert result.sequences_scanned == len(records)
+        assert result.cells == 25 * db.total_residues
+        assert result.wall_gcups > 0
+
+
+class TestStreamBehaviour:
+    def test_generator_consumed_lazily(self, records, rng):
+        # Feeding a generator (no len(), no indexing) must work.
+        q = random_protein(rng, 15)
+        result = StreamingSearch(chunk_size=16, top_k=3).search_records(
+            q, (r for r in records[:40])
+        )
+        assert result.sequences_scanned == 40
+
+    def test_fasta_file_streaming(self, records, rng, tmp_path):
+        path = tmp_path / "stream.fasta"
+        write_fasta(records[:60], path)
+        q = random_protein(rng, 15)
+        result = StreamingSearch(top_k=4).search_fasta(q, path)
+        assert result.sequences_scanned == 60
+        assert len(result.hits) == 4
+
+    def test_top_k_larger_than_database(self, records, rng):
+        q = random_protein(rng, 10)
+        result = StreamingSearch(top_k=10_000).search_records(
+            q, iter(records[:25])
+        )
+        assert len(result.hits) == 25
+
+    def test_score_ties_resolve_to_earlier_record(self, rng):
+        q = "WCHK"
+        recs = [FastaRecord(f"r{i}", "WCHK") for i in range(5)]
+        result = StreamingSearch(top_k=2).search_records(q, iter(recs))
+        assert [h.header for h in result.hits] == ["r0", "r1"]
+
+    def test_empty_stream_rejected(self, rng):
+        with pytest.raises(PipelineError, match="empty"):
+            StreamingSearch().search_records("WCHK", iter([]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(PipelineError):
+            StreamingSearch(chunk_size=0)
+        with pytest.raises(PipelineError):
+            StreamingSearch(top_k=0)

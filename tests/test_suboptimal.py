@@ -1,0 +1,111 @@
+"""Tests for Waterman-Eggert suboptimal alignments."""
+
+import pytest
+
+from repro.core import align_pair, get_engine
+from repro.core.suboptimal import waterman_eggert
+from repro.exceptions import EngineError
+from repro.scoring import BLOSUM62, match_mismatch_matrix, paper_gap_model
+from tests.conftest import random_protein
+
+MM = match_mismatch_matrix(5, -4)
+
+
+class TestFirstAlignment:
+    def test_first_equals_optimal(self, rng):
+        g = paper_gap_model()
+        for _ in range(6):
+            a = random_protein(rng, int(rng.integers(5, 25)))
+            b = random_protein(rng, int(rng.integers(5, 25)))
+            subs = waterman_eggert(a, b, BLOSUM62, g, k=1)
+            best = align_pair(a, b, BLOSUM62, g)
+            if best.score:
+                assert subs[0].score == best.score
+            else:
+                assert subs == []
+
+    def test_scores_non_increasing(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 40)
+        b = random_protein(rng, 40)
+        subs = waterman_eggert(a, b, BLOSUM62, g, k=5)
+        scores = [t.score for t in subs]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestRepeatedDomains:
+    def test_two_copies_found_separately(self):
+        # The query motif appears twice in the target, separated by
+        # junk: declumping must report both copies.
+        g = paper_gap_model()
+        motif = "WCHKWMCH"
+        target = motif + "PPPPGGGG" + motif
+        subs = waterman_eggert(motif, target, BLOSUM62, g, k=3)
+        full = sum(BLOSUM62.score(c, c) for c in motif)
+        assert len(subs) >= 2
+        assert subs[0].score == full
+        assert subs[1].score == full
+        spans = sorted((t.start_db, t.end_db) for t in subs[:2])
+        assert spans[0][1] < spans[1][0]  # disjoint target regions
+
+    def test_three_copies(self):
+        g = paper_gap_model()
+        motif = "WCHKW"
+        target = "AAA".join([motif] * 3)
+        subs = waterman_eggert(motif, target, BLOSUM62, g, k=5, min_score=10)
+        full = sum(BLOSUM62.score(c, c) for c in motif)
+        assert [t.score for t in subs[:3]] == [full] * 3
+
+    def test_alignments_share_no_cells(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 30)
+        b = a + a  # guaranteed overlap candidates
+        subs = waterman_eggert(a, b, BLOSUM62, g, k=4)
+        seen: set[tuple[int, int]] = set()
+        for t in subs:
+            # Reconstruct the matched cell coordinates from the rows.
+            i, j = t.start_query - 1, t.start_db - 1
+            for qa, da in zip(t.aligned_query, t.aligned_db):
+                if qa != "-":
+                    i += 1
+                if da != "-":
+                    j += 1
+                assert (i, j) not in seen
+                seen.add((i, j))
+
+
+class TestBounds:
+    def test_min_score_floor(self, rng):
+        g = paper_gap_model()
+        a = random_protein(rng, 25)
+        b = random_protein(rng, 25)
+        subs = waterman_eggert(a, b, BLOSUM62, g, k=10, min_score=15)
+        assert all(t.score >= 15 for t in subs)
+
+    def test_no_alignment_when_disjoint(self):
+        g = paper_gap_model()
+        subs = waterman_eggert("AAAA", "TTTT", MM, g, k=3)
+        assert subs == []
+
+    def test_k_limits_count(self):
+        g = paper_gap_model()
+        motif = "WCHKW"
+        target = "AAA".join([motif] * 4)
+        subs = waterman_eggert(motif, target, BLOSUM62, g, k=2, min_score=5)
+        assert len(subs) == 2
+
+    def test_invalid_parameters(self):
+        g = paper_gap_model()
+        with pytest.raises(EngineError):
+            waterman_eggert("WCH", "WCH", BLOSUM62, g, k=0)
+        with pytest.raises(EngineError):
+            waterman_eggert("WCH", "WCH", BLOSUM62, g, min_score=0)
+
+    def test_rescoring_each_alignment(self, rng):
+        from tests.test_core_traceback import rescore
+
+        g = paper_gap_model()
+        a = random_protein(rng, 30)
+        b = a + random_protein(rng, 10) + a[::-1]
+        for t in waterman_eggert(a, b, BLOSUM62, g, k=3):
+            assert rescore(t, BLOSUM62, g) == t.score

@@ -1,0 +1,87 @@
+"""Tests for schedule traces and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro.devices import ParallelFor, Schedule
+from repro.devices.trace import ScheduleTrace
+from repro.exceptions import ScheduleError
+
+
+@pytest.fixture
+def skewed_costs(rng):
+    return np.sort(rng.lognormal(4, 1.0, 120))
+
+
+class TestIntervals:
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_trace_validates(self, schedule, skewed_costs):
+        result = ParallelFor(8, schedule).run(skewed_costs)
+        ScheduleTrace(result).validate()
+
+    def test_intervals_cover_costs(self, skewed_costs):
+        result = ParallelFor(4).run(skewed_costs)
+        durations = result.intervals[:, 1] - result.intervals[:, 0]
+        assert np.allclose(durations, skewed_costs)
+
+    def test_intervals_within_makespan(self, skewed_costs):
+        result = ParallelFor(4).run(skewed_costs)
+        assert (result.intervals[:, 0] >= 0).all()
+        assert (result.intervals[:, 1] <= result.makespan + 1e-9).all()
+
+
+class TestUtilization:
+    def test_mean_utilization_equals_efficiency(self, skewed_costs):
+        result = ParallelFor(8, Schedule.DYNAMIC).run(skewed_costs)
+        trace = ScheduleTrace(result)
+        assert trace.mean_utilization == pytest.approx(result.efficiency)
+
+    def test_dynamic_utilization_beats_static(self, skewed_costs):
+        dyn = ScheduleTrace(ParallelFor(8, Schedule.DYNAMIC).run(skewed_costs))
+        sta = ScheduleTrace(ParallelFor(8, Schedule.STATIC).run(skewed_costs))
+        assert dyn.mean_utilization > sta.mean_utilization
+
+    def test_idle_tail_plus_busy_bounded_by_makespan(self, skewed_costs):
+        result = ParallelFor(6).run(skewed_costs)
+        trace = ScheduleTrace(result)
+        for t in range(6):
+            assert trace.busy_time(t) + trace.idle_tail(t) <= result.makespan + 1e-9
+
+    def test_thread_range_checked(self, skewed_costs):
+        trace = ScheduleTrace(ParallelFor(4).run(skewed_costs))
+        with pytest.raises(ScheduleError):
+            trace.utilization(4)
+
+
+class TestGantt:
+    def test_gantt_shape(self, skewed_costs):
+        trace = ScheduleTrace(ParallelFor(4).run(skewed_costs))
+        text = trace.gantt(width=40)
+        lines = text.splitlines()
+        assert len(lines) == 5  # header + 4 threads
+        assert all("|" in line for line in lines[1:])
+
+    def test_static_gantt_shows_idle(self, skewed_costs):
+        # Sorted costs under static: early threads idle (dots) while the
+        # last block runs.
+        trace = ScheduleTrace(
+            ParallelFor(8, Schedule.STATIC).run(skewed_costs)
+        )
+        text = trace.gantt(width=60)
+        assert "." in text
+
+    def test_single_thread_fully_busy(self, skewed_costs):
+        trace = ScheduleTrace(ParallelFor(1).run(skewed_costs))
+        text = trace.gantt(width=30)
+        assert "100.0%" in text
+        bar = text.splitlines()[1].split("|")[1]
+        assert set(bar) == {"#"}
+
+    def test_invalid_width(self, skewed_costs):
+        trace = ScheduleTrace(ParallelFor(2).run(skewed_costs))
+        with pytest.raises(ScheduleError):
+            trace.gantt(width=4)
+
+    def test_empty_schedule(self):
+        trace = ScheduleTrace(ParallelFor(2).run(np.array([])))
+        assert "empty" in trace.gantt()
