@@ -16,11 +16,12 @@ from dataclasses import replace
 import pytest
 
 from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, Timeout
 from repro.metrics import format_table
 from repro.perfmodel import (
     CALIBRATIONS, DevicePerformanceModel, RunConfig, Workload,
 )
-from repro.runtime import HybridExecutor
+from repro.runtime import HybridExecutor, ResilientHybridExecutor
 
 from conftest import run_once
 
@@ -105,3 +106,60 @@ def test_shape_claims_survive_calibration_perturbation(
     for (field, factor), claims in results.items():
         bad = [k for k, ok in claims.items() if not ok]
         assert not bad, (field, factor, bad)
+
+
+@pytest.mark.benchmark(group="ext-robustness")
+def test_shape_claims_survive_injected_faults(
+    benchmark, xeon_model, phi_model, swissprot_lengths, show
+):
+    """The hybrid's qualitative story must hold on unreliable hardware.
+
+    Under a nonzero fault rate handled by the resilient executor, the
+    quantitative throughput degrades — but the shape claims survive: the
+    split sweep still peaks at an interior fraction, the peak still
+    beats host-only operation, and a zero-fault plan costs nothing.
+    """
+    plan = FaultPlan(seed=13, transfer_fail_rate=0.1, straggler_rate=0.1)
+    fractions = (0.0, 0.3, 0.5, 0.7, 1.0)
+
+    def run_at(fraction, the_plan):
+        return ResilientHybridExecutor(
+            xeon_model, phi_model,
+            injector=FaultInjector(the_plan),
+            retry=RetryPolicy(max_retries=3),
+            timeout=Timeout(5.0),
+            chunks=16,
+        ).run(swissprot_lengths, QUERY_LEN, fraction)
+
+    def compute():
+        faulted = {f: run_at(f, plan) for f in fractions}
+        healthy = {f: run_at(f, FaultPlan(seed=13)) for f in fractions}
+        return faulted, healthy
+
+    faulted, healthy = run_once(benchmark, compute)
+
+    show(format_table(
+        ["phi share", "healthy GCUPS", "faulted GCUPS", "mode"],
+        [
+            (f"{f:.0%}", round(healthy[f].gcups, 1),
+             round(faulted[f].gcups, 1), faulted[f].mode)
+            for f in fractions
+        ],
+        title="Extension — hybrid shape under a 10% fault + 10% straggler plan",
+    ))
+    benchmark.extra_info["faulted_gcups"] = {
+        str(f): faulted[f].gcups for f in fractions
+    }
+
+    # Degraded quantitatively: faults never help.
+    for f in fractions:
+        assert faulted[f].gcups <= healthy[f].gcups * (1 + 1e-9), f
+    # Fraction 0 offloads nothing, so the fault plan cannot touch it.
+    assert faulted[0.0].gcups == pytest.approx(healthy[0.0].gcups)
+    # Qualitative ordering unchanged: an interior split still wins
+    # against both homogeneous endpoints, faulted or not.
+    for series in (healthy, faulted):
+        best = max(fractions, key=lambda f: series[f].gcups)
+        assert 0.0 < best < 1.0, series[best]
+        assert series[best].gcups > series[0.0].gcups
+        assert series[best].gcups > series[1.0].gcups

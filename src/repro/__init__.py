@@ -68,8 +68,20 @@ from .devices import (
     Schedule,
 )
 from .exceptions import ReproError
+from .faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    Timeout,
+)
 from .perfmodel import DevicePerformanceModel, RunConfig, Workload
-from .runtime import HybridExecutor, PCIE_GEN2_X16
+from .runtime import (
+    HybridExecutor,
+    PCIE_GEN2_X16,
+    ResilientHybridExecutor,
+    ResilientResult,
+)
 from .scoring import (
     BLOSUM45,
     BLOSUM50,
@@ -117,6 +129,9 @@ __all__ = [
     "ParallelFor", "Schedule",
     "DevicePerformanceModel", "RunConfig", "Workload",
     "HybridExecutor", "PCIE_GEN2_X16",
+    # faults / resilience
+    "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout",
+    "CircuitBreaker", "ResilientHybridExecutor", "ResilientResult",
     # search
     "SearchPipeline", "SearchResult", "gcups",
     "StreamingSearch", "HybridSearchPipeline", "waterman_eggert",

@@ -61,6 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="report E-values and bit scores for the hits")
     s.add_argument("--tsv", action="store_true",
                    help="print hits as tab-separated values (outfmt-6 style)")
+    s.add_argument("--fault-plan", metavar="SPEC",
+                   help='inject faults, e.g. "seed=7,corrupt=0.2" '
+                        "(scores stay exact via the checksum guard)")
 
     a = sub.add_parser("align", help="align two sequences with traceback")
     a.add_argument("sequence_a", help="query residue letters")
@@ -87,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     h = sub.add_parser("hybrid", help="Figure 8 hybrid split sweep")
     h.add_argument("--query-length", type=int, default=5478)
     h.add_argument("--step", type=float, default=0.05)
+    h.add_argument("--fault-plan", metavar="SPEC",
+                   help="run the best split under injected faults, e.g. "
+                        '"seed=7,fail=0.15,outage=12"')
+    h.add_argument("--retries", type=int, default=3,
+                   help="retries per device chunk before host reclaim")
+    h.add_argument("--device-timeout", type=float, default=None,
+                   help="per-chunk watchdog deadline in virtual seconds")
+    h.add_argument("--chunks", type=int, default=8,
+                   help="device-share chunks under a fault plan")
 
     v = sub.add_parser("validate",
                        help="check every paper target against the model")
@@ -122,11 +134,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
         return 2
 
+    injector = None
+    if args.fault_plan:
+        from .faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.parse(args.fault_plan))
+
     pipeline = SearchPipeline(
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
         lanes=args.lanes,
         profile=args.profile,
+        injector=injector,
     )
     result = pipeline.search(
         query, db, query_name=qname, top_k=args.top, traceback=args.traceback
@@ -135,6 +154,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(result.to_tsv())
         return 0
     print(result.summary())
+    if injector is not None:
+        print(
+            f"fault injection: {result.corrupted_redone} corrupted group "
+            "transmissions detected by checksum and recomputed; "
+            "scores are exact"
+        )
     if args.evalues:
         from .metrics import format_table
         from .search.stats import attach_statistics
@@ -245,6 +270,19 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
         DevicePerformanceModel(XEON_E5_2670_DUAL),
         DevicePerformanceModel(XEON_PHI_57XX),
     )
+    # Validate fault options up front — the sweep below takes a while
+    # and a bad flag should fail before it, not after.
+    plan = injector = retry = timeout = None
+    if args.fault_plan:
+        from .faults import FaultInjector, FaultPlan, RetryPolicy, Timeout
+
+        plan = FaultPlan.parse(args.fault_plan)
+        injector = FaultInjector(plan)
+        retry = RetryPolicy(max_retries=args.retries)
+        timeout = (
+            Timeout(args.device_timeout)
+            if args.device_timeout is not None else None
+        )
     steps = int(round(1.0 / args.step))
     fractions = [round(k * args.step, 4) for k in range(steps + 1)]
     sweep = ex.sweep(lengths, args.query_length, fractions)
@@ -255,6 +293,30 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     best = max(sweep.values(), key=lambda r: r.gcups)
     print(f"\nbest split: {best.device_fraction:.0%} on the Phi -> "
           f"{best.gcups:.1f} GCUPS (paper: ~55% -> 62.6)")
+
+    if injector is not None:
+        from .runtime import ResilientHybridExecutor
+
+        rex = ResilientHybridExecutor(
+            ex.host, ex.device,
+            injector=injector,
+            retry=retry,
+            timeout=timeout,
+            chunks=args.chunks,
+        )
+        r = rex.run(lengths, args.query_length, best.device_fraction)
+        outcomes: dict[str, int] = {}
+        for rec in r.timeline:
+            outcomes[rec.outcome] = outcomes.get(rec.outcome, 0) + 1
+        print(f"\nresilient run at the best split under plan '{args.fault_plan}':")
+        print(f"  mode: {r.mode} (degraded={r.degraded})")
+        print(f"  achieved {r.gcups:.1f} GCUPS vs {r.baseline_gcups:.1f} "
+              f"fault-free ({r.gcups_lost:.1f} lost to faults)")
+        print(f"  chunks: {r.chunks} total, {r.chunks_reclaimed} reclaimed "
+              f"by the host ({r.reclaimed_cells / 1e9:.2f} Gcells)")
+        print("  attempts: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(outcomes.items())
+        ))
     return 0
 
 

@@ -22,6 +22,10 @@ __all__ = [
     "OffloadError",
     "ModelError",
     "PipelineError",
+    "FaultPlanError",
+    "FaultInjected",
+    "DeviceTimeout",
+    "CircuitOpen",
 ]
 
 
@@ -75,3 +79,41 @@ class ModelError(ReproError):
 
 class PipelineError(ReproError):
     """The search pipeline was driven through an invalid state transition."""
+
+
+class FaultPlanError(ReproError):
+    """A fault-injection plan or policy was configured with invalid parameters."""
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired (failed transfer, corrupted payload, outage).
+
+    Attributes
+    ----------
+    kind:
+        Short identifier of the fault class (``"transfer-fail"``,
+        ``"corrupt"``, ``"outage"``), or ``None`` when unknown.
+    at:
+        Virtual time at which the fault became observable to the host.
+    """
+
+    def __init__(self, message: str, *, kind: str | None = None,
+                 at: float | None = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.at = at
+
+
+class DeviceTimeout(ReproError):
+    """A watchdog deadline expired before the device operation completed.
+
+    ``at`` carries the virtual time the watchdog fired (the deadline).
+    """
+
+    def __init__(self, message: str, *, at: float | None = None) -> None:
+        super().__init__(message)
+        self.at = at
+
+
+class CircuitOpen(ReproError):
+    """A circuit breaker is open: the device is refusing new work."""

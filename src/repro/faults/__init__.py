@@ -1,0 +1,32 @@
+"""Fault injection and fault-tolerance policies for the hybrid runtime.
+
+Real ``#pragma offload`` deployments are not the ideal world of the
+paper's Algorithm 2: offload runtimes hang, PCIe transfers fail, and a
+busy coprocessor straggles.  This package supplies (a) a deterministic,
+seedable fault injector that makes the *modelled* runtime misbehave in
+exactly those ways, in virtual time, and (b) the composable policies —
+retry with capped exponential backoff, watchdog timeouts, a circuit
+breaker — that :class:`~repro.runtime.resilient.ResilientHybridExecutor`
+uses to survive them.
+"""
+
+from .injection import (
+    FaultDecision,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    payload_checksum,
+)
+from .policy import BreakerState, CircuitBreaker, RetryPolicy, Timeout
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+    "payload_checksum",
+    "RetryPolicy",
+    "Timeout",
+    "CircuitBreaker",
+    "BreakerState",
+]

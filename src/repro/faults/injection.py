@@ -1,0 +1,256 @@
+"""Deterministic fault injection for the offload runtime.
+
+A :class:`FaultPlan` declares *how often* each fault class fires; a
+:class:`FaultInjector` turns the plan into per-operation decisions.  The
+decision for work unit ``u`` on attempt ``a`` is a pure function of
+``(plan.seed, u, a)`` — independent of call order, shared state, or wall
+clock — so any faulted execution replays bit-identically, and a retry of
+the same unit is a *fresh* draw (a transient fault usually clears, a
+permanent outage never does).
+
+Fault classes (all in virtual time):
+
+``transfer-fail``
+    The PCIe shipment aborts; observable when the transfer would have
+    completed.
+``hang``
+    The offload runtime wedges: completion slips ``hang_seconds`` into
+    the future.  A watchdog (:class:`~repro.faults.policy.Timeout`) cuts
+    it short; without one the operation eventually finishes, very late.
+``corrupt``
+    The score payload arrives altered.  Payloads carry a source-side
+    checksum (:func:`payload_checksum`), so the host detects the damage
+    and recomputes — corruption can cost time, never correctness.
+``straggler``
+    Device compute is slowed by ``straggler_factor``.
+``outage``
+    Permanent device death: every unit at or beyond ``outage_unit``
+    fails, on every attempt, forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..exceptions import FaultPlanError
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultDecision",
+    "FaultInjector",
+    "payload_checksum",
+]
+
+
+class FaultKind(Enum):
+    """The classes of fault the injector can produce."""
+
+    TRANSFER_FAIL = "transfer-fail"
+    HANG = "hang"
+    CORRUPT = "corrupt"
+    STRAGGLER = "straggler"
+    OUTAGE = "outage"
+
+
+#: Plan-spec keys accepted by :meth:`FaultPlan.parse`.
+_SPEC_KEYS = {
+    "seed": ("seed", int),
+    "fail": ("transfer_fail_rate", float),
+    "hang": ("hang_rate", float),
+    "corrupt": ("corrupt_rate", float),
+    "straggler": ("straggler_rate", float),
+    "factor": ("straggler_factor", float),
+    "hang-seconds": ("hang_seconds", float),
+    "outage": ("outage_unit", int),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative description of what should go wrong, and how often.
+
+    Rates are per (unit, attempt) probabilities; at most one fault fires
+    per attempt.  ``outage_unit`` declares a permanent device outage
+    from that unit index onward and overrides the probabilistic draws.
+    """
+
+    seed: int = 0
+    transfer_fail_rate: float = 0.0
+    hang_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+    hang_seconds: float = 30.0
+    outage_unit: int | None = None
+
+    def __post_init__(self) -> None:
+        rates = {
+            "transfer_fail_rate": self.transfer_fail_rate,
+            "hang_rate": self.hang_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "straggler_rate": self.straggler_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0 + 1e-12:
+            raise FaultPlanError(
+                f"fault rates must sum to at most 1, got {sum(rates.values())}"
+            )
+        if self.straggler_factor < 1.0:
+            raise FaultPlanError(
+                f"straggler factor must be >= 1, got {self.straggler_factor}"
+            )
+        if self.hang_seconds <= 0:
+            raise FaultPlanError(
+                f"hang duration must be positive, got {self.hang_seconds}"
+            )
+        if self.outage_unit is not None and self.outage_unit < 0:
+            raise FaultPlanError(
+                f"outage unit must be non-negative, got {self.outage_unit}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.transfer_fail_rate == 0.0
+            and self.hang_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and self.straggler_rate == 0.0
+            and self.outage_unit is None
+        )
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        Comma-separated ``key=value`` pairs, e.g.
+        ``"seed=7,fail=0.15,corrupt=0.05,outage=12"``.  Keys: ``seed``,
+        ``fail``, ``hang``, ``corrupt``, ``straggler`` (rates),
+        ``factor`` (straggler slowdown), ``hang-seconds``, ``outage``
+        (unit index of the permanent outage).
+        """
+        kwargs: dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise FaultPlanError(
+                    f"fault-plan entry {part!r} is not key=value"
+                )
+            key, _, raw = part.partition("=")
+            key = key.strip()
+            if key not in _SPEC_KEYS:
+                raise FaultPlanError(
+                    f"unknown fault-plan key {key!r}; "
+                    f"expected one of {sorted(_SPEC_KEYS)}"
+                )
+            name, cast = _SPEC_KEYS[key]
+            try:
+                kwargs[name] = cast(raw.strip())
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"fault-plan value for {key!r} is not a {cast.__name__}: "
+                    f"{raw.strip()!r}"
+                ) from exc
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """The injector's verdict for one (unit, attempt) operation."""
+
+    unit: int
+    attempt: int
+    kind: FaultKind | None
+    straggler_factor: float = 1.0
+
+    @property
+    def faulty(self) -> bool:
+        """True when any fault (including a straggler) was injected."""
+        return self.kind is not None
+
+
+def payload_checksum(scores: np.ndarray) -> int:
+    """Source-side checksum of a score payload (sum of the entries).
+
+    Computed by the device before the payload crosses the wire; the host
+    recomputes it on receipt.  The injector's corruption always *adds*
+    nonzero deltas, so a corrupted payload can never collide with its
+    declared checksum.
+    """
+    return int(np.asarray(scores, dtype=np.int64).sum())
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into deterministic per-operation faults.
+
+    The injector is stateless apart from an append-only ``events`` log;
+    :meth:`decide` is a pure function of ``(plan.seed, unit, attempt)``.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.events: list[FaultDecision] = []
+
+    # ------------------------------------------------------------------
+    def decide(self, unit: int, attempt: int = 0) -> FaultDecision:
+        """The fault (if any) for work unit ``unit`` on try ``attempt``."""
+        plan = self.plan
+        if plan.outage_unit is not None and unit >= plan.outage_unit:
+            decision = FaultDecision(unit, attempt, FaultKind.OUTAGE)
+        else:
+            draw = float(
+                np.random.default_rng([plan.seed, unit, attempt]).random()
+            )
+            kind: FaultKind | None = None
+            factor = 1.0
+            edge = plan.transfer_fail_rate
+            if draw < edge:
+                kind = FaultKind.TRANSFER_FAIL
+            elif draw < (edge := edge + plan.hang_rate):
+                kind = FaultKind.HANG
+            elif draw < (edge := edge + plan.corrupt_rate):
+                kind = FaultKind.CORRUPT
+            elif draw < edge + plan.straggler_rate:
+                kind = FaultKind.STRAGGLER
+                factor = plan.straggler_factor
+            decision = FaultDecision(unit, attempt, kind, factor)
+        if decision.faulty:
+            self.events.append(decision)
+        return decision
+
+    def transmit(
+        self, unit: int, attempt: int, scores: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Ship a score payload device -> host, possibly corrupting it.
+
+        Returns ``(received, declared_checksum)``.  The checksum is
+        computed from the *true* payload before transmission; when the
+        decision for this attempt is ``corrupt``, the received copy has
+        deterministic nonzero deltas added, so
+        ``payload_checksum(received) != declared`` — the caller's guard
+        must recompute the unit.
+        """
+        declared = payload_checksum(scores)
+        if self.decide(unit, attempt).kind is FaultKind.CORRUPT:
+            return self._corrupt(scores, unit, attempt), declared
+        return scores, declared
+
+    def _corrupt(
+        self, scores: np.ndarray, unit: int, attempt: int
+    ) -> np.ndarray:
+        rng = np.random.default_rng([self.plan.seed, unit, attempt, 0xBAD])
+        received = np.array(scores, copy=True)
+        flat = received.reshape(-1)
+        k = max(1, flat.size // 8)
+        positions = rng.choice(flat.size, size=k, replace=False)
+        flat[positions] += rng.integers(1, 1 << 16, size=k)
+        return received

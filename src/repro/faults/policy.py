@@ -1,0 +1,174 @@
+"""Fault-tolerance policies: retry, watchdog timeout, circuit breaker.
+
+All three operate in *virtual* time — the same clock the performance
+model and the offload runtime use — so a resilient execution's fault
+handling is as deterministic and replayable as its happy path.
+
+* :class:`RetryPolicy` — how many times to re-attempt a failed unit and
+  how long to wait between attempts (capped exponential backoff).
+* :class:`Timeout` — the watchdog deadline after which a hung or
+  straggling offload is declared dead
+  (:class:`~repro.exceptions.DeviceTimeout`).
+* :class:`CircuitBreaker` — trips after consecutive failures so a dead
+  device stops costing a full retry ladder per unit; after a cooldown it
+  admits one half-open probe, closing again only on success.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exceptions import CircuitOpen, FaultPlanError
+
+__all__ = ["RetryPolicy", "Timeout", "CircuitBreaker", "BreakerState"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over a bounded number of retries.
+
+    Attempt numbering starts at 0 (the first try); ``max_retries``
+    counts the *re*-attempts, so a unit is tried ``max_retries + 1``
+    times in total before being abandoned.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 1e-3
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultPlanError(
+                f"max_retries must be non-negative, got {self.max_retries}"
+            )
+        if self.base_delay < 0:
+            raise FaultPlanError(
+                f"base delay must be non-negative, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise FaultPlanError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.max_delay < self.base_delay:
+            raise FaultPlanError(
+                "max delay must be at least the base delay "
+                f"({self.max_delay} < {self.base_delay})"
+            )
+
+    def allows(self, attempt: int) -> bool:
+        """Whether attempt number ``attempt`` (0-based) may run."""
+        return attempt <= self.max_retries
+
+    def backoff(self, attempt: int) -> float:
+        """Virtual-time delay before (re-)attempt ``attempt`` starts."""
+        if attempt <= 0:
+            return 0.0
+        return min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+
+    def schedule(self) -> list[float]:
+        """The full backoff ladder, one delay per permitted retry."""
+        return [self.backoff(a) for a in range(1, self.max_retries + 1)]
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """A fixed per-operation watchdog deadline in virtual seconds."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise FaultPlanError(
+                f"timeout must be positive, got {self.seconds}"
+            )
+
+    def deadline(self, start: float) -> float:
+        """Absolute virtual time at which the watchdog fires."""
+        return start + self.seconds
+
+
+class BreakerState(Enum):
+    """Circuit-breaker states (the classic three-state machine)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Trips after ``failure_threshold`` consecutive failures.
+
+    While OPEN, :meth:`check` raises
+    :class:`~repro.exceptions.CircuitOpen` until ``cooldown_seconds`` of
+    virtual time have passed, after which exactly one probe is admitted
+    (HALF_OPEN).  The probe's success closes the breaker; its failure
+    re-opens it for another cooldown.
+    """
+
+    def __init__(
+        self, *, failure_threshold: int = 5, cooldown_seconds: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise FaultPlanError(
+                f"failure threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_seconds < 0:
+            raise FaultPlanError(
+                f"cooldown must be non-negative, got {cooldown_seconds}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BreakerState:
+        """Current state (does not advance the half-open transition)."""
+        return self._state
+
+    def check(self, now: float) -> None:
+        """Admit an operation at virtual time ``now`` or raise.
+
+        Raises :class:`~repro.exceptions.CircuitOpen` when the breaker
+        is open (and still cooling down) or a half-open probe is already
+        in flight.
+        """
+        if self._state is BreakerState.OPEN:
+            if now - self._opened_at < self.cooldown_seconds:
+                raise CircuitOpen(
+                    f"circuit open at t={now:g} "
+                    f"(cooling down until t={self._opened_at + self.cooldown_seconds:g})"
+                )
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probe_in_flight:
+                raise CircuitOpen(
+                    f"circuit half-open at t={now:g} with a probe in flight"
+                )
+            self._probe_in_flight = True
+
+    def record_success(self, now: float) -> None:
+        """Note a completed operation; closes a half-open breaker."""
+        del now  # symmetry with record_failure; success timing is irrelevant
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self, now: float) -> None:
+        """Note a failed operation; may trip the breaker."""
+        self._consecutive_failures += 1
+        self._probe_in_flight = False
+        if (
+            self._state is BreakerState.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = BreakerState.OPEN
+            self._opened_at = now

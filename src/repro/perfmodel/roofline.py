@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from ..exceptions import ModelError
 from ..simd.kernels import KernelConfig, sw_instruction_mix

@@ -10,8 +10,14 @@ directly measurable here.
 
 from .pcie import PCIeLink, PCIE_GEN2_X16
 from .offload import OffloadRegion, OffloadHandle
-from .hybrid import HybridExecutor, HybridResult, split_lengths
+from .hybrid import HybridExecutor, HybridResult, require_work, split_lengths
 from .pipelined import PipelinedOffload, PipelineSchedule
+from .resilient import (
+    AttemptRecord,
+    ResilientHybridExecutor,
+    ResilientResult,
+    ResilientSearchOutcome,
+)
 from .query_distribution import (
     QueryAssignment,
     QueryDistributionPlan,
@@ -26,7 +32,12 @@ __all__ = [
     "OffloadHandle",
     "HybridExecutor",
     "HybridResult",
+    "require_work",
     "split_lengths",
+    "AttemptRecord",
+    "ResilientHybridExecutor",
+    "ResilientResult",
+    "ResilientSearchOutcome",
     "QueryAssignment",
     "QueryDistributionPlan",
     "QueryDistributor",

@@ -20,7 +20,26 @@ from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from .offload import OffloadRegion
 from .pcie import PCIE_GEN2_X16, PCIeLink
 
-__all__ = ["split_lengths", "HybridResult", "HybridExecutor"]
+__all__ = ["require_work", "split_lengths", "HybridResult", "HybridExecutor"]
+
+
+def require_work(lengths: np.ndarray, *, what: str = "lengths") -> np.ndarray:
+    """Validate that a length distribution carries actual residues.
+
+    Returns the array as ``int64``; raises :class:`OffloadError` naming
+    the offending input when it is empty or sums to zero residues (both
+    previously surfaced as a ``ZeroDivisionError`` or an opaque
+    "produced no work" failure deep inside the split).
+    """
+    arr = np.asarray(lengths, dtype=np.int64)
+    if arr.size == 0:
+        raise OffloadError(f"{what} is empty — there is no work to distribute")
+    if int(arr.sum()) <= 0:
+        raise OffloadError(
+            f"{what} sums to zero residues ({arr.size} entries, all zero) — "
+            "there is no work to distribute"
+        )
+    return arr
 
 
 def split_lengths(
@@ -42,6 +61,7 @@ def split_lengths(
         return arr, np.empty(0, dtype=np.int64)
     if device_fraction == 1.0:
         return np.empty(0, dtype=np.int64), arr
+    arr = require_work(arr, what="lengths")
     order = np.argsort(arr, kind="stable")[::-1]
     total = float(arr.sum())
     target_dev = device_fraction * total
@@ -109,7 +129,7 @@ class HybridExecutor:
     ) -> HybridResult:
         """One Algorithm 2 execution at a fixed split fraction."""
         cfg = config or RunConfig()
-        arr = np.asarray(lengths, dtype=np.int64)
+        arr = require_work(lengths, what="database length distribution")
         total_cells = int(query_len) * int(arr.sum())
         host_l, dev_l = split_lengths(arr, device_fraction)
 

@@ -7,30 +7,63 @@ immediately, ``wait(sem)`` blocks until completion.  Time is virtual
 (the device is a model), but the result payload is real: the region can
 carry an arbitrary Python computation so the search pipeline runs real
 alignments under modelled timing.
+
+Matching real async-offload semantics, the kernel does **not** run at
+launch: it is deferred to ``wait()``, which is therefore the single
+point where everything the device can do to you — a kernel exception, an
+injected transfer failure or corrupted payload
+(:class:`~repro.faults.FaultInjector`), or a watchdog deadline — becomes
+observable on the host.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from ..exceptions import OffloadError
+from ..exceptions import DeviceTimeout, FaultInjected, OffloadError
 from .pcie import PCIeLink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..faults.injection import FaultDecision, FaultInjector
 
 __all__ = ["OffloadHandle", "OffloadRegion"]
 
 
-@dataclass
 class OffloadHandle:
-    """An armed ``signal``: completion time plus the kernel's result."""
+    """An armed ``signal``: completion time plus the deferred kernel.
 
-    ready_at: float
-    result: Any
-    waited: bool = False
+    The kernel result is only available once the handle has been waited
+    on — reading :attr:`result` earlier raises :class:`OffloadError`,
+    exactly as dereferencing an un-synchronised offload buffer would be
+    a bug on real hardware.
+    """
 
-    def __post_init__(self) -> None:
-        if self.ready_at < 0:
+    def __init__(
+        self,
+        *,
+        ready_at: float,
+        kernel: Callable[[], Any] | None = None,
+        fault: "FaultDecision | None" = None,
+        fault_at: float = 0.0,
+    ) -> None:
+        if ready_at < 0:
             raise OffloadError("completion time cannot be negative")
+        self.ready_at = ready_at
+        self.waited = False
+        self.fault = fault
+        self.fault_at = fault_at
+        self._kernel = kernel
+        self._result: Any = None
+        self._ran = False
+
+    @property
+    def result(self) -> Any:
+        """The kernel's return value; only defined after ``wait()``."""
+        if self._kernel is not None and not self._ran:
+            raise OffloadError(
+                "offload result is not available before wait() completes"
+            )
+        return self._result
 
 
 class OffloadRegion:
@@ -42,13 +75,24 @@ class OffloadRegion:
         The PCIe model transfers cross.
     launch_seconds:
         Fixed device-side launch cost per region invocation.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; when set, each
+        ``run_async`` consults it (keyed by the call's ``unit`` and
+        ``attempt``) and the injected fault surfaces at ``wait()``.
     """
 
-    def __init__(self, link: PCIeLink, *, launch_seconds: float = 0.0) -> None:
+    def __init__(
+        self,
+        link: PCIeLink,
+        *,
+        launch_seconds: float = 0.0,
+        injector: "FaultInjector | None" = None,
+    ) -> None:
         if launch_seconds < 0:
             raise OffloadError("launch overhead must be non-negative")
         self.link = link
         self.launch_seconds = launch_seconds
+        self.injector = injector
         self._transferred_in = 0
         self._transferred_out = 0
 
@@ -61,36 +105,101 @@ class OffloadRegion:
         out_bytes: int = 0,
         compute_seconds: float = 0.0,
         kernel: Callable[[], Any] | None = None,
+        unit: int = 0,
+        attempt: int = 0,
     ) -> OffloadHandle:
         """Launch the region; returns immediately with a handle.
 
         ``compute_seconds`` is the modelled device time; ``kernel`` (if
-        given) is executed eagerly on the host to produce the real
-        result payload — its wall time is *not* what the model reports.
+        given) runs deferred — at ``wait()`` — to produce the real
+        result payload.  ``unit``/``attempt`` identify the operation to
+        the fault injector (ignored without one).
         """
         if start_at < 0:
             raise OffloadError("start time cannot be negative")
         if compute_seconds < 0:
             raise OffloadError("compute time cannot be negative")
+
+        fault = None
+        if self.injector is not None:
+            from ..faults.injection import FaultKind
+
+            decision = self.injector.decide(unit, attempt)
+            if decision.kind is FaultKind.STRAGGLER:
+                compute_seconds *= decision.straggler_factor
+            elif decision.kind is FaultKind.HANG:
+                compute_seconds += self.injector.plan.hang_seconds
+            elif decision.kind is not None:
+                fault = decision
+
         t = start_at
         t += self.launch_seconds
         t += self.link.transfer_seconds(in_bytes)
+        after_in = t
         t += compute_seconds
         t += self.link.transfer_seconds(out_bytes)
         self._transferred_in += in_bytes
         self._transferred_out += out_bytes
-        result = kernel() if kernel is not None else None
-        return OffloadHandle(ready_at=t, result=result)
 
-    def wait(self, handle: OffloadHandle, *, now: float = 0.0) -> float:
+        fault_at = 0.0
+        if fault is not None:
+            from ..faults.injection import FaultKind
+
+            # A failed shipment aborts mid-transfer; a corrupted payload
+            # is only detectable once it has fully arrived.
+            fault_at = after_in if fault.kind in (
+                FaultKind.TRANSFER_FAIL, FaultKind.OUTAGE
+            ) else t
+        return OffloadHandle(
+            ready_at=t, kernel=kernel, fault=fault, fault_at=fault_at
+        )
+
+    def wait(
+        self,
+        handle: OffloadHandle,
+        *,
+        now: float = 0.0,
+        deadline: float | None = None,
+    ) -> float:
         """Block on a signal; returns the time at which the wait ends.
 
         ``max(now, handle.ready_at)`` — if the host arrives late the
         wait is free, which is exactly the overlap Algorithm 2 exploits.
+        With a ``deadline``, a watchdog fires
+        :class:`~repro.exceptions.DeviceTimeout` at that virtual time if
+        the region (or its pending fault) would complete later.  An
+        injected fault raises :class:`~repro.exceptions.FaultInjected`;
+        a kernel exception is wrapped in :class:`OffloadError` with the
+        original attached as ``__cause__``.
         """
         if handle.waited:
             raise OffloadError("offload handle was already waited on")
         handle.waited = True
+
+        event_at = handle.fault_at if handle.fault is not None else handle.ready_at
+        if deadline is not None and event_at > deadline:
+            raise DeviceTimeout(
+                f"device did not complete by t={deadline:g} "
+                f"(next event at t={event_at:g})",
+                at=deadline,
+            )
+        if handle.fault is not None:
+            kind = handle.fault.kind.value
+            raise FaultInjected(
+                f"injected {kind} fault on unit {handle.fault.unit} "
+                f"(attempt {handle.fault.attempt})",
+                kind=kind,
+                at=handle.fault_at,
+            )
+        if handle._kernel is not None:
+            try:
+                handle._result = handle._kernel()
+            except Exception as exc:
+                raise OffloadError(
+                    f"offload kernel failed: {type(exc).__name__}: {exc}"
+                ) from exc
+            finally:
+                handle._ran = True
         return max(now, handle.ready_at)
 
     # ------------------------------------------------------------------

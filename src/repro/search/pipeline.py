@@ -10,7 +10,7 @@ and the paper's GCUPS accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -21,7 +21,8 @@ from ..core.traceback import align_pair
 from ..db.database import SequenceDatabase
 from ..db.preprocess import preprocess_database
 from ..devices.openmp import ParallelFor, Schedule
-from ..exceptions import PipelineError
+from ..exceptions import FaultInjected, PipelineError
+from ..faults.injection import FaultInjector, payload_checksum
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from ..scoring.gaps import GapModel, paper_gap_model
 from ..scoring.matrices import SubstitutionMatrix
@@ -29,6 +30,38 @@ from .gcups import Stopwatch
 from .result import Hit, SearchResult
 
 __all__ = ["SearchPipeline"]
+
+#: Recomputations allowed per work unit before a persistent corruption
+#: is treated as unrecoverable.
+MAX_CORRUPTION_REDOS = 8
+
+
+def guarded_transmit(
+    injector: FaultInjector,
+    unit: int,
+    compute: Callable[[], np.ndarray],
+) -> tuple[np.ndarray, int]:
+    """Score a unit, ship it through the injector, verify the checksum.
+
+    Each payload carries the checksum computed at its source; a mismatch
+    on receipt means the transmission was corrupted, and the unit is
+    *recomputed* (never patched from the tainted copy) and re-shipped.
+    Returns ``(verified_scores, redo_count)``; raises
+    :class:`~repro.exceptions.FaultInjected` if corruption persists past
+    ``MAX_CORRUPTION_REDOS`` recomputations.
+    """
+    attempt = 0
+    received, declared = injector.transmit(unit, attempt, compute())
+    while payload_checksum(received) != declared:
+        attempt += 1
+        if attempt > MAX_CORRUPTION_REDOS:
+            raise FaultInjected(
+                f"unit {unit} still corrupted after "
+                f"{MAX_CORRUPTION_REDOS} recomputations",
+                kind="corrupt",
+            )
+        received, declared = injector.transmit(unit, attempt, compute())
+    return received, attempt
 
 
 class SearchPipeline:
@@ -51,6 +84,11 @@ class SearchPipeline:
         Optional :class:`DevicePerformanceModel`; adds modelled GCUPS.
     block_cols:
         Cache-blocking tile width forwarded to the engine.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Per-group score
+        payloads are then shipped through it with a checksum guard: a
+        corrupted group is detected and recomputed, so the returned
+        scores always match the fault-free run exactly.
     """
 
     def __init__(
@@ -66,6 +104,7 @@ class SearchPipeline:
         block_cols: int | None = None,
         saturate_bits: int | None = None,
         alphabet: Alphabet = PROTEIN,
+        injector: FaultInjector | None = None,
     ) -> None:
         if matrix is None:
             from ..scoring.data_blosum import BLOSUM62
@@ -78,6 +117,7 @@ class SearchPipeline:
         self.threads = threads
         self.device_model = device_model
         self.alphabet = alphabet
+        self.injector = injector
         self.engine = InterTaskEngine(
             alphabet=alphabet,
             lanes=lanes,
@@ -116,11 +156,11 @@ class SearchPipeline:
             # OpenMP schedule (and its makespan) while the work callback
             # computes real scores.
             sorted_scores = np.zeros(len(pre.database), dtype=np.int64)
-            saturated = 0
+            sat_counts: dict[int, int] = {}
+            corrupted_redone = 0
             prepared = self.engine._prepare(q, self.matrix)
 
-            def work(g: int) -> None:
-                nonlocal saturated
+            def compute_group(g: int) -> np.ndarray:
                 scores, sat = self.engine.score_group(
                     q, groups[g], self.matrix, self.gaps,
                     _prepared=prepared,
@@ -135,7 +175,18 @@ class SearchPipeline:
                             q, pre.database.sequences[idx],
                             self.matrix, self.gaps,
                         ).score
-                    saturated += len(sat)
+                sat_counts[g] = len(sat)
+                return scores
+
+            def work(g: int) -> None:
+                nonlocal corrupted_redone
+                if self.injector is None:
+                    scores = compute_group(g)
+                else:
+                    scores, redos = guarded_transmit(
+                        self.injector, g, lambda: compute_group(g)
+                    )
+                    corrupted_redone += redos
                 sorted_scores[groups[g].indices] = scores
 
             costs = pre.group_cells(len(q)).astype(np.float64)
@@ -191,7 +242,8 @@ class SearchPipeline:
             cells=cells,
             wall_seconds=watch.seconds,
             modeled_seconds=modeled,
-            saturated_recomputed=saturated,
+            saturated_recomputed=sum(sat_counts.values()),
+            corrupted_redone=corrupted_redone,
         )
 
     # ------------------------------------------------------------------

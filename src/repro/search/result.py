@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -46,6 +46,7 @@ class SearchResult:
     wall_seconds: float
     modeled_seconds: float | None = None
     saturated_recomputed: int = 0
+    corrupted_redone: int = 0  # groups recomputed after a checksum mismatch
 
     def __post_init__(self) -> None:
         if self.cells < 0:

@@ -18,6 +18,7 @@ from ..core.engine import as_codes
 from ..core.intertask import InterTaskEngine
 from ..db.fasta import FastaRecord
 from ..exceptions import PipelineError
+from ..faults.injection import FaultInjector
 from ..scoring.gaps import GapModel, paper_gap_model
 from ..scoring.matrices import SubstitutionMatrix
 from .gcups import Stopwatch
@@ -37,6 +38,7 @@ class StreamingResult:
     cells: int
     chunks: int
     wall_seconds: float
+    corrupted_redone: int = 0  # chunks recomputed after a checksum mismatch
 
     @property
     def wall_gcups(self) -> float:
@@ -60,6 +62,10 @@ class StreamingSearch:
     top_k:
         Hits retained.  Ties at the heap boundary are resolved toward
         the earlier database record (deterministic).
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`.  Each chunk's
+        score payload then crosses a checksum guard; corrupted chunks
+        are recomputed, so the top-k matches the fault-free scan.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class StreamingSearch:
         chunk_size: int = 512,
         top_k: int = 10,
         alphabet: Alphabet = PROTEIN,
+        injector: FaultInjector | None = None,
     ) -> None:
         if chunk_size < 1:
             raise PipelineError(f"chunk size must be positive, got {chunk_size}")
@@ -85,6 +92,7 @@ class StreamingSearch:
         self.chunk_size = chunk_size
         self.top_k = top_k
         self.alphabet = alphabet
+        self.injector = injector
         self.engine = InterTaskEngine(alphabet=alphabet, lanes=lanes)
 
     # ------------------------------------------------------------------
@@ -103,6 +111,8 @@ class StreamingSearch:
         scanned = 0
         cells = 0
         chunks = 0
+        corrupted_redone = 0
+        batch = None
         watch = Stopwatch()
 
         with watch:
@@ -114,9 +124,27 @@ class StreamingSearch:
                     )
                     for r in chunk
                 ]
-                batch = self.engine.score_batch(q, seqs, self.matrix, self.gaps)
+                if self.injector is None:
+                    batch = self.engine.score_batch(
+                        q, seqs, self.matrix, self.gaps
+                    )
+                    scores = batch.scores
+                else:
+                    from .pipeline import guarded_transmit
+
+                    def compute(seqs=seqs):
+                        nonlocal batch
+                        batch = self.engine.score_batch(
+                            q, seqs, self.matrix, self.gaps
+                        )
+                        return batch.scores
+
+                    scores, redos = guarded_transmit(
+                        self.injector, chunks - 1, compute
+                    )
+                    corrupted_redone += redos
                 cells += batch.cells
-                for rec, seq, score in zip(chunk, seqs, batch.scores):
+                for rec, seq, score in zip(chunk, seqs, scores):
                     idx = scanned
                     scanned += 1
                     hit = Hit(
@@ -140,6 +168,7 @@ class StreamingSearch:
             cells=cells,
             chunks=chunks,
             wall_seconds=watch.seconds,
+            corrupted_redone=corrupted_redone,
         )
 
     def search_fasta(

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.alphabet import PROTEIN, PROTEIN_LETTERS, Alphabet, UnknownPolicy, decode, encode
+from repro.alphabet import PROTEIN, Alphabet, UnknownPolicy, decode, encode
 from repro.exceptions import AlphabetError, SequenceError
 
 

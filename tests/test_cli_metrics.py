@@ -1,6 +1,5 @@
 """Tests for the CLI entry points and the reporting helpers."""
 
-import pytest
 
 from repro.cli import build_parser, main
 from repro.metrics import format_series, format_table, paper_comparison

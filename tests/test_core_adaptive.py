@@ -1,10 +1,9 @@
 """Unit tests for the adaptive-precision (SWIPE ladder) engine."""
 
-import numpy as np
 import pytest
 
 from repro.core import get_engine
-from repro.core.adaptive import LADDER_BITS, AdaptivePrecisionEngine, LadderResult
+from repro.core.adaptive import AdaptivePrecisionEngine
 from repro.exceptions import EngineError
 from repro.scoring import BLOSUM62, paper_gap_model
 from tests.conftest import random_protein

@@ -1,6 +1,5 @@
 """Unit tests for the banded Smith-Waterman engine."""
 
-import numpy as np
 import pytest
 
 from repro.core import get_engine

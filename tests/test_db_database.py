@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.db import SequenceDatabase, parse_fasta_text, write_fasta
+from repro.db import SequenceDatabase, write_fasta
 from repro.db.fasta import FastaRecord
 from repro.exceptions import DatabaseError
 

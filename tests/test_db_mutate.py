@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import sw_score
 from repro.db import SyntheticSwissProt
-from repro.db.mutate import PlantedHomolog, mutate, plant_homologs
+from repro.db.mutate import mutate, plant_homologs
 from repro.exceptions import DatabaseError
 from tests.conftest import random_codes
 

@@ -1,7 +1,6 @@
 """DNA / generic-alphabet support: the read-mapping building blocks."""
 
 import numpy as np
-import pytest
 
 from repro.alphabet import DNA
 from repro.core import get_engine

@@ -1,0 +1,360 @@
+"""Tests for the fault-injection substrate and the resilient runtime."""
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+from repro.exceptions import (
+    CircuitOpen,
+    DeviceTimeout,
+    FaultInjected,
+    FaultPlanError,
+)
+from repro.faults import (
+    BreakerState,
+    CircuitBreaker,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    RetryPolicy,
+    Timeout,
+    payload_checksum,
+)
+from repro.perfmodel import DevicePerformanceModel
+from repro.runtime import (
+    PCIE_GEN2_X16,
+    HybridExecutor,
+    OffloadRegion,
+    ResilientHybridExecutor,
+)
+from repro.search import SearchPipeline, StreamingSearch
+
+
+@pytest.fixture(scope="module")
+def models():
+    return (
+        DevicePerformanceModel(XEON_E5_2670_DUAL),
+        DevicePerformanceModel(XEON_PHI_57XX),
+    )
+
+
+@pytest.fixture(scope="module")
+def lengths():
+    return SyntheticSwissProt().lengths(scale=0.05)
+
+
+MESSY_PLAN = FaultPlan(
+    seed=7, transfer_fail_rate=0.12, hang_rate=0.05, corrupt_rate=0.05,
+    straggler_rate=0.08, outage_unit=12,
+)
+
+
+class TestFaultPlan:
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("seed=7, fail=0.1, corrupt=0.05, outage=3")
+        assert plan.seed == 7
+        assert plan.transfer_fail_rate == 0.1
+        assert plan.corrupt_rate == 0.05
+        assert plan.outage_unit == 3
+
+    def test_parse_rejects_unknown_keys_and_bad_values(self):
+        with pytest.raises(FaultPlanError, match="unknown fault-plan key"):
+            FaultPlan.parse("explode=1.0")
+        with pytest.raises(FaultPlanError, match="not a float"):
+            FaultPlan.parse("fail=lots")
+        with pytest.raises(FaultPlanError, match="key=value"):
+            FaultPlan.parse("fail")
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError, match="in \\[0, 1\\]"):
+            FaultPlan(transfer_fail_rate=1.5)
+        with pytest.raises(FaultPlanError, match="sum to at most 1"):
+            FaultPlan(transfer_fail_rate=0.6, corrupt_rate=0.6)
+        with pytest.raises(FaultPlanError, match="straggler factor"):
+            FaultPlan(straggler_factor=0.5)
+
+    def test_null_plan_detection(self):
+        assert FaultPlan(seed=99).is_null
+        assert not FaultPlan(corrupt_rate=0.01).is_null
+        assert not FaultPlan(outage_unit=0).is_null
+
+
+class TestInjectorDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = FaultInjector(MESSY_PLAN)
+        b = FaultInjector(MESSY_PLAN)
+        grid = [(u, t) for u in range(40) for t in range(4)]
+        assert [a.decide(u, t) for u, t in grid] == [
+            b.decide(u, t) for u, t in grid
+        ]
+
+    def test_decision_independent_of_call_order(self):
+        a = FaultInjector(MESSY_PLAN)
+        b = FaultInjector(MESSY_PLAN)
+        for u in range(10):
+            a.decide(u)
+        assert a.decide(11, 2) == b.decide(11, 2)
+
+    def test_different_seeds_differ(self):
+        plan_a = FaultPlan(seed=1, transfer_fail_rate=0.5)
+        plan_b = FaultPlan(seed=2, transfer_fail_rate=0.5)
+        grid = [(u, 0) for u in range(64)]
+        kinds_a = [FaultInjector(plan_a).decide(u, t).kind for u, t in grid]
+        kinds_b = [FaultInjector(plan_b).decide(u, t).kind for u, t in grid]
+        assert kinds_a != kinds_b
+
+    def test_rates_roughly_respected(self):
+        inj = FaultInjector(FaultPlan(seed=5, transfer_fail_rate=0.25))
+        fails = sum(
+            inj.decide(u).kind is FaultKind.TRANSFER_FAIL for u in range(2000)
+        )
+        assert 0.20 < fails / 2000 < 0.30
+
+    def test_outage_is_permanent_and_total(self):
+        inj = FaultInjector(FaultPlan(seed=0, outage_unit=5))
+        for attempt in range(6):
+            assert inj.decide(5, attempt).kind is FaultKind.OUTAGE
+            assert inj.decide(9, attempt).kind is FaultKind.OUTAGE
+        assert inj.decide(4, 0).kind is None
+
+    def test_corruption_always_breaks_checksum(self):
+        inj = FaultInjector(FaultPlan(seed=3, corrupt_rate=1.0))
+        scores = np.arange(50, dtype=np.int64)
+        received, declared = inj.transmit(0, 0, scores)
+        assert payload_checksum(received) != declared
+        assert payload_checksum(scores) == declared  # original untouched
+
+
+class TestRetryPolicy:
+    def test_backoff_ladder_caps(self):
+        p = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.5)
+        assert p.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
+        assert p.backoff(0) == 0.0
+
+    def test_allows_counts_the_first_try(self):
+        p = RetryPolicy(max_retries=2)
+        assert [p.allows(a) for a in range(4)] == [True, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+        with pytest.raises(FaultPlanError):
+            Timeout(0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        br = CircuitBreaker(failure_threshold=3, cooldown_seconds=10.0)
+        for t in range(3):
+            br.check(float(t))
+            br.record_failure(float(t))
+        assert br.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpen, match="cooling down"):
+            br.check(5.0)
+
+    def test_success_resets_the_failure_streak(self):
+        br = CircuitBreaker(failure_threshold=2, cooldown_seconds=1.0)
+        br.record_failure(0.0)
+        br.record_success(0.5)
+        br.record_failure(1.0)
+        assert br.state is BreakerState.CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0)
+        br.record_failure(0.0)
+        assert br.state is BreakerState.OPEN
+        br.check(2.0)  # past cooldown: one probe admitted
+        assert br.state is BreakerState.HALF_OPEN
+        with pytest.raises(CircuitOpen, match="probe in flight"):
+            br.check(2.0)
+        br.record_success(2.5)
+        assert br.state is BreakerState.CLOSED
+
+    def test_half_open_probe_reopens_on_failure(self):
+        br = CircuitBreaker(failure_threshold=1, cooldown_seconds=1.0)
+        br.record_failure(0.0)
+        br.check(2.0)
+        br.record_failure(2.5)
+        assert br.state is BreakerState.OPEN
+        with pytest.raises(CircuitOpen):
+            br.check(3.0)  # new cooldown runs from the probe failure
+
+
+class TestFaultedOffloadRegion:
+    def test_transfer_fail_surfaces_at_wait(self):
+        inj = FaultInjector(FaultPlan(seed=0, outage_unit=0))
+        region = OffloadRegion(PCIE_GEN2_X16, injector=inj)
+        h = region.run_async(in_bytes=1000, compute_seconds=1.0, unit=0)
+        with pytest.raises(FaultInjected, match="outage") as ei:
+            region.wait(h)
+        # The abort is observable mid-transfer, before compute would end.
+        assert ei.value.at < h.ready_at
+        with pytest.raises(Exception, match="already waited"):
+            region.wait(h)
+
+    def test_hang_detected_by_watchdog(self):
+        inj = FaultInjector(FaultPlan(seed=0, hang_rate=1.0, hang_seconds=50.0))
+        region = OffloadRegion(PCIE_GEN2_X16, injector=inj)
+        h = region.run_async(compute_seconds=0.5, unit=1)
+        assert h.ready_at > 50.0
+        with pytest.raises(DeviceTimeout) as ei:
+            region.wait(h, now=0.0, deadline=2.0)
+        assert ei.value.at == 2.0
+
+    def test_straggler_slows_but_completes(self):
+        inj = FaultInjector(
+            FaultPlan(seed=0, straggler_rate=1.0, straggler_factor=3.0)
+        )
+        region = OffloadRegion(PCIE_GEN2_X16, injector=inj)
+        h = region.run_async(compute_seconds=1.0, unit=2)
+        assert region.wait(h) == pytest.approx(3.0)
+
+    def test_kernel_skipped_on_faulted_attempt(self):
+        inj = FaultInjector(FaultPlan(seed=0, outage_unit=0))
+        region = OffloadRegion(PCIE_GEN2_X16, injector=inj)
+        ran = []
+        h = region.run_async(kernel=lambda: ran.append(1), unit=0)
+        with pytest.raises(FaultInjected):
+            region.wait(h)
+        assert ran == []
+
+
+class TestResilientExecutor:
+    def test_zero_fault_plan_matches_hybrid_exactly(self, models, lengths):
+        xeon, phi = models
+        base = HybridExecutor(xeon, phi).run(lengths, 1000, 0.55)
+        rex = ResilientHybridExecutor(
+            xeon, phi, injector=FaultInjector(FaultPlan(seed=123))
+        )
+        r = rex.run(lengths, 1000, 0.55)
+        assert abs(r.total_seconds - base.total_seconds) < 1e-9
+        assert r.mode == "healthy"
+        assert not r.degraded and r.faults_injected == 0
+        no_injector = ResilientHybridExecutor(xeon, phi).run(lengths, 1000, 0.55)
+        assert abs(no_injector.total_seconds - base.total_seconds) < 1e-9
+
+    def test_faults_degrade_but_complete(self, models, lengths):
+        xeon, phi = models
+        rex = ResilientHybridExecutor(
+            xeon, phi, injector=FaultInjector(MESSY_PLAN),
+            retry=RetryPolicy(max_retries=2), timeout=Timeout(5.0), chunks=16,
+        )
+        r = rex.run(lengths, 1000, 0.55)
+        assert r.degraded
+        assert r.chunks_reclaimed > 0
+        assert r.reclaimed_cells > 0
+        assert r.faults_injected > 0
+        assert r.gcups < r.baseline_gcups
+        assert r.gcups_lost > 0
+        assert r.total_seconds >= max(r.host_seconds, r.device_seconds)
+        # The outage hits chunks 12..15; earlier chunks can still succeed.
+        assert 0 < r.chunks_reclaimed < r.chunks
+
+    def test_fault_handling_is_deterministic(self, models, lengths):
+        xeon, phi = models
+
+        def once():
+            rex = ResilientHybridExecutor(
+                xeon, phi, injector=FaultInjector(MESSY_PLAN),
+                retry=RetryPolicy(max_retries=2),
+                timeout=Timeout(5.0), chunks=16,
+            )
+            return rex.run(lengths, 1000, 0.55)
+
+        a, b = once(), once()
+        assert a.total_seconds == b.total_seconds
+        assert a.timeline == b.timeline
+
+    def test_repeated_runs_on_one_executor_are_stable(self, models, lengths):
+        xeon, phi = models
+        rex = ResilientHybridExecutor(
+            xeon, phi, injector=FaultInjector(MESSY_PLAN),
+            retry=RetryPolicy(max_retries=2), timeout=Timeout(5.0), chunks=16,
+        )
+        a = rex.run(lengths, 1000, 0.55)
+        b = rex.run(lengths, 1000, 0.55)  # fresh breaker per run
+        assert a.timeline == b.timeline
+
+    def test_total_outage_degrades_to_host_only(self, models, lengths):
+        xeon, phi = models
+        rex = ResilientHybridExecutor(
+            xeon, phi,
+            injector=FaultInjector(FaultPlan(seed=1, outage_unit=0)),
+            retry=RetryPolicy(max_retries=1), chunks=8,
+        )
+        r = rex.run(lengths, 1000, 0.55)
+        assert r.mode == "host-only"
+        assert r.chunks_reclaimed == r.chunks
+        assert r.reclaim_seconds > 0
+        # Every cell still gets computed: reclaimed cells are the device share.
+        assert r.reclaimed_cells < r.cells
+
+    def test_empty_lengths_rejected(self, models):
+        xeon, phi = models
+        rex = ResilientHybridExecutor(xeon, phi)
+        with pytest.raises(Exception, match="empty"):
+            rex.run(np.empty(0, dtype=np.int64), 100, 0.5)
+
+
+class TestResilientSearchCorrectness:
+    QUERY = (
+        "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQ"
+        "FEVVHSLAKWKRQTLGQHDFSAGEGLYTHMKALRPDEDRLSPLHSVYVDQWDWE"
+    )
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        return SyntheticSwissProt().generate(scale=0.001)
+
+    @pytest.fixture(scope="class")
+    def reference_scores(self, db):
+        return SearchPipeline().search(self.QUERY, db).scores
+
+    def test_host_reclaim_is_score_identical(self, models, db, reference_scores):
+        xeon, phi = models
+        rex = ResilientHybridExecutor(
+            xeon, phi, injector=FaultInjector(MESSY_PLAN),
+            retry=RetryPolicy(max_retries=2), timeout=Timeout(5.0), chunks=16,
+        )
+        out = rex.search(self.QUERY, db, device_fraction=0.55, top_k=10)
+        assert np.array_equal(out.result.scores, reference_scores)
+        assert out.resilience.degraded
+        assert out.resilience.reclaimed_cells > 0
+        ranked = [h.score for h in out.result.hits]
+        assert ranked == sorted(ranked, reverse=True)
+
+    def test_pipeline_checksum_guard_redoes_corrupted_groups(
+        self, db, reference_scores
+    ):
+        inj = FaultInjector(FaultPlan(seed=11, corrupt_rate=0.5))
+        faulted = SearchPipeline(injector=inj).search(self.QUERY, db)
+        assert np.array_equal(faulted.scores, reference_scores)
+        assert faulted.corrupted_redone > 0
+
+    def test_streaming_checksum_guard(self, db):
+        from repro.db.fasta import FastaRecord
+
+        records = [
+            FastaRecord(header=h, sequence=db.alphabet.decode(s))
+            for h, s in zip(db.headers, db.sequences)
+        ]
+        clean = StreamingSearch(chunk_size=32).search_records(
+            self.QUERY, records
+        )
+        faulted = StreamingSearch(
+            chunk_size=32,
+            injector=FaultInjector(FaultPlan(seed=11, corrupt_rate=0.5)),
+        ).search_records(self.QUERY, records)
+        assert [h.score for h in faulted.hits] == [h.score for h in clean.hits]
+        assert faulted.corrupted_redone > 0
+
+    def test_persistent_corruption_finally_raises(self, db):
+        inj = FaultInjector(FaultPlan(seed=1, corrupt_rate=1.0))
+        with pytest.raises(FaultInjected, match="still corrupted"):
+            SearchPipeline(injector=inj).search(self.QUERY, db)

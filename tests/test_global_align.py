@@ -1,6 +1,5 @@
 """Tests for global (NW) and semi-global alignment."""
 
-import numpy as np
 import pytest
 
 from repro.core import get_engine

@@ -1,6 +1,5 @@
 """White-box tests of the performance-model internals."""
 
-import numpy as np
 import pytest
 
 from repro.db import SyntheticSwissProt

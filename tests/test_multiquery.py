@@ -3,13 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.db import SyntheticSwissProt, make_query_set
+from repro.db import SyntheticSwissProt
 from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
 from repro.exceptions import PipelineError
 from repro.perfmodel import DevicePerformanceModel
 from repro.search import SearchPipeline
 from repro.search.multiquery import MultiQueryExecutor
-from tests.conftest import random_codes
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Unit tests for the power/energy extension (paper future work)."""
 
-import numpy as np
 import pytest
 
 from repro.db import SyntheticSwissProt

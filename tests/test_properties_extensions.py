@@ -5,8 +5,6 @@ engine, the alignment-mode ordering, the adaptive ladder and the
 heuristic's subset property.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

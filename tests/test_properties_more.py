@@ -1,9 +1,7 @@
 """A third round of hypothesis property tests for the extensions."""
 
-import io
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

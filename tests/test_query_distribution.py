@@ -1,6 +1,5 @@
 """Tests for the query-distribution hybrid strategy extension."""
 
-import numpy as np
 import pytest
 
 from repro.db import PAPER_QUERIES, SyntheticSwissProt

@@ -6,7 +6,7 @@ import pytest
 from repro.db import SyntheticSwissProt
 from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
 from repro.exceptions import OffloadError
-from repro.perfmodel import DevicePerformanceModel, RunConfig
+from repro.perfmodel import DevicePerformanceModel
 from repro.runtime import (
     PCIE_GEN2_X16, HybridExecutor, OffloadRegion, PCIeLink, split_lengths,
 )
@@ -45,10 +45,34 @@ class TestOffloadRegion:
         )
         assert h.ready_at == pytest.approx(0.1 + 1.0 + 2.0, rel=0.02)
 
-    def test_kernel_result_carried(self):
+    def test_kernel_result_carried_after_wait(self):
         region = OffloadRegion(PCIE_GEN2_X16)
         h = region.run_async(kernel=lambda: 42)
+        region.wait(h)
         assert h.result == 42
+
+    def test_kernel_is_deferred_until_wait(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+        ran = []
+        h = region.run_async(kernel=lambda: ran.append(1))
+        assert ran == []  # launch must not execute the kernel eagerly
+        with pytest.raises(OffloadError, match="before wait"):
+            h.result
+        region.wait(h)
+        assert ran == [1]
+
+    def test_kernel_exception_surfaces_at_wait(self):
+        region = OffloadRegion(PCIE_GEN2_X16)
+
+        def bad():
+            raise ValueError("device exploded")
+
+        h = region.run_async(kernel=bad)
+        with pytest.raises(OffloadError, match="ValueError: device exploded") as ei:
+            region.wait(h)
+        assert isinstance(ei.value.__cause__, ValueError)
+        with pytest.raises(OffloadError, match="already waited"):
+            region.wait(h)
 
     def test_wait_overlap_is_free_when_host_late(self):
         region = OffloadRegion(PCIE_GEN2_X16)
@@ -106,6 +130,14 @@ class TestSplitLengths:
     def test_invalid_fraction(self, rng):
         with pytest.raises(OffloadError):
             split_lengths(rng.integers(1, 9, 5), 1.2)
+
+    def test_empty_lengths_named_in_error(self):
+        with pytest.raises(OffloadError, match="empty"):
+            split_lengths(np.empty(0, dtype=np.int64), 0.5)
+
+    def test_all_zero_lengths_named_in_error(self):
+        with pytest.raises(OffloadError, match="zero residues"):
+            split_lengths(np.zeros(7, dtype=np.int64), 0.5)
 
 
 @pytest.fixture(scope="module")
@@ -169,3 +201,11 @@ class TestHybrid:
         r = executor.run(full_lengths, 100, 0.0)
         assert r.device_seconds == 0.0
         assert r.cells == 100 * int(full_lengths.sum())
+
+    def test_run_rejects_empty_lengths(self, executor):
+        with pytest.raises(OffloadError, match="length distribution is empty"):
+            executor.run(np.empty(0, dtype=np.int64), 100, 0.5)
+
+    def test_run_rejects_zero_work(self, executor):
+        with pytest.raises(OffloadError, match="zero residues"):
+            executor.run(np.zeros(3, dtype=np.int64), 100, 0.5)

@@ -1,6 +1,5 @@
 """Tests for the streaming (out-of-core) search driver."""
 
-import numpy as np
 import pytest
 
 from repro.db import SyntheticSwissProt, write_fasta

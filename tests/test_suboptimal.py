@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import align_pair, get_engine
+from repro.core import align_pair
 from repro.core.suboptimal import waterman_eggert
 from repro.exceptions import EngineError
 from repro.scoring import BLOSUM62, match_mismatch_matrix, paper_gap_model
