@@ -1,0 +1,126 @@
+"""Service extensions — dynamic work-queue scheduling and batched serving.
+
+Beyond the paper: its Algorithm 2 splits the database *statically* and
+Figure 8 hand-tunes the ratio (~55 % on the Phi).  SWAPHI (Liu &
+Schmidt, 2014) showed dynamic batch distribution absorbs load imbalance
+without any tuning.  This harness sweeps length-distribution skew and
+checks the untuned work queue matches or beats the static split at the
+paper's tuned ratio at *every* skew level; a second benchmark measures
+the preprocess-cache hit rate under multi-query serving traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.metrics import MetricsRegistry, format_table
+from repro.perfmodel import compare_scheduling
+from repro.search import SearchOptions
+from repro.service import SearchService
+
+from conftest import run_once
+
+QUERY_LEN = 5478
+#: Lognormal sigma controls how heavy the length tail is; the paper's
+#: Swiss-Prot snapshot sits near 0.8.
+SKEW_LEVELS = (0.2, 0.6, 1.0, 1.4)
+STATIC_FRACTION = 0.55  # the ratio Figure 8 hand-tunes
+
+
+def skewed_lengths(sigma: float, n: int = 20000) -> np.ndarray:
+    """A lognormal length distribution with Swiss-Prot's mean scale."""
+    rng = np.random.default_rng(20140909 + int(sigma * 10))
+    lengths = rng.lognormal(mean=5.5, sigma=sigma, size=n)
+    return np.clip(lengths, 10, 40000).astype(np.int64)
+
+
+@pytest.mark.benchmark(group="service")
+def test_dynamic_queue_vs_static_split_across_skew(
+    benchmark, xeon_model, phi_model, swissprot_lengths, show
+):
+    def compute():
+        points = {
+            f"sigma={sigma}": compare_scheduling(
+                xeon_model, phi_model, skewed_lengths(sigma), QUERY_LEN,
+                static_fraction=STATIC_FRACTION,
+            )
+            for sigma in SKEW_LEVELS
+        }
+        points["swissprot"] = compare_scheduling(
+            xeon_model, phi_model, swissprot_lengths, QUERY_LEN,
+            static_fraction=STATIC_FRACTION,
+        )
+        return points
+
+    points = run_once(benchmark, compute)
+    show(format_table(
+        ["workload", "static GCUPS", "queue GCUPS", "speedup",
+         "emergent phi-share"],
+        [
+            (name, round(c.static_gcups, 1), round(c.dynamic_gcups, 1),
+             round(c.speedup, 3),
+             round(c.plan.device_residue_fraction, 3))
+            for name, c in points.items()
+        ],
+        title="dynamic work queue vs static split "
+              f"(static tuned to {STATIC_FRACTION:.0%} phi-share)",
+    ))
+    benchmark.extra_info["speedups"] = {
+        name: c.speedup for name, c in points.items()
+    }
+
+    # The acceptance bar: the untuned queue is never slower than the
+    # tuned static split, at any tested skew.
+    for name, c in points.items():
+        assert c.dynamic_wins, (
+            f"{name}: queue {c.dynamic_seconds:.2f}s > "
+            f"static {c.static_seconds:.2f}s"
+        )
+    # Heavier tails leave the static split more imbalanced, so the
+    # queue's advantage grows monotonically with skew.
+    speedups = [points[f"sigma={s}"].speedup for s in SKEW_LEVELS]
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    # On the paper's own workload the emergent share lands near the
+    # hand-tuned ratio — dynamic scheduling rediscovers Figure 8.
+    assert abs(
+        points["swissprot"].plan.device_residue_fraction - STATIC_FRACTION
+    ) < 0.15
+
+
+@pytest.mark.benchmark(group="service")
+def test_preprocess_cache_hit_rate_under_batch_traffic(benchmark, show):
+    db = SyntheticSwissProt().generate(scale=0.0003)
+    rng = np.random.default_rng(0xCA1)
+    residues = "ARNDCQEGHILKMFPSTWYV"
+    queries = [
+        "".join(residues[i] for i in rng.integers(0, 20, 48))
+        for _ in range(12)
+    ]
+
+    def compute():
+        registry = MetricsRegistry()
+        service = SearchService(
+            SearchOptions(top_k=3), metrics=registry
+        )
+        batch = service.run(queries, db)
+        return batch, registry
+
+    batch, registry = run_once(benchmark, compute)
+    stats = batch.cache_stats
+    show(format_table(
+        ["metric", "value"],
+        [(k, v if isinstance(v, int) else round(v, 3))
+         for k, v in stats.items()],
+        title=f"preprocess cache over {len(queries)} queries, one database",
+    ))
+    benchmark.extra_info["hit_rate"] = stats["hit_rate"]
+
+    # One miss fills the cache; every other query reuses the sort/pack.
+    assert stats["misses"] == 1
+    assert stats["hits"] == len(queries) - 1
+    assert stats["hit_rate"] == pytest.approx(
+        (len(queries) - 1) / len(queries)
+    )
+    assert registry.get("service.requests") == len(queries)

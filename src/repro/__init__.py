@@ -24,6 +24,14 @@ Database search::
     >>> result = SearchPipeline().search("MKTAYIAKQR" * 10, db)
     >>> result.hits[0].score >= result.hits[-1].score
     True
+
+Batched serving with shared options::
+
+    >>> from repro import SearchOptions, SearchRequest, SearchService
+    >>> service = SearchService(SearchOptions(top_k=3))
+    >>> batch = service.run([SearchRequest(query="MKTAYIAKQR" * 10)], db)
+    >>> len(batch.outcomes)
+    1
 """
 
 from .alphabet import DNA, PROTEIN, Alphabet, encode, decode
@@ -98,10 +106,24 @@ from .scoring import (
 )
 from .search import (
     HybridSearchPipeline,
+    HybridSearchResult,
+    MultiQueryExecutor,
+    MultiQueryOutcome,
+    SearchOptions,
+    SearchOutcome,
     SearchPipeline,
+    SearchRequest,
     SearchResult,
+    StreamingResult,
     StreamingSearch,
     gcups,
+)
+from .service import (
+    PreprocessCache,
+    QueueSearchOutcome,
+    SearchService,
+    ServiceBatchResult,
+    WorkQueueScheduler,
 )
 
 __version__ = "1.0.0"
@@ -133,8 +155,14 @@ __all__ = [
     "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout",
     "CircuitBreaker", "ResilientHybridExecutor", "ResilientResult",
     # search
+    "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
-    "StreamingSearch", "HybridSearchPipeline", "waterman_eggert",
+    "StreamingSearch", "StreamingResult",
+    "HybridSearchPipeline", "HybridSearchResult",
+    "MultiQueryExecutor", "MultiQueryOutcome", "waterman_eggert",
+    # service
+    "SearchService", "ServiceBatchResult",
+    "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
     # errors
     "ReproError",
     "__version__",

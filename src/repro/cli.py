@@ -5,6 +5,10 @@ Subcommands
 ``search``
     Run a Smith-Waterman database search (Algorithm 1) against a FASTA
     file or a synthetic Swiss-Prot sample and print the ranked hits.
+``batch``
+    Serve many queries through :class:`repro.SearchService` — shared
+    pre-processing cache, selectable scheduler (``local``/``static``/
+    ``queue``), dynamic-vs-static makespan comparison.
 ``align``
     Align two sequences (local / global / semi-global) with traceback.
 ``blast``
@@ -65,6 +69,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help='inject faults, e.g. "seed=7,corrupt=0.2" '
                         "(scores stay exact via the checksum guard)")
 
+    bt = sub.add_parser("batch", help="serve a batch of queries")
+    bt.add_argument("--queries", type=int, default=4,
+                    help="number of paper benchmark queries to serve")
+    bt.add_argument("--query-fasta",
+                    help="FASTA file; every record becomes a request")
+    bt.add_argument("--db-fasta", help="database FASTA file")
+    bt.add_argument(
+        "--synthetic-scale", type=float, default=None,
+        help="use a synthetic Swiss-Prot at this scale (e.g. 0.0005)",
+    )
+    bt.add_argument("--scheduler", choices=("local", "static", "queue"),
+                    default="local",
+                    help="local pipeline, static host/device split, or the "
+                         "dynamic work queue")
+    bt.add_argument("--matrix", default="BLOSUM62")
+    bt.add_argument("--gap-open", type=int, default=10)
+    bt.add_argument("--gap-extend", type=int, default=2)
+    bt.add_argument("--lanes", type=int, default=None,
+                    help="SIMD lanes (default: each device's native width)")
+    bt.add_argument("--top", type=int, default=5)
+    bt.add_argument("--chunks", type=int, default=24,
+                    help="work-queue granularity (queue scheduler)")
+    bt.add_argument("--static-fraction", type=float, default=0.55,
+                    help="device share of the static reference split")
+
     a = sub.add_parser("align", help="align two sequences with traceback")
     a.add_argument("sequence_a", help="query residue letters")
     a.add_argument("sequence_b", help="target residue letters")
@@ -114,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_search(args: argparse.Namespace) -> int:
     from .db import SequenceDatabase, SyntheticSwissProt, read_fasta
     from .scoring import GapModel, get_matrix
-    from .search import SearchPipeline
+    from .search import SearchOptions, SearchPipeline
 
     if args.query:
         query = args.query
@@ -140,15 +169,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         injector = FaultInjector(FaultPlan.parse(args.fault_plan))
 
-    pipeline = SearchPipeline(
+    pipeline = SearchPipeline(SearchOptions(
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
         lanes=args.lanes,
         profile=args.profile,
+        top_k=args.top,
         injector=injector,
-    )
+    ))
     result = pipeline.search(
-        query, db, query_name=qname, top_k=args.top, traceback=args.traceback
+        query, db, query_name=qname, traceback=args.traceback
     )
     if args.tsv:
         print(result.to_tsv())
@@ -179,6 +209,78 @@ def _cmd_search(args: argparse.Namespace) -> int:
             if hit.alignment and hit.alignment.score > 0:
                 print(f"\n>{hit.header}")
                 print(hit.alignment.pretty())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .db import (
+        PAPER_QUERIES,
+        SequenceDatabase,
+        SyntheticSwissProt,
+        make_query_set,
+        read_fasta,
+    )
+    from .scoring import GapModel, get_matrix
+    from .search import SearchOptions, SearchRequest
+    from .service import SearchService
+
+    if args.db_fasta:
+        db = SequenceDatabase.from_fasta(args.db_fasta)
+    elif args.synthetic_scale:
+        db = SyntheticSwissProt().generate(scale=args.synthetic_scale)
+    else:
+        print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
+        return 2
+
+    if args.query_fasta:
+        requests = [
+            SearchRequest(query=rec.sequence, name=rec.accession)
+            for rec in read_fasta(args.query_fasta)
+        ]
+    else:
+        specs = PAPER_QUERIES[: max(args.queries, 1)]
+        queries = make_query_set(specs)
+        requests = [
+            SearchRequest(query=queries[s.accession], name=s.accession)
+            for s in specs
+        ]
+    if not requests:
+        print("error: no queries to serve", file=sys.stderr)
+        return 2
+
+    service = SearchService(
+        SearchOptions(
+            matrix=get_matrix(args.matrix),
+            gaps=GapModel(args.gap_open, args.gap_extend),
+            lanes=args.lanes,
+            top_k=args.top,
+        ),
+        scheduler=args.scheduler,
+        chunks=args.chunks,
+        static_fraction=args.static_fraction,
+    )
+    batch = service.run(requests, db)
+    print(
+        f"served {len(batch)} queries against {db.name} "
+        f"({len(db)} sequences) with the {batch.scheduler!r} scheduler:"
+    )
+    print(batch.summary())
+    if args.scheduler == "local":
+        cs = batch.cache_stats
+        print(
+            f"preprocess cache: {cs['hits']} hits / "
+            f"{cs['hits'] + cs['misses']} lookups "
+            f"(hit rate {cs['hit_rate']:.0%})"
+        )
+    elif args.scheduler == "queue":
+        dyn = sum(o.modeled_makespan for o in batch.outcomes)
+        static = sum(o.static_modeled_makespan for o in batch.outcomes)
+        print(
+            f"modelled makespan: dynamic queue {dyn:.3f}s vs static split "
+            f"at {args.static_fraction:.0%} {static:.3f}s "
+            f"({static / dyn:.2f}x)" if dyn > 0 else
+            "modelled makespan: degenerate (zero-cost workload)"
+        )
     return 0
 
 
@@ -377,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "search": _cmd_search,
+        "batch": _cmd_batch,
         "align": _cmd_align,
         "blast": _cmd_blast,
         "model": _cmd_model,

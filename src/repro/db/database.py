@@ -112,6 +112,31 @@ class SequenceDatabase:
             raise DatabaseError("empty database has no mean length")
         return float(self.lengths.mean())
 
+    def fingerprint(self) -> int:
+        """Content hash identifying this database across objects.
+
+        Covers every residue of every sequence (order-sensitive), so two
+        databases with equal content collide deliberately — that is what
+        lets :class:`repro.service.PreprocessCache` share one sort/pack
+        between queries whichever object carries the data.  ``id()``
+        would be unsafe (CPython recycles addresses) and the name alone
+        says nothing about content.  Cached after the first call; the
+        container is treated as immutable once searched, as everywhere
+        else in the library.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=8)
+            h.update(len(self.sequences).to_bytes(8, "little"))
+            for seq in self.sequences:
+                h.update(len(seq).to_bytes(4, "little"))
+                h.update(seq.tobytes())
+            cached = int.from_bytes(h.digest(), "little")
+            self._fingerprint = cached
+        return cached
+
     def stats(self) -> dict:
         """Summary dict matching the quantities in the paper's Section V-B."""
         return {

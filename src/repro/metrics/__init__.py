@@ -3,6 +3,7 @@
 from .tables import format_table, format_series, paper_comparison
 from .report import generate_report
 from .quality import average_precision, rank_indices, recall_at_k
+from .counters import METRICS, MetricsRegistry
 
 __all__ = [
     "format_table",
@@ -12,4 +13,6 @@ __all__ = [
     "rank_indices",
     "recall_at_k",
     "average_precision",
+    "METRICS",
+    "MetricsRegistry",
 ]

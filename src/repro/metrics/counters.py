@@ -1,0 +1,56 @@
+"""Process-wide operational counters for the service layer.
+
+A deliberately tiny metrics substrate: named monotonically-increasing
+counters behind one lock, good enough for cache hit rates and request
+accounting without dragging in a metrics dependency.  The default
+registry :data:`METRICS` is what library components report into (e.g.
+``service.preprocess_cache.hits``); tests and embedders can pass their
+own :class:`MetricsRegistry` for isolation.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+
+__all__ = ["MetricsRegistry", "METRICS"]
+
+
+class MetricsRegistry:
+    """Named integer counters with atomic increments."""
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._counts: dict[str, int] = {}
+
+    def increment(self, name: str, amount: int = 1) -> int:
+        """Add ``amount`` to ``name`` (created at 0); returns the total."""
+        with self._lock:
+            value = self._counts.get(name, 0) + amount
+            self._counts[name] = value
+            return value
+
+    def get(self, name: str) -> int:
+        """Current value of one counter (0 if never incremented)."""
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self, prefix: str = "") -> dict[str, int]:
+        """A sorted copy of all counters under ``prefix``."""
+        with self._lock:
+            return {
+                k: v for k, v in sorted(self._counts.items())
+                if k.startswith(prefix)
+            }
+
+    def reset(self, prefix: str = "") -> None:
+        """Drop every counter under ``prefix`` (all, by default)."""
+        with self._lock:
+            if not prefix:
+                self._counts.clear()
+            else:
+                for k in [k for k in self._counts if k.startswith(prefix)]:
+                    del self._counts[k]
+
+
+#: The default registry library components report into.
+METRICS = MetricsRegistry()

@@ -12,6 +12,14 @@ headline number; everything else the model produces is prediction.
 
 from .calibration import DeviceCalibration, calibration_for, CALIBRATIONS
 from .model import DevicePerformanceModel, Workload, RunConfig
+from .scheduling import (
+    ChunkAssignment,
+    SchedulingComparison,
+    WorkQueuePlan,
+    build_chunks,
+    compare_scheduling,
+    plan_work_queue,
+)
 from .efficiency import thread_sweep, efficiency_table
 from .paper_targets import PAPER_TARGETS, PaperTarget, validate_against_paper
 from .roofline import RooflinePoint, roofline_analysis
@@ -30,6 +38,12 @@ __all__ = [
     "DevicePerformanceModel",
     "Workload",
     "RunConfig",
+    "ChunkAssignment",
+    "WorkQueuePlan",
+    "SchedulingComparison",
+    "build_chunks",
+    "plan_work_queue",
+    "compare_scheduling",
     "thread_sweep",
     "efficiency_table",
     "DevicePower",

@@ -1,0 +1,264 @@
+"""Static split vs. dynamic work-queue scheduling of the hybrid search.
+
+The paper distributes the database between Xeon and Xeon Phi with a
+*static* split whose ratio must be hand-tuned per workload (Figure 8
+sweeps it; ~55 % on the Phi is best for their device pair).  SWAPHI
+(Liu & Schmidt, 2014) instead distributes sequence *batches* dynamically
+and absorbs load imbalance without tuning.  This module models that
+alternative: database chunks go on a shared queue and the two workers
+pull in virtual time — whichever side is free first takes the next
+chunk, so the split ratio *emerges* from relative device speed instead
+of being a tuning parameter.
+
+:func:`plan_work_queue` produces the dynamic schedule;
+:func:`compare_scheduling` reports its makespan next to the static
+split's at a given (untuned) fraction, which is how the benchmark sweep
+shows dynamic scheduling matching the tuned static ratio across skewed
+workloads.  The real-compute twin that executes a plan lives in
+:class:`repro.service.WorkQueueScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .model import DevicePerformanceModel, RunConfig, Workload
+
+__all__ = [
+    "ChunkAssignment",
+    "WorkQueuePlan",
+    "SchedulingComparison",
+    "build_chunks",
+    "plan_work_queue",
+    "compare_scheduling",
+]
+
+#: Bytes of query + substitution matrix shipped once with the first
+#: device chunk — mirrors :class:`~repro.runtime.HybridExecutor`'s
+#: transfer accounting for the static path.
+_MATRIX_BYTES = 24 * 24 * 4
+
+
+def build_chunks(lengths: np.ndarray, chunks: int) -> list[np.ndarray]:
+    """Partition a length distribution into residue-balanced chunks.
+
+    Entries are walked in descending length order (stable, so the
+    chunking is deterministic) and greedily packed until each chunk
+    reaches ``total/chunks`` residues.  Returns index arrays into
+    ``lengths``; chunks come out in descending-cost order, which gives
+    the queue LPT-style behaviour — big units first, small units last to
+    smooth the finish line.
+    """
+    if chunks < 1:
+        raise ModelError(f"chunk count must be positive, got {chunks}")
+    arr = np.asarray(lengths, dtype=np.int64)
+    if arr.size == 0:
+        raise ModelError("cannot chunk an empty length distribution")
+    if arr.min() < 1:
+        raise ModelError("sequence lengths must be positive")
+    order = np.argsort(arr, kind="stable")[::-1]
+    target = float(arr.sum()) / chunks
+    out: list[list[int]] = [[]]
+    acc = 0.0
+    for k in order:
+        if acc >= target and len(out) < chunks:
+            out.append([])
+            acc = 0.0
+        out[-1].append(int(k))
+        acc += float(arr[k])
+    return [np.asarray(c, dtype=np.int64) for c in out if c]
+
+
+@dataclass(frozen=True)
+class ChunkAssignment:
+    """One chunk's pull: who took it and when, in virtual time."""
+
+    chunk_id: int
+    worker: str  # "host" | "device"
+    indices: np.ndarray  # positions into the caller's length/db order
+    residues: int
+    start_seconds: float
+    end_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Time the worker held this chunk (transfers included)."""
+        return self.end_seconds - self.start_seconds
+
+
+@dataclass(frozen=True)
+class WorkQueuePlan:
+    """A complete dynamic schedule of one query over one database."""
+
+    assignments: tuple[ChunkAssignment, ...]
+    host_seconds: float
+    device_seconds: float
+    total_residues: int
+
+    @property
+    def makespan(self) -> float:
+        """When the later worker drains its last chunk."""
+        return max(self.host_seconds, self.device_seconds)
+
+    @property
+    def device_residue_fraction(self) -> float:
+        """Share of residues the device ended up pulling (emergent)."""
+        dev = sum(a.residues for a in self.assignments
+                  if a.worker == "device")
+        return dev / self.total_residues if self.total_residues else 0.0
+
+    def worker_chunks(self, worker: str) -> list[ChunkAssignment]:
+        """The chunks one worker pulled, in pull order."""
+        return [a for a in self.assignments if a.worker == worker]
+
+
+def plan_work_queue(
+    host: DevicePerformanceModel,
+    device: DevicePerformanceModel,
+    lengths: np.ndarray,
+    query_len: int,
+    *,
+    chunks: int = 24,
+    link=None,
+    config: RunConfig | None = None,
+) -> WorkQueuePlan:
+    """Simulate the shared-queue schedule in virtual time.
+
+    Both workers start at t=0; the earliest-free worker pulls the next
+    chunk (ties go to the device, which amortises its PCIe latency
+    best by staying busy).  Device pulls pay per-chunk transfers plus a
+    one-time query/matrix shipment; each side pays its calibrated fixed
+    run overhead once, on its first pull — exactly the costs the static
+    path pays, so the two makespans are directly comparable.  Per-cell
+    rates come from each device's rate over the *whole* workload
+    envelope: under dynamic scheduling every worker streams its pulled
+    chunks through one group loop, so the sustained rate is that of the
+    stream, not of any individual chunk.
+    """
+    if query_len < 1:
+        raise ModelError(f"query length must be positive, got {query_len}")
+    if link is None:
+        from ..runtime.pcie import PCIE_GEN2_X16
+
+        link = PCIE_GEN2_X16
+    cfg = config or RunConfig()
+    arr = np.asarray(lengths, dtype=np.int64)
+    parts = build_chunks(arr, chunks)
+
+    host_rate = host.rate(Workload.from_lengths(arr, host.spec.lanes32), cfg)
+    dev_rate = device.rate(
+        Workload.from_lengths(arr, device.spec.lanes32), cfg
+    )
+
+    host_clock = dev_clock = 0.0
+    first_host = first_dev = True
+    assignments: list[ChunkAssignment] = []
+    for cid, idx in enumerate(parts):
+        residues = int(arr[idx].sum())
+        cells = query_len * residues
+        if dev_clock <= host_clock:
+            seconds = cells / dev_rate
+            in_bytes = residues + (
+                query_len + _MATRIX_BYTES if first_dev else 0
+            )
+            seconds += link.transfer_seconds(in_bytes)
+            seconds += link.transfer_seconds(4 * len(idx))
+            if first_dev:
+                seconds += device.cal.fixed_run_seconds
+                first_dev = False
+            start, dev_clock = dev_clock, dev_clock + seconds
+            assignments.append(ChunkAssignment(
+                cid, "device", idx, residues, start, dev_clock
+            ))
+        else:
+            seconds = cells / host_rate
+            if first_host:
+                seconds += host.cal.fixed_run_seconds
+                first_host = False
+            start, host_clock = host_clock, host_clock + seconds
+            assignments.append(ChunkAssignment(
+                cid, "host", idx, residues, start, host_clock
+            ))
+    return WorkQueuePlan(
+        assignments=tuple(assignments),
+        host_seconds=host_clock,
+        device_seconds=dev_clock,
+        total_residues=int(arr.sum()),
+    )
+
+
+@dataclass(frozen=True)
+class SchedulingComparison:
+    """Dynamic makespan reported next to the static split's."""
+
+    query_len: int
+    chunks: int
+    static_fraction: float
+    static_seconds: float
+    dynamic_seconds: float
+    cells: int
+    plan: WorkQueuePlan
+
+    @property
+    def static_gcups(self) -> float:
+        """Throughput of the static split at the reference fraction."""
+        return self.cells / self.static_seconds / 1e9
+
+    @property
+    def dynamic_gcups(self) -> float:
+        """Throughput of the untuned work-queue schedule."""
+        return self.cells / self.dynamic_seconds / 1e9
+
+    @property
+    def speedup(self) -> float:
+        """Static / dynamic makespan (>1 means the queue wins)."""
+        return self.static_seconds / self.dynamic_seconds
+
+    @property
+    def dynamic_wins(self) -> bool:
+        """True when the untuned queue is at least as fast as static."""
+        return self.dynamic_seconds <= self.static_seconds
+
+
+def compare_scheduling(
+    host: DevicePerformanceModel,
+    device: DevicePerformanceModel,
+    lengths: np.ndarray,
+    query_len: int,
+    *,
+    static_fraction: float = 0.55,
+    chunks: int = 24,
+    link=None,
+    config: RunConfig | None = None,
+) -> SchedulingComparison:
+    """One static-vs-dynamic data point over a length distribution.
+
+    The static side runs :class:`~repro.runtime.HybridExecutor` at the
+    given fraction (the knob the paper hand-tunes); the dynamic side
+    runs :func:`plan_work_queue`, which has no such knob.
+    """
+    # Imported lazily: repro.runtime imports this package at load time.
+    from ..runtime.hybrid import HybridExecutor
+    from ..runtime.pcie import PCIE_GEN2_X16
+
+    the_link = link if link is not None else PCIE_GEN2_X16
+    arr = np.asarray(lengths, dtype=np.int64)
+    static = HybridExecutor(host, device, link=the_link).run(
+        arr, query_len, static_fraction, config
+    )
+    plan = plan_work_queue(
+        host, device, arr, query_len,
+        chunks=chunks, link=the_link, config=config,
+    )
+    return SchedulingComparison(
+        query_len=query_len,
+        chunks=chunks,
+        static_fraction=static_fraction,
+        static_seconds=static.total_seconds,
+        dynamic_seconds=plan.makespan,
+        cells=query_len * int(arr.sum()),
+        plan=plan,
+    )

@@ -250,6 +250,7 @@ class ResilientHybridExecutor:
         from ..alphabet import PROTEIN
         from ..core.engine import as_codes
         from ..db.preprocess import split_database
+        from ..search.api import SearchOptions
         from ..search.pipeline import SearchPipeline
         from ..search.result import Hit, SearchResult
 
@@ -258,13 +259,10 @@ class ResilientHybridExecutor:
         alphabet = getattr(database, "alphabet", PROTEIN)
         q = as_codes(query, alphabet)
         cfg = RunConfig()
-        host_pipe = SearchPipeline(
-            matrix=matrix, gaps=gaps,
-            lanes=self.host.spec.lanes32, alphabet=alphabet,
-        )
+        opts = SearchOptions(matrix=matrix, gaps=gaps, alphabet=alphabet)
+        host_pipe = SearchPipeline(opts.merged(lanes=self.host.spec.lanes32))
         device_pipe = SearchPipeline(
-            matrix=matrix, gaps=gaps,
-            lanes=self.device.spec.lanes32, alphabet=alphabet,
+            opts.merged(lanes=self.device.spec.lanes32)
         )
 
         host_db, dev_db = split_database(database, device_fraction)

@@ -8,6 +8,7 @@ device time when a :class:`~repro.perfmodel.DevicePerformanceModel` is
 attached.
 """
 
+from .api import SearchOptions, SearchOutcome, SearchRequest, unify_options
 from .result import Hit, SearchResult
 from .pipeline import SearchPipeline
 from .gcups import gcups, Stopwatch
@@ -23,6 +24,10 @@ from .stats import (
 )
 
 __all__ = [
+    "SearchOptions",
+    "SearchOutcome",
+    "SearchRequest",
+    "unify_options",
     "Hit",
     "SearchResult",
     "SearchPipeline",

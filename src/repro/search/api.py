@@ -1,0 +1,223 @@
+"""The unified search API: options, requests, and the outcome protocol.
+
+Four entrypoints grew out of the paper's algorithms —``SearchPipeline``
+(Algorithm 1), ``StreamingSearch`` (out-of-core Algorithm 1),
+``HybridSearchPipeline`` (Algorithm 2) and ``MultiQueryExecutor`` (the
+query-distribution extension) — and each accreted its own overlapping
+keyword surface.  This module is the single vocabulary they all share:
+
+* :class:`SearchOptions` — every search-semantic knob (scoring scheme,
+  lane width, schedule, fault injector, ...) in one frozen dataclass.
+  All four entrypoints accept it as their ``options`` argument; the old
+  per-class keywords still work through a shim that emits
+  :class:`DeprecationWarning` (see :func:`unify_options`).
+* :class:`SearchRequest` — one query of a batch, as consumed by
+  :class:`repro.service.SearchService`.
+* :class:`SearchOutcome` — the structural protocol every result type
+  satisfies (``hits``, ``best_score()``, ``gcups``, ``provenance``), so
+  callers can rank/report without caring which engine produced it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Mapping, Protocol, Sequence, runtime_checkable
+
+from ..alphabet import PROTEIN, Alphabet
+from ..devices.openmp import Schedule
+from ..exceptions import PipelineError
+from ..faults.injection import FaultInjector
+from ..scoring.gaps import GapModel, paper_gap_model
+from ..scoring.matrices import SubstitutionMatrix
+
+__all__ = [
+    "UNSET",
+    "SearchOptions",
+    "SearchRequest",
+    "SearchOutcome",
+    "unify_options",
+]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+
+#: Default for deprecated shim keywords — only values the caller really
+#: passed are merged into the options object (and warned about).
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Search semantics shared by every entrypoint.
+
+    ``None`` fields mean "the library default": BLOSUM62, the paper's
+    10/2 gap model, and a lane width chosen by the consumer (8 for the
+    plain pipeline, the device's native width in hybrid paths).
+
+    Parameters
+    ----------
+    matrix, gaps:
+        Scoring scheme.
+    lanes:
+        Inter-task vector width; ``None`` lets each consumer pick.
+    profile:
+        ``"sequence"`` (SP) or ``"query"`` (QP) score addressing.
+    schedule:
+        OpenMP policy for the simulated group loop.
+    threads:
+        Virtual thread count for the schedule simulation.
+    top_k:
+        Default number of ranked hits returned.
+    chunk_size:
+        Streaming batch size (records per chunk).
+    alphabet:
+        Residue alphabet.
+    injector:
+        Optional fault injector; payloads then cross a checksum guard.
+    """
+
+    matrix: SubstitutionMatrix | None = None
+    gaps: GapModel | None = None
+    lanes: int | None = None
+    profile: str = "sequence"
+    schedule: Schedule | str = Schedule.DYNAMIC
+    threads: int = 4
+    top_k: int = 10
+    chunk_size: int = 512
+    alphabet: Alphabet = field(default_factory=lambda: PROTEIN)
+    injector: FaultInjector | None = None
+
+    def __post_init__(self) -> None:
+        if self.lanes is not None and self.lanes < 1:
+            raise PipelineError(f"lanes must be positive, got {self.lanes}")
+        if self.threads < 1:
+            raise PipelineError(f"threads must be positive, got {self.threads}")
+        if self.top_k < 1:
+            raise PipelineError(f"top_k must be positive, got {self.top_k}")
+        if self.chunk_size < 1:
+            raise PipelineError(
+                f"chunk size must be positive, got {self.chunk_size}"
+            )
+        if self.profile not in ("sequence", "query"):
+            raise PipelineError(
+                f"profile must be 'sequence' or 'query', got {self.profile!r}"
+            )
+        Schedule.parse(self.schedule)  # fail fast on bad schedule specs
+
+    # ------------------------------------------------------------------
+    def resolved_matrix(self) -> SubstitutionMatrix:
+        """The substitution matrix, defaulting to the paper's BLOSUM62."""
+        if self.matrix is not None:
+            return self.matrix
+        from ..scoring.data_blosum import BLOSUM62
+
+        return BLOSUM62
+
+    def resolved_gaps(self) -> GapModel:
+        """The gap model, defaulting to the paper's 10/2."""
+        return self.gaps if self.gaps is not None else paper_gap_model()
+
+    def resolved_lanes(self, default: int = 8) -> int:
+        """The lane width, falling back to the consumer's ``default``."""
+        return self.lanes if self.lanes is not None else default
+
+    def merged(self, **overrides: Any) -> "SearchOptions":
+        """A copy with ``overrides`` applied (UNSET entries dropped)."""
+        present = {k: v for k, v in overrides.items() if v is not UNSET}
+        return replace(self, **present) if present else self
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The unified option vocabulary (used by the API-surface test)."""
+        return tuple(f.name for f in fields(cls))
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One query of a service batch.
+
+    ``top_k`` overrides the batch-wide :attr:`SearchOptions.top_k` for
+    this request only; ``None`` inherits it.
+    """
+
+    query: Any  # residue string or encoded uint8 array
+    name: str = "query"
+    top_k: int | None = None
+    traceback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None and self.top_k < 0:
+            raise PipelineError(f"top_k must be non-negative, got {self.top_k}")
+
+
+@runtime_checkable
+class SearchOutcome(Protocol):
+    """What every search result type exposes, whatever produced it.
+
+    ``gcups`` is the outcome's *headline* throughput: wall-clock GCUPS
+    for the real-compute types (:class:`~repro.search.SearchResult`,
+    :class:`~repro.search.StreamingResult`), modelled-makespan GCUPS for
+    the heterogeneous types whose reason to exist is the timing model.
+    ``provenance`` carries the identifying fields (query, database,
+    executor kind) for reports and logs.
+    """
+
+    @property
+    def hits(self) -> Sequence[Any]: ...
+
+    def best_score(self) -> int: ...
+
+    @property
+    def gcups(self) -> float: ...
+
+    @property
+    def provenance(self) -> Mapping[str, Any]: ...
+
+
+def unify_options(
+    options: Any,
+    legacy: Mapping[str, Any],
+    *,
+    owner: str,
+    stacklevel: int = 3,
+) -> SearchOptions:
+    """Resolve an entrypoint's ``(options, **legacy)`` surface.
+
+    ``options`` is the new-style :class:`SearchOptions` (or ``None``);
+    ``legacy`` maps old per-class keyword names to their passed values,
+    with :data:`UNSET` marking "not passed".  Any present legacy value —
+    including a legacy positional matrix that landed in the ``options``
+    slot — emits one :class:`DeprecationWarning` naming the keywords,
+    attributed to the caller via ``stacklevel``, and is merged over the
+    options object.  Old code therefore keeps working with identical
+    behaviour; new code never warns.
+    """
+    present = {k: v for k, v in legacy.items() if v is not UNSET}
+    if options is not None and not isinstance(options, SearchOptions):
+        if not isinstance(options, SubstitutionMatrix):
+            raise PipelineError(
+                f"{owner}: expected SearchOptions (or a legacy substitution "
+                f"matrix), got {type(options).__name__}"
+            )
+        # Legacy positional call: SearchPipeline(BLOSUM62, gaps).
+        present.setdefault("matrix", options)
+        options = None
+    if present:
+        names = ", ".join(sorted(present))
+        warnings.warn(
+            f"{owner}({names}=...) per-class keyword arguments are "
+            f"deprecated; pass repro.SearchOptions({names}=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+        options = replace(options if options is not None else SearchOptions(),
+                          **present)
+    return options if options is not None else SearchOptions()

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..alphabet import PROTEIN, Alphabet
 from ..core.engine import as_codes
 from ..db.database import SequenceDatabase
 from ..db.preprocess import split_database
@@ -25,6 +24,7 @@ from ..exceptions import PipelineError
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from ..runtime.offload import OffloadRegion
 from ..runtime.pcie import PCIE_GEN2_X16, PCIeLink
+from .api import UNSET, SearchOptions, unify_options
 from .pipeline import SearchPipeline
 from .result import Hit, SearchResult
 
@@ -39,6 +39,10 @@ class HybridSearchResult:
     device_fraction: float
     host_modeled_seconds: float
     device_modeled_seconds: float  # transfers included
+    scheduler: str = "static"
+    #: Static-split reference makespan, set when the dynamic work-queue
+    #: scheduler produced this result (for tuned-vs-untuned comparison).
+    static_modeled_makespan: float | None = None
 
     @property
     def modeled_makespan(self) -> float:
@@ -50,32 +54,80 @@ class HybridSearchResult:
         """Combined modelled throughput (the paper's Fig. 8 quantity)."""
         return self.result.cells / self.modeled_makespan / 1e9
 
+    # -- SearchOutcome protocol ----------------------------------------
+    @property
+    def hits(self) -> list[Hit]:
+        """Ranked hits of the merged search."""
+        return self.result.hits
+
+    def best_score(self) -> int:
+        """Highest alignment score across both sides."""
+        return self.result.best_score()
+
+    @property
+    def gcups(self) -> float:
+        """Headline throughput: the modelled heterogeneous GCUPS."""
+        return self.modeled_gcups
+
+    @property
+    def provenance(self) -> dict:
+        """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
+        return {
+            **self.result.provenance,
+            "kind": "hybrid",
+            "scheduler": self.scheduler,
+            "device_fraction": self.device_fraction,
+        }
+
 
 class HybridSearchPipeline:
-    """Runs Algorithm 2 for real across two modelled devices."""
+    """Runs Algorithm 2 for real across two modelled devices.
+
+    ``scheduler`` selects how the database is distributed: ``"static"``
+    is the paper's fixed split at ``device_fraction``; ``"queue"``
+    replaces it with the dynamic work-queue scheduler
+    (:class:`repro.service.WorkQueueScheduler`) — chunks are pulled by
+    whichever side is free, no per-workload ratio tuning, and
+    ``device_fraction`` only positions the static reference makespan
+    reported next to the dynamic one.  Scores are identical either way.
+    """
 
     def __init__(
         self,
         host_model: DevicePerformanceModel,
         device_model: DevicePerformanceModel,
+        options: SearchOptions | None = None,
         *,
-        matrix=None,
-        gaps=None,
         link: PCIeLink = PCIE_GEN2_X16,
-        alphabet: Alphabet = PROTEIN,
+        scheduler: str = "static",
+        chunks: int = 24,
+        matrix=UNSET,
+        gaps=UNSET,
+        alphabet=UNSET,
     ) -> None:
+        opts = unify_options(
+            options,
+            dict(matrix=matrix, gaps=gaps, alphabet=alphabet),
+            owner="HybridSearchPipeline",
+        )
+        if scheduler not in ("static", "queue"):
+            raise PipelineError(
+                f"scheduler must be 'static' or 'queue', got {scheduler!r}"
+            )
+        self.options = opts
         self.host_model = host_model
         self.device_model = device_model
         self.link = link
-        self.alphabet = alphabet
-        # One real pipeline per side, each at its device's lane width.
+        self.scheduler = scheduler
+        self.chunks = chunks
+        self.alphabet = opts.alphabet
+        # One real pipeline per side, each at its device's lane width
+        # (unless the options pin an explicit width).
         self._host_pipe = SearchPipeline(
-            matrix=matrix, gaps=gaps,
-            lanes=host_model.spec.lanes32, alphabet=alphabet,
+            opts.merged(lanes=opts.resolved_lanes(host_model.spec.lanes32))
         )
         self._device_pipe = SearchPipeline(
-            matrix=matrix, gaps=gaps,
-            lanes=device_model.spec.lanes32, alphabet=alphabet,
+            opts.merged(lanes=opts.resolved_lanes(device_model.spec.lanes32))
         )
 
     def search(
@@ -85,11 +137,18 @@ class HybridSearchPipeline:
         *,
         device_fraction: float = 0.55,
         query_name: str = "query",
-        top_k: int = 10,
+        top_k: int | None = None,
     ) -> HybridSearchResult:
         """One Algorithm 2 execution: split, offload, compute, merge."""
         if len(database) == 0:
             raise PipelineError("cannot search an empty database")
+        if top_k is None:
+            top_k = self.options.top_k
+        if self.scheduler == "queue":
+            return self._search_queue(
+                query, database, device_fraction=device_fraction,
+                query_name=query_name, top_k=top_k,
+            )
         q = as_codes(query, self.alphabet)
         host_db, dev_db = split_database(database, device_fraction)
 
@@ -135,6 +194,28 @@ class HybridSearchPipeline:
             device_fraction=device_fraction,
             host_modeled_seconds=host_seconds,
             device_modeled_seconds=dev_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    def _search_queue(
+        self, query, database, *, device_fraction, query_name, top_k,
+    ) -> HybridSearchResult:
+        """Dynamic path: delegate to the work-queue scheduler."""
+        # Imported lazily: repro.service builds on this module.
+        from ..service.scheduler import WorkQueueScheduler
+
+        outcome = WorkQueueScheduler(
+            self.host_model, self.device_model,
+            options=self.options, link=self.link, chunks=self.chunks,
+            static_fraction=device_fraction,
+        ).search(query, database, query_name=query_name, top_k=top_k)
+        return HybridSearchResult(
+            result=outcome.result,
+            device_fraction=outcome.plan.device_residue_fraction,
+            host_modeled_seconds=outcome.plan.host_seconds,
+            device_modeled_seconds=outcome.plan.device_seconds,
+            scheduler="queue",
+            static_modeled_makespan=outcome.static_modeled_makespan,
         )
 
     # ------------------------------------------------------------------

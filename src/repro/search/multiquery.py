@@ -15,13 +15,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..alphabet import PROTEIN, Alphabet
 from ..db.database import SequenceDatabase
 from ..exceptions import PipelineError
 from ..perfmodel.model import DevicePerformanceModel, RunConfig
 from ..runtime.query_distribution import QueryDistributionPlan, QueryDistributor
+from .api import UNSET, SearchOptions, unify_options
 from .pipeline import SearchPipeline
-from .result import SearchResult
+from .result import Hit, SearchResult
 
 __all__ = ["MultiQueryOutcome", "MultiQueryExecutor"]
 
@@ -47,6 +47,43 @@ class MultiQueryOutcome:
         """Query name -> side ("host"/"device") mapping."""
         return {a.name: a.device for a in self.plan.assignments}
 
+    # -- SearchOutcome protocol ----------------------------------------
+    @property
+    def hits(self) -> list[Hit]:
+        """Every query's ranked hits, merged and re-ranked by score.
+
+        Ties resolve by query-name order so the merge is deterministic.
+        """
+        merged = [
+            (hit, name)
+            for name in sorted(self.results)
+            for hit in self.results[name].hits
+        ]
+        merged.sort(key=lambda pair: (-pair[0].score, pair[1], pair[0].index))
+        return [hit for hit, _ in merged]
+
+    def best_score(self) -> int:
+        """Highest alignment score across every query of the batch."""
+        return max(
+            (r.best_score() for r in self.results.values()), default=0
+        )
+
+    @property
+    def gcups(self) -> float:
+        """Headline throughput: aggregate modelled GCUPS of the batch."""
+        return self.modeled_gcups
+
+    @property
+    def provenance(self) -> dict:
+        """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
+        first = next(iter(self.results.values()), None)
+        return {
+            "kind": "multiquery",
+            "queries": sorted(self.results),
+            "database_name": first.database_name if first else "<none>",
+            "placement": self.placement(),
+        }
+
 
 class MultiQueryExecutor:
     """Runs a query batch per the LPT query-distribution schedule."""
@@ -55,24 +92,31 @@ class MultiQueryExecutor:
         self,
         host_model: DevicePerformanceModel,
         device_model: DevicePerformanceModel,
+        options: SearchOptions | None = None,
         *,
-        matrix=None,
-        gaps=None,
         config: RunConfig | None = None,
-        alphabet: Alphabet = PROTEIN,
+        matrix=UNSET,
+        gaps=UNSET,
+        alphabet=UNSET,
     ) -> None:
+        opts = unify_options(
+            options,
+            dict(matrix=matrix, gaps=gaps, alphabet=alphabet),
+            owner="MultiQueryExecutor",
+        )
+        self.options = opts
         self.distributor = QueryDistributor(
             host_model, device_model, config=config
         )
         # One pipeline per side at that device's lane width.
         self._pipes = {
             "host": SearchPipeline(
-                matrix=matrix, gaps=gaps,
-                lanes=host_model.spec.lanes32, alphabet=alphabet,
+                opts.merged(lanes=opts.resolved_lanes(host_model.spec.lanes32))
             ),
             "device": SearchPipeline(
-                matrix=matrix, gaps=gaps,
-                lanes=device_model.spec.lanes32, alphabet=alphabet,
+                opts.merged(
+                    lanes=opts.resolved_lanes(device_model.spec.lanes32)
+                )
             ),
         }
 
@@ -81,7 +125,7 @@ class MultiQueryExecutor:
         queries: dict[str, np.ndarray],
         database: SequenceDatabase,
         *,
-        top_k: int = 10,
+        top_k: int | None = None,
     ) -> MultiQueryOutcome:
         """Plan, then execute every query on its assigned side."""
         if not queries:

@@ -14,18 +14,16 @@ from typing import Callable
 
 import numpy as np
 
-from ..alphabet import PROTEIN, Alphabet
 from ..core.engine import as_codes
 from ..core.intertask import InterTaskEngine
 from ..core.traceback import align_pair
 from ..db.database import SequenceDatabase
-from ..db.preprocess import preprocess_database
+from ..db.preprocess import PreprocessedDatabase, preprocess_database
 from ..devices.openmp import ParallelFor, Schedule
 from ..exceptions import FaultInjected, PipelineError
 from ..faults.injection import FaultInjector, payload_checksum
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
-from ..scoring.gaps import GapModel, paper_gap_model
-from ..scoring.matrices import SubstitutionMatrix
+from .api import UNSET, SearchOptions, unify_options
 from .gcups import Stopwatch
 from .result import Hit, SearchResult
 
@@ -69,59 +67,61 @@ class SearchPipeline:
 
     Parameters
     ----------
-    matrix, gaps:
-        Scoring scheme; defaults to the paper's BLOSUM62 with 10/2.
-    lanes:
-        Inter-task vector width (8 = AVX/int32, 16 = MIC-512/int32).
-    profile:
-        ``"sequence"`` (SP) or ``"query"`` (QP) score addressing.
-    schedule:
-        OpenMP policy for the group loop; the paper found ``dynamic``
-        best.
-    threads:
-        Virtual thread count for the schedule simulation.
+    options:
+        A :class:`~repro.search.SearchOptions` carrying the search
+        semantics (scoring scheme, lanes, profile, schedule, threads,
+        alphabet, fault injector).  The old per-class keywords
+        (``matrix``, ``gaps``, ``lanes``, ...) still work but emit a
+        :class:`DeprecationWarning`.
     device_model:
         Optional :class:`DevicePerformanceModel`; adds modelled GCUPS.
     block_cols:
         Cache-blocking tile width forwarded to the engine.
-    injector:
-        Optional :class:`~repro.faults.FaultInjector`.  Per-group score
-        payloads are then shipped through it with a checksum guard: a
-        corrupted group is detected and recomputed, so the returned
-        scores always match the fault-free run exactly.
+    saturate_bits:
+        Narrow-score saturation width forwarded to the engine.
+
+    With a fault injector set, per-group score payloads are shipped
+    through it with a checksum guard: a corrupted group is detected and
+    recomputed, so the returned scores always match the fault-free run
+    exactly.
     """
 
     def __init__(
         self,
-        matrix: SubstitutionMatrix | None = None,
-        gaps: GapModel | None = None,
+        options: SearchOptions | None = None,
+        gaps=UNSET,
         *,
-        lanes: int = 8,
-        profile: str = "sequence",
-        schedule: Schedule | str = Schedule.DYNAMIC,
-        threads: int = 4,
         device_model: DevicePerformanceModel | None = None,
         block_cols: int | None = None,
         saturate_bits: int | None = None,
-        alphabet: Alphabet = PROTEIN,
-        injector: FaultInjector | None = None,
+        matrix=UNSET,
+        lanes=UNSET,
+        profile=UNSET,
+        schedule=UNSET,
+        threads=UNSET,
+        alphabet=UNSET,
+        injector=UNSET,
     ) -> None:
-        if matrix is None:
-            from ..scoring.data_blosum import BLOSUM62
-
-            matrix = BLOSUM62
-        self.matrix = matrix
-        self.gaps = gaps if gaps is not None else paper_gap_model()
-        self.lanes = lanes
-        self.schedule = Schedule.parse(schedule)
-        self.threads = threads
+        opts = unify_options(
+            options,
+            dict(matrix=matrix, gaps=gaps, lanes=lanes, profile=profile,
+                 schedule=schedule, threads=threads, alphabet=alphabet,
+                 injector=injector),
+            owner="SearchPipeline",
+        )
+        self.options = opts
+        self.matrix = opts.resolved_matrix()
+        self.gaps = opts.resolved_gaps()
+        self.lanes = opts.resolved_lanes(8)
+        self.schedule = Schedule.parse(opts.schedule)
+        self.threads = opts.threads
         self.device_model = device_model
-        self.alphabet = alphabet
-        self.injector = injector
+        self.alphabet = opts.alphabet
+        self.injector = opts.injector
         self.engine = InterTaskEngine(
-            alphabet=alphabet,
-            lanes=lanes,
-            profile=profile,
+            alphabet=opts.alphabet,
+            lanes=self.lanes,
+            profile=opts.profile,
             block_cols=block_cols,
             saturate_bits=saturate_bits,
         )
@@ -133,24 +133,48 @@ class SearchPipeline:
         database: SequenceDatabase,
         *,
         query_name: str = "query",
-        top_k: int = 10,
+        top_k: int | None = None,
         traceback: bool = False,
+        preprocessed: PreprocessedDatabase | None = None,
     ) -> SearchResult:
         """Run Algorithm 1 and return ranked hits.
 
         With ``traceback=True`` the top ``top_k`` hits get a full
         alignment (paper Section II step 4) — done only for the top
         hits, as real tools do, because traceback needs the O(m*n)
-        matrices.
+        matrices.  ``top_k=None`` falls back to the pipeline's
+        :attr:`SearchOptions.top_k`.
+
+        ``preprocessed`` reuses an existing sort/lane-pack of this exact
+        ``database`` at this pipeline's lane width (from
+        :meth:`search_many` or :class:`repro.service.PreprocessCache`),
+        skipping step 2; scores are identical either way.
         """
         if len(database) == 0:
             raise PipelineError("cannot search an empty database")
+        if top_k is None:
+            top_k = self.options.top_k
         q = as_codes(query, self.alphabet)
+        if preprocessed is not None:
+            if preprocessed.lanes != self.lanes:
+                raise PipelineError(
+                    f"preprocessed database was packed at {preprocessed.lanes} "
+                    f"lanes but this pipeline runs {self.lanes}"
+                )
+            if len(preprocessed.database) != len(database):
+                raise PipelineError(
+                    "preprocessed database does not match the search database "
+                    f"({len(preprocessed.database)} vs {len(database)} entries)"
+                )
 
         watch = Stopwatch()
         with watch:
-            # Step 2: sort + lane packing.
-            pre = preprocess_database(database, lanes=self.lanes)
+            # Step 2: sort + lane packing (skipped when a matching
+            # pre-processed database was handed in).
+            pre = (
+                preprocessed if preprocessed is not None
+                else preprocess_database(database, lanes=self.lanes)
+            )
             groups = pre.groups
             # Step 3: the parallel group loop.  ParallelFor simulates the
             # OpenMP schedule (and its makespan) while the work callback
@@ -252,10 +276,20 @@ class SearchPipeline:
         queries: dict[str, np.ndarray],
         database: SequenceDatabase,
         *,
-        top_k: int = 10,
+        top_k: int | None = None,
     ) -> dict[str, SearchResult]:
-        """Run one search per named query (the paper's 20-query sweep)."""
+        """Run one search per named query (the paper's 20-query sweep).
+
+        The database is sorted and lane-packed **once** and reused for
+        every query — preprocessing is query-independent, so N queries
+        pay for one :func:`~repro.db.preprocess_database`, not N.
+        """
+        if not queries:
+            return {}
+        pre = preprocess_database(database, lanes=self.lanes)
         return {
-            name: self.search(q, database, query_name=name, top_k=top_k)
+            name: self.search(
+                q, database, query_name=name, top_k=top_k, preprocessed=pre
+            )
             for name, q in queries.items()
         }

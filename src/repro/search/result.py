@@ -61,6 +61,25 @@ class SearchResult:
         return gcups(self.cells, self.wall_seconds)
 
     @property
+    def gcups(self) -> float:
+        """Headline throughput (:class:`~repro.search.SearchOutcome`).
+
+        For this real-compute result that is the wall-clock GCUPS.
+        """
+        return self.wall_gcups
+
+    @property
+    def provenance(self) -> dict:
+        """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
+        return {
+            "kind": "search",
+            "query_name": self.query_name,
+            "query_length": self.query_length,
+            "database_name": self.database_name,
+            "sequences": len(self.scores),
+        }
+
+    @property
     def modeled_gcups(self) -> float | None:
         """Modelled device throughput, when a device model was attached."""
         if self.modeled_seconds is None:

@@ -13,14 +13,12 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from ..alphabet import PROTEIN, Alphabet, UnknownPolicy
+from ..alphabet import UnknownPolicy
 from ..core.engine import as_codes
 from ..core.intertask import InterTaskEngine
 from ..db.fasta import FastaRecord
 from ..exceptions import PipelineError
-from ..faults.injection import FaultInjector
-from ..scoring.gaps import GapModel, paper_gap_model
-from ..scoring.matrices import SubstitutionMatrix
+from .api import UNSET, SearchOptions, unify_options
 from .gcups import Stopwatch
 from .result import Hit
 
@@ -39,6 +37,7 @@ class StreamingResult:
     chunks: int
     wall_seconds: float
     corrupted_redone: int = 0  # chunks recomputed after a checksum mismatch
+    database_name: str = "<stream>"
 
     @property
     def wall_gcups(self) -> float:
@@ -47,9 +46,26 @@ class StreamingResult:
             raise PipelineError("wall time must be positive")
         return self.cells / self.wall_seconds / 1e9
 
+    @property
+    def gcups(self) -> float:
+        """Headline throughput (:class:`~repro.search.SearchOutcome`)."""
+        return self.wall_gcups
+
     def best_score(self) -> int:
         """Highest score seen (0 when nothing scored)."""
         return self.hits[0].score if self.hits else 0
+
+    @property
+    def provenance(self) -> dict:
+        """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
+        return {
+            "kind": "streaming",
+            "query_name": self.query_name,
+            "query_length": self.query_length,
+            "database_name": self.database_name,
+            "sequences": self.sequences_scanned,
+            "chunks": self.chunks,
+        }
 
 
 class StreamingSearch:
@@ -57,43 +73,45 @@ class StreamingSearch:
 
     Parameters
     ----------
-    chunk_size:
-        Records aligned per batch; bounds peak memory.
-    top_k:
-        Hits retained.  Ties at the heap boundary are resolved toward
-        the earlier database record (deterministic).
-    injector:
-        Optional :class:`~repro.faults.FaultInjector`.  Each chunk's
-        score payload then crosses a checksum guard; corrupted chunks
-        are recomputed, so the top-k matches the fault-free scan.
+    options:
+        A :class:`~repro.search.SearchOptions`; ``chunk_size`` bounds
+        peak memory (records aligned per batch) and ``top_k`` is the
+        number of hits retained — ties at the heap boundary resolve
+        toward the earlier database record (deterministic).  With a
+        fault injector set, each chunk's score payload crosses a
+        checksum guard; corrupted chunks are recomputed, so the top-k
+        matches the fault-free scan.  The old per-class keywords still
+        work but emit a :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        matrix: SubstitutionMatrix | None = None,
-        gaps: GapModel | None = None,
+        options: SearchOptions | None = None,
+        gaps=UNSET,
         *,
-        lanes: int = 8,
-        chunk_size: int = 512,
-        top_k: int = 10,
-        alphabet: Alphabet = PROTEIN,
-        injector: FaultInjector | None = None,
+        matrix=UNSET,
+        lanes=UNSET,
+        chunk_size=UNSET,
+        top_k=UNSET,
+        alphabet=UNSET,
+        injector=UNSET,
     ) -> None:
-        if chunk_size < 1:
-            raise PipelineError(f"chunk size must be positive, got {chunk_size}")
-        if top_k < 1:
-            raise PipelineError(f"top_k must be positive, got {top_k}")
-        if matrix is None:
-            from ..scoring.data_blosum import BLOSUM62
-
-            matrix = BLOSUM62
-        self.matrix = matrix
-        self.gaps = gaps if gaps is not None else paper_gap_model()
-        self.chunk_size = chunk_size
-        self.top_k = top_k
-        self.alphabet = alphabet
-        self.injector = injector
-        self.engine = InterTaskEngine(alphabet=alphabet, lanes=lanes)
+        opts = unify_options(
+            options,
+            dict(matrix=matrix, gaps=gaps, lanes=lanes, chunk_size=chunk_size,
+                 top_k=top_k, alphabet=alphabet, injector=injector),
+            owner="StreamingSearch",
+        )
+        self.options = opts
+        self.matrix = opts.resolved_matrix()
+        self.gaps = opts.resolved_gaps()
+        self.chunk_size = opts.chunk_size
+        self.top_k = opts.top_k
+        self.alphabet = opts.alphabet
+        self.injector = opts.injector
+        self.engine = InterTaskEngine(
+            alphabet=opts.alphabet, lanes=opts.resolved_lanes(8)
+        )
 
     # ------------------------------------------------------------------
     def search_records(
@@ -102,6 +120,7 @@ class StreamingSearch:
         records: Iterable[FastaRecord],
         *,
         query_name: str = "query",
+        database_name: str = "<stream>",
     ) -> StreamingResult:
         """Stream FASTA records through the engine; return the top-k."""
         q = as_codes(query, self.alphabet)
@@ -169,16 +188,20 @@ class StreamingSearch:
             chunks=chunks,
             wall_seconds=watch.seconds,
             corrupted_redone=corrupted_redone,
+            database_name=database_name,
         )
 
     def search_fasta(
         self, query, path, *, query_name: str = "query"
     ) -> StreamingResult:
         """Stream a FASTA file from disk (never fully loaded)."""
+        from pathlib import Path
+
         from ..db.fasta import read_fasta
 
         return self.search_records(
-            query, read_fasta(path), query_name=query_name
+            query, read_fasta(path), query_name=query_name,
+            database_name=Path(path).stem,
         )
 
 

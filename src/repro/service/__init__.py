@@ -1,0 +1,23 @@
+"""Batched search serving: shared pre-processing + dynamic scheduling.
+
+This package layers a service interface over the search pipelines:
+:class:`SearchService` accepts batches of
+:class:`~repro.search.SearchRequest`, amortises Algorithm 1's
+sort/lane-pack step across requests through :class:`PreprocessCache`,
+and — in ``queue`` mode — replaces the paper's hand-tuned static
+host/device split with :class:`WorkQueueScheduler`, a dynamic
+shared-queue distribution whose makespan is reported next to the
+static reference.
+"""
+
+from .cache import PreprocessCache
+from .scheduler import QueueSearchOutcome, WorkQueueScheduler
+from .service import SearchService, ServiceBatchResult
+
+__all__ = [
+    "PreprocessCache",
+    "QueueSearchOutcome",
+    "SearchService",
+    "ServiceBatchResult",
+    "WorkQueueScheduler",
+]

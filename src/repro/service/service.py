@@ -1,0 +1,251 @@
+"""The batched search front-end.
+
+One object, one ``run()`` — where callers previously picked between
+four entrypoints with inconsistent kwargs, :class:`SearchService`
+accepts a batch of :class:`~repro.search.SearchRequest` and routes it
+through one of three executors:
+
+``local``
+    Algorithm 1 on the host pipeline.  The whole batch shares one
+    sort/lane-pack through :class:`~repro.service.PreprocessCache`
+    (keyed on database fingerprint + lane count), so N queries pay for
+    one ``preprocess_database`` instead of N.
+``static``
+    Algorithm 2 at a fixed host/device split per query (the paper's
+    scheme, ratio hand-tuned via ``static_fraction``).
+``queue``
+    The dynamic work-queue scheduler — no ratio to tune; each outcome
+    reports its makespan next to the static reference.
+
+Every outcome satisfies the :class:`~repro.search.SearchOutcome`
+protocol and is score-identical to the corresponding single-query path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..db.database import SequenceDatabase
+from ..exceptions import PipelineError
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..perfmodel.model import DevicePerformanceModel
+from ..runtime.pcie import PCIE_GEN2_X16, PCIeLink
+from ..search.api import SearchOptions, SearchOutcome, SearchRequest
+from ..search.hybrid_pipeline import HybridSearchPipeline
+from ..search.pipeline import SearchPipeline
+from ..search.result import Hit
+from .cache import PreprocessCache
+from .scheduler import WorkQueueScheduler
+
+__all__ = ["ServiceBatchResult", "SearchService"]
+
+SCHEDULERS = ("local", "static", "queue")
+
+
+@dataclass
+class ServiceBatchResult:
+    """Outcomes of one batch, in request order, plus serving stats."""
+
+    requests: tuple[SearchRequest, ...]
+    outcomes: tuple[SearchOutcome, ...]
+    scheduler: str
+    database_name: str
+    cache_stats: dict
+
+    def __post_init__(self) -> None:
+        if len(self.requests) != len(self.outcomes):
+            raise PipelineError(
+                f"{len(self.requests)} requests but "
+                f"{len(self.outcomes)} outcomes"
+            )
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def results(self) -> dict[str, SearchOutcome]:
+        """Request name -> outcome (last wins on duplicate names)."""
+        return {
+            req.name: out for req, out in zip(self.requests, self.outcomes)
+        }
+
+    @property
+    def total_cells(self) -> int:
+        """DP cells across the whole batch."""
+        return sum(o.result.cells if hasattr(o, "result") else o.cells
+                   for o in self.outcomes)
+
+    # -- SearchOutcome protocol ----------------------------------------
+    @property
+    def hits(self) -> list[Hit]:
+        """All outcomes' hits, re-ranked by score (request order ties)."""
+        merged = [
+            (hit, k)
+            for k, out in enumerate(self.outcomes)
+            for hit in out.hits
+        ]
+        merged.sort(key=lambda pair: (-pair[0].score, pair[1], pair[0].index))
+        return [hit for hit, _ in merged]
+
+    def best_score(self) -> int:
+        """Highest alignment score across the batch."""
+        return max((o.best_score() for o in self.outcomes), default=0)
+
+    @property
+    def gcups(self) -> float:
+        """Mean of the outcomes' headline throughputs."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.gcups for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def provenance(self) -> dict:
+        """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
+        return {
+            "kind": "service-batch",
+            "scheduler": self.scheduler,
+            "database_name": self.database_name,
+            "queries": [r.name for r in self.requests],
+            "cache": dict(self.cache_stats),
+        }
+
+    def summary(self) -> str:
+        """One line per request, for the CLI."""
+        lines = []
+        for req, out in zip(self.requests, self.outcomes):
+            top = out.hits[0] if out.hits else None
+            lines.append(
+                f"  {req.name:<12s} best {out.best_score():>6d}"
+                + (f"  {top.accession}" if top else "  (no hits)")
+                + f"  {out.gcups:8.2f} GCUPS"
+            )
+        return "\n".join(lines)
+
+
+class SearchService:
+    """Unified, batched front door over the search entrypoints.
+
+    Parameters
+    ----------
+    options:
+        Shared :class:`~repro.search.SearchOptions` for every request
+        (per-request ``top_k``/``traceback`` still apply).
+    scheduler:
+        ``"local"``, ``"static"`` or ``"queue"`` (see module docstring).
+    host_model, device_model:
+        Device pair for the heterogeneous schedulers; defaults to the
+        paper's dual Xeon + Xeon Phi when needed.
+    cache_capacity:
+        :class:`PreprocessCache` size (local scheduler).
+    chunks, static_fraction, link:
+        Heterogeneous knobs forwarded to the executor.
+    metrics:
+        Registry the cache reports into.
+    """
+
+    def __init__(
+        self,
+        options: SearchOptions | None = None,
+        *,
+        scheduler: str = "local",
+        host_model: DevicePerformanceModel | None = None,
+        device_model: DevicePerformanceModel | None = None,
+        cache_capacity: int = 8,
+        chunks: int = 24,
+        static_fraction: float = 0.55,
+        link: PCIeLink = PCIE_GEN2_X16,
+        metrics: MetricsRegistry = METRICS,
+    ) -> None:
+        if scheduler not in SCHEDULERS:
+            raise PipelineError(
+                f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
+            )
+        self.options = options if options is not None else SearchOptions()
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.cache = PreprocessCache(cache_capacity, metrics=metrics)
+        if scheduler != "local" and (host_model is None or device_model is None):
+            from ..devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
+
+            if host_model is None:
+                host_model = DevicePerformanceModel(XEON_E5_2670_DUAL)
+            if device_model is None:
+                device_model = DevicePerformanceModel(XEON_PHI_57XX)
+        self.host_model = host_model
+        self.device_model = device_model
+        if scheduler == "local":
+            self._pipe = SearchPipeline(self.options)
+        elif scheduler == "static":
+            self._hybrid = HybridSearchPipeline(
+                host_model, device_model, self.options, link=link,
+            )
+            self._static_fraction = static_fraction
+        else:
+            self._queue = WorkQueueScheduler(
+                host_model, device_model, self.options,
+                link=link, chunks=chunks, static_fraction=static_fraction,
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(
+        requests: Iterable[SearchRequest | str] | SearchRequest | str,
+    ) -> tuple[SearchRequest, ...]:
+        """Accept one request, a bare sequence string, or any mix."""
+        if isinstance(requests, (SearchRequest, str)):
+            requests = [requests]
+        out = []
+        for k, req in enumerate(requests):
+            if isinstance(req, str):
+                req = SearchRequest(query=req, name=f"query-{k}")
+            out.append(req)
+        return tuple(out)
+
+    def _run_one(
+        self, req: SearchRequest, database: SequenceDatabase
+    ) -> SearchOutcome:
+        self.metrics.increment("service.requests")
+        if self.scheduler == "local":
+            pre = self.cache.get(database, lanes=self._pipe.lanes)
+            return self._pipe.search(
+                req.query, database, query_name=req.name,
+                top_k=req.top_k, traceback=req.traceback, preprocessed=pre,
+            )
+        if self.scheduler == "static":
+            return self._hybrid.search(
+                req.query, database, query_name=req.name, top_k=req.top_k,
+                device_fraction=self._static_fraction,
+            )
+        return self._queue.search(
+            req.query, database, query_name=req.name, top_k=req.top_k
+        )
+
+    def search(
+        self, request: SearchRequest | str, database: SequenceDatabase
+    ) -> SearchOutcome:
+        """One request through the configured executor."""
+        (req,) = self._normalize(request)
+        return self._run_one(req, database)
+
+    def run(
+        self,
+        requests: Sequence[SearchRequest | str],
+        database: SequenceDatabase,
+    ) -> ServiceBatchResult:
+        """The whole batch, amortising pre-processing across requests."""
+        reqs = self._normalize(requests)
+        if not reqs:
+            raise PipelineError("the request batch is empty")
+        outcomes = tuple(self._run_one(r, database) for r in reqs)
+        self.metrics.increment("service.batches")
+        return ServiceBatchResult(
+            requests=reqs,
+            outcomes=outcomes,
+            scheduler=self.scheduler,
+            database_name=database.name,
+            cache_stats=self.cache.stats(),
+        )
