@@ -1,0 +1,104 @@
+"""Guardrail: the untraced (NullTracer) hot path stays effectively free.
+
+The instrumentation added to :class:`~repro.search.SearchPipeline` and
+friends runs on *every* search, traced or not — each instrumented site
+calls ``get_tracer().span(...)`` and gets the shared null span back when
+no tracer is active.  This benchmark bounds what that null path costs:
+
+1. micro-time one null span entry/exit (plus the ``if sp:`` guard),
+2. count how many span/event operations one real search performs (by
+   running it once under a recording :class:`~repro.obs.Tracer`),
+3. compare ``ops x cost_per_op`` against the measured untraced search
+   wall time and assert the ratio stays under **5%**.
+
+Runs as a plain pytest test (no pytest-benchmark fixture, so CI can
+execute it with the stock runner) and as a script::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.db import SyntheticSwissProt
+from repro.obs import NULL_TRACER, Tracer, get_tracer, use_tracer
+from repro.search import SearchPipeline
+
+MAX_OVERHEAD_FRACTION = 0.05
+
+DB = SyntheticSwissProt().generate(scale=0.0002)
+RNG = np.random.default_rng(11)
+QUERY = RNG.integers(0, 20, 200).astype(np.uint8)
+
+NULL_OP_ITERATIONS = 50_000
+SEARCH_REPEATS = 3
+
+
+def time_null_op(iterations: int = NULL_OP_ITERATIONS) -> float:
+    """Seconds per null-tracer span entry/exit (the untraced idiom)."""
+    tracer = NULL_TRACER
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("bench.op") as sp:
+            if sp:  # pragma: no cover - never taken on the null path
+                sp.set_attribute("x", 1)
+    elapsed = time.perf_counter() - t0
+    return elapsed / iterations
+
+
+def count_ops_per_search() -> int:
+    """Span + event operations one pipeline search performs."""
+    tracer = Tracer()
+    with use_tracer(tracer):
+        SearchPipeline().search(QUERY, DB, top_k=5)
+    spans = tracer.collector.spans()
+    return len(spans) + sum(len(s.events) for s in spans)
+
+
+def time_untraced_search(repeats: int = SEARCH_REPEATS) -> float:
+    """Median wall seconds of an untraced (NullTracer) search."""
+    assert get_tracer() is NULL_TRACER, "benchmark requires the null default"
+    pipe = SearchPipeline()
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        pipe.search(QUERY, DB, top_k=5)
+        samples.append(time.perf_counter() - t0)
+    return float(np.median(samples))
+
+
+def measure() -> dict:
+    per_op = time_null_op()
+    ops = count_ops_per_search()
+    search_seconds = time_untraced_search()
+    overhead = (ops * per_op) / search_seconds
+    return {
+        "null_op_ns": per_op * 1e9,
+        "ops_per_search": ops,
+        "search_seconds": search_seconds,
+        "overhead_fraction": overhead,
+    }
+
+
+def test_null_tracer_overhead_below_budget():
+    stats = measure()
+    assert stats["overhead_fraction"] < MAX_OVERHEAD_FRACTION, (
+        f"null-path instrumentation costs "
+        f"{stats['overhead_fraction']:.2%} of an untraced search "
+        f"(budget {MAX_OVERHEAD_FRACTION:.0%}): {stats}"
+    )
+
+
+if __name__ == "__main__":
+    stats = measure()
+    print(f"null span op            : {stats['null_op_ns']:8.1f} ns")
+    print(f"ops per pipeline search : {stats['ops_per_search']:8d}")
+    print(f"untraced search         : {stats['search_seconds'] * 1e3:8.2f} ms")
+    print(f"null-path overhead      : {stats['overhead_fraction']:8.4%} "
+          f"(budget {MAX_OVERHEAD_FRACTION:.0%})")
+    if stats["overhead_fraction"] >= MAX_OVERHEAD_FRACTION:
+        raise SystemExit("FAIL: overhead budget exceeded")
+    print("OK")

@@ -83,6 +83,20 @@ from .faults import (
     RetryPolicy,
     Timeout,
 )
+from .metrics import METRICS, MetricsRegistry
+from .obs import (
+    NullTracer,
+    Span,
+    TraceCollector,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    to_chrome_trace,
+    to_jsonl,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .perfmodel import DevicePerformanceModel, RunConfig, Workload
 from .runtime import (
     HybridExecutor,
@@ -163,6 +177,11 @@ __all__ = [
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # observability
+    "Tracer", "NullTracer", "Span", "TraceCollector",
+    "get_tracer", "set_tracer", "use_tracer",
+    "to_chrome_trace", "write_chrome_trace", "to_jsonl", "write_jsonl",
+    "MetricsRegistry", "METRICS",
     # errors
     "ReproError",
     "__version__",

@@ -11,6 +11,9 @@ Subcommands
     ``queue``), dynamic-vs-static makespan comparison.
 ``align``
     Align two sequences (local / global / semi-global) with traceback.
+``trace``
+    Run a traced batch and export the span tree as Chrome trace-event
+    JSON (loadable in Perfetto / ``chrome://tracing``) and/or JSONL.
 ``blast``
     Run the seed-and-extend heuristic search and report its work savings.
 ``model``
@@ -68,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--fault-plan", metavar="SPEC",
                    help='inject faults, e.g. "seed=7,corrupt=0.2" '
                         "(scores stay exact via the checksum guard)")
+    s.add_argument("--metrics", action="store_true",
+                   help="print the search's metrics (counters, gauges, "
+                        "latency percentiles) from an isolated registry")
 
     bt = sub.add_parser("batch", help="serve a batch of queries")
     bt.add_argument("--queries", type=int, default=4,
@@ -93,6 +99,44 @@ def build_parser() -> argparse.ArgumentParser:
                     help="work-queue granularity (queue scheduler)")
     bt.add_argument("--static-fraction", type=float, default=0.55,
                     help="device share of the static reference split")
+    bt.add_argument("--metrics", action="store_true",
+                    help="print the batch's metrics (counters, gauges, "
+                         "latency percentiles) from an isolated registry")
+
+    t = sub.add_parser(
+        "trace",
+        help="run a traced batch and export the span tree",
+    )
+    t.add_argument("--query", help="query sequence (residue letters)")
+    t.add_argument("--query-fasta",
+                   help="FASTA file; every record becomes a request")
+    t.add_argument("--queries", type=int, default=1,
+                   help="number of paper benchmark queries to serve "
+                        "(when no explicit query is given)")
+    t.add_argument("--db-fasta", help="database FASTA file")
+    t.add_argument(
+        "--synthetic-scale", type=float, default=None,
+        help="use a synthetic Swiss-Prot at this scale (e.g. 0.0005)",
+    )
+    t.add_argument("--scheduler", choices=("local", "static", "queue"),
+                   default="local")
+    t.add_argument("--matrix", default="BLOSUM62")
+    t.add_argument("--gap-open", type=int, default=10)
+    t.add_argument("--gap-extend", type=int, default=2)
+    t.add_argument("--top", type=int, default=5)
+    t.add_argument("--chunks", type=int, default=24,
+                   help="work-queue granularity (queue scheduler)")
+    t.add_argument("--static-fraction", type=float, default=0.55,
+                   help="device share of the static reference split")
+    t.add_argument("--output", default="trace.json",
+                   help="Chrome trace-event JSON output path "
+                        "(open in Perfetto / chrome://tracing)")
+    t.add_argument("--jsonl", metavar="PATH",
+                   help="also write the flat JSONL span log here")
+    t.add_argument("--tree", action="store_true",
+                   help="print the span tree to stdout")
+    t.add_argument("--metrics", action="store_true",
+                   help="print the traced run's metrics")
 
     a = sub.add_parser("align", help="align two sequences with traceback")
     a.add_argument("sequence_a", help="query residue letters")
@@ -169,6 +213,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         injector = FaultInjector(FaultPlan.parse(args.fault_plan))
 
+    registry = None
+    if args.metrics:
+        from .metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+
     pipeline = SearchPipeline(SearchOptions(
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
@@ -176,7 +226,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         profile=args.profile,
         top_k=args.top,
         injector=injector,
-    ))
+    ), metrics=registry)
     result = pipeline.search(
         query, db, query_name=qname, traceback=args.traceback
     )
@@ -209,6 +259,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             if hit.alignment and hit.alignment.score > 0:
                 print(f"\n>{hit.header}")
                 print(hit.alignment.pretty())
+    if registry is not None:
+        print("\nmetrics:")
+        print(registry.render())
     return 0
 
 
@@ -248,6 +301,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print("error: no queries to serve", file=sys.stderr)
         return 2
 
+    registry = None
+    service_kwargs = {}
+    if args.metrics:
+        from .metrics import MetricsRegistry
+
+        # An isolated registry: every layer the service drives (cache,
+        # pipelines, schedulers) reports here, never into the global
+        # METRICS — what gets printed is exactly this batch.
+        registry = MetricsRegistry()
+        service_kwargs["metrics"] = registry
+
     service = SearchService(
         SearchOptions(
             matrix=get_matrix(args.matrix),
@@ -258,6 +322,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         chunks=args.chunks,
         static_fraction=args.static_fraction,
+        **service_kwargs,
     )
     batch = service.run(requests, db)
     print(
@@ -281,6 +346,95 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"({static / dyn:.2f}x)" if dyn > 0 else
             "modelled makespan: degenerate (zero-cost workload)"
         )
+    if registry is not None:
+        print("\nmetrics:")
+        print(registry.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .db import (
+        PAPER_QUERIES,
+        SequenceDatabase,
+        SyntheticSwissProt,
+        make_query_set,
+        read_fasta,
+    )
+    from .metrics import MetricsRegistry
+    from .obs import Tracer, write_chrome_trace, write_jsonl
+    from .scoring import GapModel, get_matrix
+    from .search import SearchOptions, SearchRequest
+    from .service import SearchService
+
+    if args.db_fasta:
+        db = SequenceDatabase.from_fasta(args.db_fasta)
+    elif args.synthetic_scale:
+        db = SyntheticSwissProt().generate(scale=args.synthetic_scale)
+    else:
+        print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
+        return 2
+
+    if args.query:
+        requests = [SearchRequest(query=args.query, name="cmdline-query")]
+    elif args.query_fasta:
+        requests = [
+            SearchRequest(query=rec.sequence, name=rec.accession)
+            for rec in read_fasta(args.query_fasta)
+        ]
+    else:
+        specs = PAPER_QUERIES[: max(args.queries, 1)]
+        queries = make_query_set(specs)
+        requests = [
+            SearchRequest(query=queries[s.accession], name=s.accession)
+            for s in specs
+        ]
+    if not requests:
+        print("error: no queries to serve", file=sys.stderr)
+        return 2
+
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    service = SearchService(
+        SearchOptions(
+            matrix=get_matrix(args.matrix),
+            gaps=GapModel(args.gap_open, args.gap_extend),
+            top_k=args.top,
+        ),
+        scheduler=args.scheduler,
+        chunks=args.chunks,
+        static_fraction=args.static_fraction,
+        metrics=registry,
+        tracer=tracer,
+    )
+    batch = service.run(requests, db)
+
+    trace = write_chrome_trace(
+        tracer.collector, args.output,
+        metadata={
+            "database": db.name,
+            "sequences": len(db),
+            "scheduler": args.scheduler,
+            "queries": [r.name for r in requests],
+        },
+    )
+    print(
+        f"traced {len(batch)} request(s) against {db.name} "
+        f"({len(db)} sequences, {args.scheduler!r} scheduler): "
+        f"{len(tracer.collector)} spans"
+    )
+    print(
+        f"wrote {len(trace['traceEvents'])} trace events to {args.output} "
+        "(open in https://ui.perfetto.dev or chrome://tracing)"
+    )
+    if args.jsonl:
+        count = write_jsonl(tracer.collector, args.jsonl)
+        print(f"wrote {count} span records to {args.jsonl}")
+    if args.tree:
+        print("\nspan tree:")
+        print(tracer.collector.render_tree())
+    if args.metrics:
+        print("\nmetrics:")
+        print(registry.render())
     return 0
 
 
@@ -480,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "search": _cmd_search,
         "batch": _cmd_batch,
+        "trace": _cmd_trace,
         "align": _cmd_align,
         "blast": _cmd_blast,
         "model": _cmd_model,

@@ -36,6 +36,7 @@ from enum import Enum
 import numpy as np
 
 from ..exceptions import FaultPlanError
+from ..obs.tracer import get_tracer
 
 __all__ = [
     "FaultKind",
@@ -225,6 +226,10 @@ class FaultInjector:
             decision = FaultDecision(unit, attempt, kind, factor)
         if decision.faulty:
             self.events.append(decision)
+            get_tracer().event(
+                "fault.injected", kind=decision.kind.value,
+                unit=unit, attempt=attempt,
+            )
         return decision
 
     def transmit(

@@ -4,6 +4,7 @@ from .tables import format_table, format_series, paper_comparison
 from .report import generate_report
 from .quality import average_precision, rank_indices, recall_at_k
 from .counters import METRICS, MetricsRegistry
+from .instruments import DEFAULT_TIME_BUCKETS, Gauge, Histogram, Timer
 
 __all__ = [
     "format_table",
@@ -15,4 +16,8 @@ __all__ = [
     "average_precision",
     "METRICS",
     "MetricsRegistry",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "DEFAULT_TIME_BUCKETS",
 ]

@@ -1,30 +1,59 @@
-"""Process-wide operational counters for the service layer.
+"""Process-wide operational metrics for the serving stack.
 
-A deliberately tiny metrics substrate: named monotonically-increasing
-counters behind one lock, good enough for cache hit rates and request
-accounting without dragging in a metrics dependency.  The default
+A deliberately small metrics substrate without external dependencies:
+named monotonically-increasing counters plus the typed instruments of
+:mod:`repro.metrics.instruments` (gauges, fixed-bucket histograms,
+latency timers with p50/p95/p99), all behind one registry.  The default
 registry :data:`METRICS` is what library components report into (e.g.
-``service.preprocess_cache.hits``); tests and embedders can pass their
-own :class:`MetricsRegistry` for isolation.
+``service.preprocess_cache.hits``, ``pipeline.search.seconds``); tests
+and embedders can pass their own :class:`MetricsRegistry` for
+isolation.
+
+Names follow the ``component.operation.unit`` convention, and prefix
+filtering is *component-aware*: ``snapshot("service")`` matches
+``service`` and ``service.requests`` but never a sibling component
+such as ``service_v2.requests`` — the prefix is treated as a
+dot-delimited path, not a raw string prefix.
 """
 
 from __future__ import annotations
 
 from threading import Lock
 
+from .instruments import Gauge, Histogram, Timer
+
 __all__ = ["MetricsRegistry", "METRICS"]
 
 
+def _matches(name: str, prefix: str) -> bool:
+    """Component-aware prefix match (dot-delimited path semantics)."""
+    return not prefix or name == prefix or name.startswith(prefix + ".")
+
+
 class MetricsRegistry:
-    """Named integer counters with atomic increments."""
+    """Named counters and typed instruments behind one lock.
+
+    Counters keep their original integer semantics (atomic
+    :meth:`increment` / :meth:`get`); :meth:`gauge`, :meth:`timer` and
+    :meth:`histogram` create-or-fetch typed instruments under the same
+    namespace.  A name belongs to exactly one kind — reusing it for a
+    different kind raises :class:`ValueError`.
+    """
 
     def __init__(self) -> None:
         self._lock = Lock()
         self._counts: dict[str, int] = {}
+        self._instruments: dict[str, Gauge | Histogram | Timer] = {}
 
+    # -- counters (original surface) -----------------------------------
     def increment(self, name: str, amount: int = 1) -> int:
         """Add ``amount`` to ``name`` (created at 0); returns the total."""
         with self._lock:
+            if name in self._instruments:
+                raise ValueError(
+                    f"metric {name!r} is a "
+                    f"{self._instruments[name].kind}, not a counter"
+                )
             value = self._counts.get(name, 0) + amount
             self._counts[name] = value
             return value
@@ -34,22 +63,93 @@ class MetricsRegistry:
         with self._lock:
             return self._counts.get(name, 0)
 
-    def snapshot(self, prefix: str = "") -> dict[str, int]:
-        """A sorted copy of all counters under ``prefix``."""
+    # -- typed instruments ---------------------------------------------
+    def _instrument(self, name: str, kind: type, **kwargs):
         with self._lock:
-            return {
-                k: v for k, v in sorted(self._counts.items())
-                if k.startswith(prefix)
+            if name in self._counts:
+                raise ValueError(
+                    f"metric {name!r} is a counter, not a {kind.__name__}"
+                )
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = kind(**kwargs)
+            elif type(instrument) is not kind:
+                raise ValueError(
+                    f"metric {name!r} is a {instrument.kind}, "
+                    f"not a {kind.__name__}"
+                )
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._instrument(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        """The latency timer named ``name`` (created on first use)."""
+        return self._instrument(name, Timer)
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        if buckets is not None:
+            return self._instrument(name, Histogram, buckets=buckets)
+        return self._instrument(name, Histogram)
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one duration into the timer named ``name``."""
+        self.timer(name).observe(seconds)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge named ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    # -- snapshots ------------------------------------------------------
+    def snapshot(self, prefix: str = "") -> dict:
+        """A sorted copy of every metric under the (dot-aware) prefix.
+
+        Counters map to their integer totals (unchanged from the
+        original counter-only registry); gauges to floats; timers and
+        histograms to ``{count, sum, mean, min, max, p50, p95, p99}``
+        dicts.
+        """
+        with self._lock:
+            merged: dict = {
+                k: v for k, v in self._counts.items() if _matches(k, prefix)
             }
+            instruments = [
+                (k, v) for k, v in self._instruments.items()
+                if _matches(k, prefix)
+            ]
+        for name, instrument in instruments:
+            merged[name] = instrument.snapshot()
+        return dict(sorted(merged.items()))
 
     def reset(self, prefix: str = "") -> None:
-        """Drop every counter under ``prefix`` (all, by default)."""
+        """Drop every metric under the (dot-aware) prefix (all, default)."""
         with self._lock:
             if not prefix:
                 self._counts.clear()
+                self._instruments.clear()
+                return
+            for k in [k for k in self._counts if _matches(k, prefix)]:
+                del self._counts[k]
+            for k in [k for k in self._instruments if _matches(k, prefix)]:
+                del self._instruments[k]
+
+    def render(self, prefix: str = "") -> str:
+        """Human-readable snapshot, one metric per line (for the CLI)."""
+        lines = []
+        for name, value in self.snapshot(prefix).items():
+            if isinstance(value, dict):
+                lines.append(
+                    f"  {name}  count={value['count']} "
+                    f"mean={value['mean']:.6f} p50={value['p50']:.6f} "
+                    f"p95={value['p95']:.6f} p99={value['p99']:.6f}"
+                )
+            elif isinstance(value, float):
+                lines.append(f"  {name}  {value:g}")
             else:
-                for k in [k for k in self._counts if k.startswith(prefix)]:
-                    del self._counts[k]
+                lines.append(f"  {name}  {value}")
+        return "\n".join(lines)
 
 
 #: The default registry library components report into.

@@ -1,0 +1,198 @@
+"""Typed metric instruments: gauges, fixed-bucket histograms, timers.
+
+:mod:`repro.metrics.counters` started as monotonic integer counters —
+enough for cache hit rates, not for latency.  These instruments close
+the gap, deliberately mirroring the shapes a production metrics stack
+(Prometheus-style) exposes:
+
+:class:`Gauge`
+    A point-in-time value that can move both ways (queue depth, device
+    share of the last schedule).
+:class:`Histogram`
+    Fixed upper-bound buckets; percentiles (p50/p95/p99) estimated by
+    linear interpolation inside the bucket the rank falls in, clamped
+    to the observed min/max.  Fixed buckets keep memory constant no
+    matter how many observations arrive.
+:class:`Timer`
+    A histogram pre-configured with latency buckets (10µs..100s,
+    1-2-5 decades) plus a ``time()`` context manager.
+
+Metric names follow the ``component.operation.unit`` convention (e.g.
+``pipeline.search.seconds``, ``service.preprocess_cache.hits``) — see
+DESIGN.md §8.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from threading import Lock
+from typing import Iterator, Sequence
+
+__all__ = ["Gauge", "Histogram", "Timer", "DEFAULT_TIME_BUCKETS"]
+
+
+#: Latency bucket upper bounds in seconds: 1-2-5 decades, 10µs to 100s.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = tuple(
+    base * 10.0 ** exp
+    for exp in range(-5, 3)
+    for base in (1.0, 2.0, 5.0)
+)
+
+
+class Gauge:
+    """A value that moves both directions (thread-safe)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self._lock = Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float = 1.0) -> float:
+        """Shift the value by ``delta``; returns the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        """The current value."""
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> float:
+        """The current value (registry snapshot entry)."""
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket distribution with interpolated percentiles.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing positive upper bounds.  Observations above
+        the last bound land in an overflow bucket whose percentile
+        estimate is clamped to the observed maximum.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
+        bounds = tuple(
+            float(b) for b in (
+                buckets if buckets is not None else DEFAULT_TIME_BUCKETS
+            )
+        )
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"bucket bounds must be strictly increasing, got {bounds}"
+            )
+        self.bounds = bounds
+        self._lock = Lock()
+        # One count per bound plus the overflow bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._counts[bisect_left(self.bounds, value)] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations so far."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations."""
+        with self._lock:
+            return self._sum
+
+    # ------------------------------------------------------------------
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``q`` in [0, 1]); 0.0 when empty.
+
+        Linear interpolation across the bucket containing the rank,
+        clamped to the observed ``[min, max]`` so a wide top bucket
+        cannot inflate the estimate.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for i, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = 0.0 if i == 0 else self.bounds[i - 1]
+                hi = self._max if i == len(self.bounds) else self.bounds[i]
+                fraction = (rank - cumulative) / bucket_count
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self._min), self._max)
+            cumulative += bucket_count
+        return self._max  # pragma: no cover - unreachable
+
+    def snapshot(self) -> dict:
+        """Count, sum, mean and the p50/p95/p99 estimates."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0, "sum": 0.0, "mean": 0.0,
+                        "min": 0.0, "max": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count,
+                "min": self._min,
+                "max": self._max,
+                "p50": self._percentile_locked(0.50),
+                "p95": self._percentile_locked(0.95),
+                "p99": self._percentile_locked(0.99),
+            }
+
+
+class Timer(Histogram):
+    """A latency histogram with a ``with timer.time():`` helper."""
+
+    kind = "timer"
+
+    def __init__(self, buckets: Sequence[float] | None = None) -> None:
+        super().__init__(buckets)
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock duration of the enclosed block."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)

@@ -1,0 +1,57 @@
+"""Observability: structured tracing threaded through the request path.
+
+``repro.obs`` makes every search inspectable: a :class:`Tracer`
+produces nested :class:`Span`\\ s (wall-clock *and* modelled
+virtual-time durations, attributes, fault/retry events) into a
+thread-safe :class:`TraceCollector`; exporters turn the collected tree
+into Chrome trace-event JSON (loadable in ``chrome://tracing`` /
+Perfetto) or a flat JSONL span log.  Tracing is off by default — the
+active tracer is a :class:`NullTracer` whose spans are a shared no-op
+singleton, keeping the instrumented hot paths allocation-free.
+
+Typical use::
+
+    from repro.obs import Tracer, use_tracer, write_chrome_trace
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        service.run(requests, db)
+    write_chrome_trace(tracer.collector, "trace.json")
+
+See DESIGN.md §8 for the span vocabulary and the metric naming
+convention this layer shares with :mod:`repro.metrics`.
+"""
+
+from .tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    TraceCollector,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from .export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "SpanEvent",
+    "TraceCollector",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

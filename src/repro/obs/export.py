@@ -1,0 +1,181 @@
+"""Trace exporters: Chrome trace-event JSON and a flat JSONL span log.
+
+The Chrome export is the trace-event format ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_ load natively: complete events
+(``"ph": "X"``) with microsecond timestamps, grouped into two
+processes — **wall-clock** (what this Python process actually did, one
+track per OS thread) and **virtual-time** (the modelled device timeline
+the perf model computed, one track per worker).  Span events ride along
+as instant events (``"ph": "i"``) and process/thread names as metadata
+events (``"ph": "M"``), so a `repro trace` export opens as a labelled
+Gantt chart with zero post-processing.
+
+The JSONL export is one :meth:`~repro.obs.Span.to_dict` record per
+line — the grep-able flat log for scripts and log shippers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .tracer import Span, TraceCollector
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "to_jsonl",
+    "write_jsonl",
+]
+
+#: Process ids of the two timelines in the Chrome export.
+PID_WALL = 1
+PID_VIRTUAL = 2
+
+
+def _as_spans(
+    spans: TraceCollector | Iterable[Span],
+) -> tuple[Span, ...]:
+    if isinstance(spans, TraceCollector):
+        return spans.spans()
+    return tuple(spans)
+
+
+def _json_safe(value):
+    """Coerce attribute values into something JSON can carry."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _args(span: Span) -> dict:
+    args = {k: _json_safe(v) for k, v in span.attributes.items()}
+    args["span_id"] = span.span_id
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    if span.status != "ok":
+        args["status"] = span.status
+    return args
+
+
+def to_chrome_trace(
+    spans: TraceCollector | Iterable[Span],
+    *,
+    metadata: dict | None = None,
+) -> dict:
+    """Convert spans to a Chrome trace-event JSON object.
+
+    Every finished span becomes a complete event on the wall-clock
+    process (timestamps relative to the earliest span, microseconds);
+    spans carrying a virtual interval additionally appear on the
+    virtual-time process, on a track named after their ``worker``
+    attribute (``main`` when unset).  Load the result in
+    ``chrome://tracing`` or Perfetto.
+    """
+    finished = [s for s in _as_spans(spans) if s.finished]
+    finished.sort(key=lambda s: (s.start_wall, s.span_id))
+    events: list[dict] = [
+        {"ph": "M", "pid": PID_WALL, "tid": 0, "name": "process_name",
+         "args": {"name": "wall-clock"}},
+        {"ph": "M", "pid": PID_VIRTUAL, "tid": 0, "name": "process_name",
+         "args": {"name": "virtual-time"}},
+    ]
+    if not finished:
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(metadata or {}),
+        }
+
+    t0 = min(s.start_wall for s in finished)
+    # Compact per-thread track ids on the wall-clock process.
+    tids: dict[int, int] = {}
+    for span in finished:
+        tid = tids.setdefault(span.thread_id, len(tids))
+        events.append({
+            "name": span.name,
+            "cat": "span",
+            "ph": "X",
+            "pid": PID_WALL,
+            "tid": tid,
+            "ts": (span.start_wall - t0) * 1e6,
+            "dur": span.wall_seconds * 1e6,
+            "args": _args(span),
+        })
+        for ev in span.events:
+            events.append({
+                "name": ev.name,
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "pid": PID_WALL,
+                "tid": tid,
+                "ts": (ev.wall_time - t0) * 1e6,
+                "args": {k: _json_safe(v) for k, v in ev.attributes.items()},
+            })
+    for ident, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": PID_WALL, "tid": tid, "name": "thread_name",
+            "args": {"name": f"thread-{tid}"},
+        })
+
+    # Virtual timeline: one track per worker attribute.
+    vtids: dict[str, int] = {}
+    for span in finished:
+        if span.virtual_start is None or span.virtual_end is None:
+            continue
+        worker = str(span.attributes.get("worker", "main"))
+        tid = vtids.setdefault(worker, len(vtids))
+        events.append({
+            "name": span.name,
+            "cat": "virtual",
+            "ph": "X",
+            "pid": PID_VIRTUAL,
+            "tid": tid,
+            "ts": span.virtual_start * 1e6,
+            "dur": (span.virtual_end - span.virtual_start) * 1e6,
+            "args": _args(span),
+        })
+    for worker, tid in vtids.items():
+        events.append({
+            "ph": "M", "pid": PID_VIRTUAL, "tid": tid,
+            "name": "thread_name", "args": {"name": worker},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+
+
+def write_chrome_trace(
+    spans: TraceCollector | Iterable[Span],
+    path,
+    *,
+    metadata: dict | None = None,
+) -> dict:
+    """Write the Chrome trace-event export to ``path``; returns it."""
+    trace = to_chrome_trace(spans, metadata=metadata)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=None, separators=(",", ":"))
+        fh.write("\n")
+    return trace
+
+
+def to_jsonl(spans: TraceCollector | Iterable[Span]) -> str:
+    """The flat span log: one JSON object per line, completion order."""
+    return "\n".join(
+        json.dumps(span.to_dict(), default=str)
+        for span in _as_spans(spans)
+    )
+
+
+def write_jsonl(spans: TraceCollector | Iterable[Span], path) -> int:
+    """Write the JSONL span log to ``path``; returns the span count."""
+    records: Sequence[Span] = _as_spans(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in records:
+            fh.write(json.dumps(span.to_dict(), default=str))
+            fh.write("\n")
+    return len(records)

@@ -1,0 +1,424 @@
+"""Structured tracing: nested spans over wall and virtual time.
+
+The paper's headline numbers (30.4 GCUPS Xeon, 34.9 Phi, 62.6 hybrid)
+were only explainable because the authors could *see* where time went —
+per-device utilisation, transfer overheads, the idle tail of a bad
+static split.  This module is that visibility for the library's whole
+request path: a :class:`Tracer` produces nested :class:`Span`\\ s with
+wall-clock durations, optional *virtual-time* intervals (the modelled
+device timeline the perf model computes), free-form attributes and
+point-in-time events, all deposited into a thread-safe
+:class:`TraceCollector` for inspection or export
+(:mod:`repro.obs.export`).
+
+Tracing is **off by default**: the module-level active tracer is a
+:class:`NullTracer` whose spans are a shared falsy singleton — entering
+and exiting one allocates nothing, so instrumented hot paths cost a
+method call when tracing is disabled (guarded by
+``benchmarks/bench_obs_overhead.py``).  Instrumented code follows one
+idiom::
+
+    tracer = get_tracer()
+    with tracer.span("queue.chunk") as sp:
+        if sp:                       # real Span is truthy, null span falsy
+            sp.set_attributes(chunk=a.chunk_id, worker=a.worker)
+        ...work...
+
+Enable tracing for a region of code with :func:`use_tracer`::
+
+    from repro.obs import Tracer, use_tracer
+    tracer = Tracer()
+    with use_tracer(tracer):
+        pipeline.search(query, db)
+    spans = tracer.collector.spans()
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..exceptions import PipelineError
+
+__all__ = [
+    "SpanEvent",
+    "Span",
+    "TraceCollector",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A point-in-time annotation on a span (fault, retry, cache hit)."""
+
+    name: str
+    wall_time: float  # time.perf_counter() at the moment of the event
+    attributes: dict = field(default_factory=dict)
+
+
+class Span:
+    """One timed operation of a trace.
+
+    ``start_wall``/``end_wall`` are ``time.perf_counter()`` readings
+    (real Python execution).  ``virtual_start``/``virtual_end``, when
+    set via :meth:`set_virtual`, carry the *modelled* interval of the
+    operation on the paper's hardware — the same virtual clock
+    :class:`~repro.devices.trace.ScheduleTrace` renders as a Gantt
+    chart.  Exporters can therefore lay the same span tree out on
+    either timeline.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "thread_id",
+        "start_wall", "end_wall", "virtual_start", "virtual_end",
+        "attributes", "events", "status",
+    )
+
+    def __init__(
+        self, name: str, span_id: int, parent_id: int | None
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = threading.get_ident()
+        self.start_wall = 0.0
+        self.end_wall: float | None = None
+        self.virtual_start: float | None = None
+        self.virtual_end: float | None = None
+        self.attributes: dict[str, Any] = {}
+        self.events: list[SpanEvent] = []
+        self.status = "ok"
+
+    # ------------------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one key/value attribute."""
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: Any) -> None:
+        """Attach several attributes at once."""
+        self.attributes.update(attributes)
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event (fault, retry, cache hit)."""
+        self.events.append(
+            SpanEvent(name, time.perf_counter(), attributes)
+        )
+
+    def set_virtual(self, start: float, end: float) -> None:
+        """Attach the modelled (virtual-clock) interval of this span."""
+        if end < start:
+            raise PipelineError(
+                f"virtual interval ends before it starts: [{start}, {end}]"
+            )
+        self.virtual_start = float(start)
+        self.virtual_end = float(end)
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the span's context manager has exited."""
+        return self.end_wall is not None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0.0 while still open)."""
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def virtual_seconds(self) -> float | None:
+        """Modelled duration, when a virtual interval was attached."""
+        if self.virtual_start is None or self.virtual_end is None:
+            return None
+        return self.virtual_end - self.virtual_start
+
+    def to_dict(self) -> dict:
+        """JSON-ready flat record of this span (for the JSONL export)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start_wall": self.start_wall,
+            "end_wall": self.end_wall,
+            "wall_seconds": self.wall_seconds,
+            "virtual_start": self.virtual_start,
+            "virtual_end": self.virtual_end,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": [
+                {"name": e.name, "wall_time": e.wall_time,
+                 "attributes": dict(e.attributes)}
+                for e in self.events
+            ],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.wall_seconds * 1e3:.3f}ms)"
+        )
+
+
+class TraceCollector:
+    """Thread-safe sink for finished spans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def add(self, span: Span) -> None:
+        """Deposit one finished span (called by the tracer)."""
+        with self._lock:
+            self._spans.append(span)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def spans(self) -> tuple[Span, ...]:
+        """Every collected span, in completion order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    def clear(self) -> None:
+        """Drop everything collected so far."""
+        with self._lock:
+            self._spans.clear()
+
+    # ------------------------------------------------------------------
+    def roots(self) -> tuple[Span, ...]:
+        """Spans with no parent (one per traced top-level operation)."""
+        return tuple(s for s in self.spans() if s.parent_id is None)
+
+    def children(self, span: Span) -> tuple[Span, ...]:
+        """Direct children of ``span``, in completion order."""
+        return tuple(
+            s for s in self.spans() if s.parent_id == span.span_id
+        )
+
+    def descendants(self, span: Span) -> tuple[Span, ...]:
+        """Every span transitively below ``span``."""
+        spans = self.spans()
+        by_parent: dict[int, list[Span]] = {}
+        for s in spans:
+            if s.parent_id is not None:
+                by_parent.setdefault(s.parent_id, []).append(s)
+        out: list[Span] = []
+        frontier = [span.span_id]
+        while frontier:
+            nxt: list[int] = []
+            for pid in frontier:
+                for child in by_parent.get(pid, ()):
+                    out.append(child)
+                    nxt.append(child.span_id)
+            frontier = nxt
+        return tuple(out)
+
+    def find(self, name: str) -> tuple[Span, ...]:
+        """All spans carrying exactly this name."""
+        return tuple(s for s in self.spans() if s.name == name)
+
+    def render_tree(self) -> str:
+        """Indented text rendering of the span forest (for the CLI)."""
+        spans = self.spans()
+        by_parent: dict[int | None, list[Span]] = {}
+        for s in spans:
+            by_parent.setdefault(s.parent_id, []).append(s)
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            extra = ""
+            if span.virtual_seconds is not None:
+                extra = f"  virtual {span.virtual_seconds:.4f}s"
+            if span.events:
+                extra += f"  [{len(span.events)} events]"
+            lines.append(
+                f"{'  ' * depth}{span.name}  "
+                f"{span.wall_seconds * 1e3:.2f}ms{extra}"
+            )
+            for child in by_parent.get(span.span_id, ()):
+                walk(child, depth + 1)
+
+        for root in by_parent.get(None, ()):
+            walk(root, 0)
+        return "\n".join(lines)
+
+
+class _ActiveSpan:
+    """Context manager pairing a span with the tracer's thread stack."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, attributes: dict[str, Any]
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        stack = tracer._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(self._name, next(tracer._ids), parent)
+        if self._attributes:
+            span.attributes.update(self._attributes)
+        self._span = span
+        stack.append(span)
+        span.start_wall = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        assert span is not None
+        span.end_wall = time.perf_counter()
+        if exc_type is not None:
+            span.status = f"error:{exc_type.__name__}"
+            if exc is not None:
+                span.attributes.setdefault("error", str(exc))
+        stack = self._tracer._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit; stay consistent anyway
+            stack.remove(span)
+        self._tracer.collector.add(span)
+        return False
+
+
+class Tracer:
+    """Produces nested spans into a :class:`TraceCollector`.
+
+    Span nesting follows a per-thread stack, so spans opened by code
+    called inside a ``with tracer.span(...)`` block become children
+    automatically — the service layer's request span contains the
+    pipeline's spans contains the offload spans, with no explicit
+    parent plumbing.
+    """
+
+    enabled = True
+
+    def __init__(self, collector: TraceCollector | None = None) -> None:
+        self.collector = collector if collector is not None else TraceCollector()
+        self._local = threading.local()
+        self._ids = itertools.count(1)  # next() is atomic in CPython
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """A context manager opening one nested span."""
+        return _ActiveSpan(self, name, attributes)
+
+    def current_span(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the innermost open span (no-op outside)."""
+        span = self.current_span()
+        if span is not None:
+            span.add_event(name, **attributes)
+
+
+class _NullSpan:
+    """Falsy, allocation-free stand-in used when tracing is off."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    def set_attributes(self, **attributes: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        pass
+
+    def set_virtual(self, start: float, end: float) -> None:
+        pass
+
+
+#: The shared span every :class:`NullTracer` hands out.
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every operation is a shared no-op.
+
+    ``span()`` returns one process-wide singleton whose ``__enter__`` /
+    ``__exit__`` do nothing, so instrumentation costs a method call and
+    no allocation when tracing is disabled.
+    """
+
+    enabled = False
+    collector = None
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def event(self, name: str, **attributes: Any) -> None:
+        pass
+
+
+#: The process-wide disabled tracer (also the initial active tracer).
+NULL_TRACER = NullTracer()
+
+_active: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently active tracer (a :class:`NullTracer` by default)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer; returns the previous one.
+
+    ``None`` restores the disabled default.  Prefer the
+    :func:`use_tracer` context manager, which restores the previous
+    tracer automatically.
+    """
+    global _active
+    previous = _active
+    _active = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
+    """Activate ``tracer`` for the enclosed block, then restore."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

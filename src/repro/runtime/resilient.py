@@ -26,6 +26,8 @@ import numpy as np
 from ..exceptions import CircuitOpen, DeviceTimeout, FaultInjected, PipelineError
 from ..faults.injection import FaultInjector
 from ..faults.policy import CircuitBreaker, RetryPolicy, Timeout
+from ..metrics.counters import METRICS
+from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from .hybrid import HybridExecutor, HybridResult, require_work
 from .offload import OffloadRegion
@@ -174,6 +176,13 @@ class ResilientHybridExecutor:
         """The device-side performance model."""
         return self._inner.device
 
+    @staticmethod
+    def _record_fault_metrics(faults: int, reclaimed: int) -> None:
+        if faults:
+            METRICS.increment("resilient.faults.injected", faults)
+        if reclaimed:
+            METRICS.increment("resilient.chunks.reclaimed", reclaimed)
+
     def _fresh_breaker(self) -> CircuitBreaker:
         proto = self._breaker_prototype
         return CircuitBreaker(
@@ -199,20 +208,32 @@ class ResilientHybridExecutor:
         if not self._faulty():
             return self._wrap_healthy(baseline)
 
-        host_l, dev_l = self._inner_split(arr, device_fraction)
-        host_s = self._side_seconds(self.host, host_l,
-                                    self._inner.host_lanes, query_len, cfg)
-        chunk_lengths = self._chunked(dev_l)
-        device_end, _, reclaimed, timeline, faults = self._device_timeline(
-            chunk_lengths, query_len, cfg, kernels=None
-        )
-        reclaimed_l = (
-            np.concatenate([chunk_lengths[i] for i in reclaimed])
-            if reclaimed else np.empty(0, dtype=np.int64)
-        )
-        reclaim_s = self._side_seconds(self.host, reclaimed_l,
-                                       self._inner.host_lanes, query_len, cfg)
-        total = max(host_s, device_end) + reclaim_s
+        with get_tracer().span("resilient.run") as root:
+            if root:
+                root.set_attributes(
+                    device_fraction=device_fraction, chunks=self.chunks
+                )
+            host_l, dev_l = self._inner_split(arr, device_fraction)
+            host_s = self._side_seconds(
+                self.host, host_l, self._inner.host_lanes, query_len, cfg
+            )
+            chunk_lengths = self._chunked(dev_l)
+            device_end, _, reclaimed, timeline, faults = (
+                self._device_timeline(
+                    chunk_lengths, query_len, cfg, kernels=None
+                )
+            )
+            reclaimed_l = (
+                np.concatenate([chunk_lengths[i] for i in reclaimed])
+                if reclaimed else np.empty(0, dtype=np.int64)
+            )
+            reclaim_s = self._side_seconds(
+                self.host, reclaimed_l, self._inner.host_lanes, query_len, cfg
+            )
+            total = max(host_s, device_end) + reclaim_s
+            self._record_fault_metrics(faults, len(reclaimed))
+            if root:
+                root.set_virtual(0.0, total)
         return ResilientResult(
             device_fraction=device_fraction,
             total_seconds=total,
@@ -265,105 +286,137 @@ class ResilientHybridExecutor:
             opts.merged(lanes=self.device.spec.lanes32)
         )
 
-        host_db, dev_db = split_database(database, device_fraction)
-        baseline = self._inner.run(database.lengths, len(q),
-                                   device_fraction, cfg)
+        tracer = get_tracer()
+        with tracer.span("resilient.search") as root:
+            if root:
+                root.set_attributes(
+                    query_name=query_name, database=database.name,
+                    device_fraction=device_fraction, chunks=self.chunks,
+                )
+            host_db, dev_db = split_database(database, device_fraction)
+            baseline = self._inner.run(database.lengths, len(q),
+                                       device_fraction, cfg)
 
-        # --- host share (overlapped in Algorithm 2) -------------------
-        host_s = self._side_seconds(self.host, host_db.lengths,
-                                    self._inner.host_lanes, len(q), cfg)
-        parts: list[tuple[Any, np.ndarray]] = []
-        wall = 0.0
-        if len(host_db):
-            host_result = host_pipe.search(q, host_db,
-                                           query_name=query_name, top_k=0)
-            wall += host_result.wall_seconds
-            parts.append((host_db, host_result.scores))
+            # --- host share (overlapped in Algorithm 2) ---------------
+            host_s = self._side_seconds(self.host, host_db.lengths,
+                                        self._inner.host_lanes, len(q), cfg)
+            parts: list[tuple[Any, np.ndarray]] = []
+            wall = 0.0
+            if len(host_db):
+                with tracer.span("resilient.host", worker="host") as sp:
+                    host_result = host_pipe.search(
+                        q, host_db, query_name=query_name, top_k=0
+                    )
+                    if sp:
+                        sp.set_attributes(sequences=len(host_db))
+                        sp.set_virtual(0.0, host_s)
+                wall += host_result.wall_seconds
+                parts.append((host_db, host_result.scores))
 
-        # --- device share, chunked through faultable regions ----------
-        chunk_indices = (
-            [c for c in np.array_split(np.arange(len(dev_db)),
-                                       min(self.chunks, len(dev_db)))
-             if c.size]
-            if len(dev_db) else []
-        )
-        chunk_dbs = [
-            dev_db.subset(idx.astype(np.int64), name=f"{dev_db.name}-c{k}")
-            for k, idx in enumerate(chunk_indices)
-        ]
-        kernels = [
-            (lambda cdb=cdb: device_pipe.search(
-                q, cdb, query_name=query_name, top_k=0
-            ))
-            for cdb in chunk_dbs
-        ]
-        device_end, results, reclaimed, timeline, faults = (
-            self._device_timeline(
-                [cdb.lengths for cdb in chunk_dbs], len(q), cfg,
-                kernels=kernels,
+            # --- device share, chunked through faultable regions ------
+            chunk_indices = (
+                [c for c in np.array_split(np.arange(len(dev_db)),
+                                           min(self.chunks, len(dev_db)))
+                 if c.size]
+                if len(dev_db) else []
             )
-        )
-        for i, chunk_result in results.items():
-            wall += chunk_result.wall_seconds
-            parts.append((chunk_dbs[i], chunk_result.scores))
-
-        # --- host reclaim of abandoned chunks -------------------------
-        reclaimed_l = (
-            np.concatenate([chunk_dbs[i].lengths for i in reclaimed])
-            if reclaimed else np.empty(0, dtype=np.int64)
-        )
-        reclaim_s = self._side_seconds(self.host, reclaimed_l,
-                                       self._inner.host_lanes, len(q), cfg)
-        for i in reclaimed:
-            redo = host_pipe.search(q, chunk_dbs[i],
-                                    query_name=query_name, top_k=0)
-            wall += redo.wall_seconds
-            parts.append((chunk_dbs[i], redo.scores))
-
-        # --- merge (step 4), keyed by the unique headers --------------
-        index_of = {h: i for i, h in enumerate(database.headers)}
-        if len(index_of) != len(database):
-            raise PipelineError("resilient merge requires unique database headers")
-        scores = np.zeros(len(database), dtype=np.int64)
-        for part_db, part_scores in parts:
-            for h, s in zip(part_db.headers, part_scores):
-                scores[index_of[h]] = s
-        ranked = np.argsort(-scores, kind="stable")
-        hits = [
-            Hit(
-                index=int(i),
-                header=database.headers[int(i)],
-                length=len(database.sequences[int(i)]),
-                score=int(scores[int(i)]),
+            chunk_dbs = [
+                dev_db.subset(idx.astype(np.int64), name=f"{dev_db.name}-c{k}")
+                for k, idx in enumerate(chunk_indices)
+            ]
+            kernels = [
+                (lambda cdb=cdb: device_pipe.search(
+                    q, cdb, query_name=query_name, top_k=0
+                ))
+                for cdb in chunk_dbs
+            ]
+            device_end, results, reclaimed, timeline, faults = (
+                self._device_timeline(
+                    [cdb.lengths for cdb in chunk_dbs], len(q), cfg,
+                    kernels=kernels,
+                )
             )
-            for i in ranked[: max(top_k, 0)]
-        ]
-        total = max(host_s, device_end) + reclaim_s
-        result = SearchResult(
-            query_name=query_name,
-            query_length=len(q),
-            database_name=database.name,
-            scores=scores,
-            hits=hits,
-            cells=len(q) * database.total_residues,
-            wall_seconds=wall,
-            modeled_seconds=total,
-        )
-        resilience = ResilientResult(
-            device_fraction=device_fraction,
-            total_seconds=total,
-            host_seconds=host_s,
-            device_seconds=device_end,
-            reclaim_seconds=reclaim_s,
-            cells=result.cells,
-            reclaimed_cells=int(len(q)) * int(reclaimed_l.sum()),
-            chunks=len(chunk_dbs),
-            chunks_reclaimed=len(reclaimed),
-            faults_injected=faults,
-            timeline=tuple(timeline),
-            baseline_seconds=baseline.total_seconds,
-        )
-        return ResilientSearchOutcome(result=result, resilience=resilience)
+            for i, chunk_result in results.items():
+                wall += chunk_result.wall_seconds
+                parts.append((chunk_dbs[i], chunk_result.scores))
+
+            # --- host reclaim of abandoned chunks ---------------------
+            reclaimed_l = (
+                np.concatenate([chunk_dbs[i].lengths for i in reclaimed])
+                if reclaimed else np.empty(0, dtype=np.int64)
+            )
+            reclaim_s = self._side_seconds(self.host, reclaimed_l,
+                                           self._inner.host_lanes, len(q),
+                                           cfg)
+            if reclaimed:
+                with tracer.span("resilient.reclaim", worker="host") as sp:
+                    if sp:
+                        sp.set_attributes(chunks=len(reclaimed))
+                        sp.set_virtual(
+                            max(host_s, device_end),
+                            max(host_s, device_end) + reclaim_s,
+                        )
+                    for i in reclaimed:
+                        redo = host_pipe.search(q, chunk_dbs[i],
+                                                query_name=query_name,
+                                                top_k=0)
+                        wall += redo.wall_seconds
+                        parts.append((chunk_dbs[i], redo.scores))
+
+            # --- merge (step 4), keyed by the unique headers ----------
+            with tracer.span("resilient.merge"):
+                index_of = {h: i for i, h in enumerate(database.headers)}
+                if len(index_of) != len(database):
+                    raise PipelineError(
+                        "resilient merge requires unique database headers"
+                    )
+                scores = np.zeros(len(database), dtype=np.int64)
+                for part_db, part_scores in parts:
+                    for h, s in zip(part_db.headers, part_scores):
+                        scores[index_of[h]] = s
+                ranked = np.argsort(-scores, kind="stable")
+                hits = [
+                    Hit(
+                        index=int(i),
+                        header=database.headers[int(i)],
+                        length=len(database.sequences[int(i)]),
+                        score=int(scores[int(i)]),
+                    )
+                    for i in ranked[: max(top_k, 0)]
+                ]
+            total = max(host_s, device_end) + reclaim_s
+            self._record_fault_metrics(faults, len(reclaimed))
+            result = SearchResult(
+                query_name=query_name,
+                query_length=len(q),
+                database_name=database.name,
+                scores=scores,
+                hits=hits,
+                cells=len(q) * database.total_residues,
+                wall_seconds=wall,
+                modeled_seconds=total,
+            )
+            if root:
+                root.set_virtual(0.0, total)
+                root.set_attributes(
+                    faults_injected=faults, chunks_reclaimed=len(reclaimed)
+                )
+                result.trace = {"span_id": root.span_id, "span": root.name}
+            resilience = ResilientResult(
+                device_fraction=device_fraction,
+                total_seconds=total,
+                host_seconds=host_s,
+                device_seconds=device_end,
+                reclaim_seconds=reclaim_s,
+                cells=result.cells,
+                reclaimed_cells=int(len(q)) * int(reclaimed_l.sum()),
+                chunks=len(chunk_dbs),
+                chunks_reclaimed=len(reclaimed),
+                faults_injected=faults,
+                timeline=tuple(timeline),
+                baseline_seconds=baseline.total_seconds,
+            )
+            return ResilientSearchOutcome(result=result, resilience=resilience)
 
     # ------------------------------------------------------------------
     def _inner_split(
@@ -408,6 +461,7 @@ class ResilientHybridExecutor:
         where ``results`` maps completed chunk index to its kernel
         payload and ``reclaimed`` lists chunks abandoned to the host.
         """
+        tracer = get_tracer()
         breaker = self._fresh_breaker()
         timeline: list[AttemptRecord] = []
         results: dict[int, Any] = {}
@@ -435,44 +489,66 @@ class ResilientHybridExecutor:
             kernel = kernels[i] if kernels is not None else None
             attempt = 0
             done = False
-            while True:
-                try:
-                    breaker.check(t)
-                except CircuitOpen:
-                    timeline.append(AttemptRecord(i, attempt, t, t, "circuit-open"))
-                    break
-                region = OffloadRegion(self._inner.link, injector=self.injector)
-                handle = region.run_async(
-                    start_at=t, in_bytes=in_bytes, out_bytes=out_bytes,
-                    compute_seconds=compute, kernel=kernel,
-                    unit=i, attempt=attempt,
-                )
-                deadline = (
-                    self.timeout.deadline(t) if self.timeout is not None else None
-                )
-                try:
-                    end = region.wait(handle, now=t, deadline=deadline)
-                except DeviceTimeout as exc:
-                    fail_at, outcome = float(exc.at), "timeout"
-                except FaultInjected as exc:
-                    fail_at, outcome = float(exc.at), str(exc.kind)
-                else:
-                    timeline.append(AttemptRecord(i, attempt, t, end, "ok"))
-                    results[i] = handle.result
-                    breaker.record_success(end)
-                    t = end
-                    done = True
-                    break
-                faults += 1
-                timeline.append(AttemptRecord(i, attempt, t, fail_at, outcome))
-                breaker.record_failure(fail_at)
-                t = fail_at
-                attempt += 1
-                if not self.retry.allows(attempt):
-                    break
-                t += self.retry.backoff(attempt)
-            if not done:
-                reclaimed.append(i)
+            chunk_start = t
+            with tracer.span("resilient.chunk", worker="device") as sp:
+                if sp:
+                    sp.set_attributes(chunk=i, sequences=len(chunk))
+                while True:
+                    try:
+                        breaker.check(t)
+                    except CircuitOpen:
+                        timeline.append(
+                            AttemptRecord(i, attempt, t, t, "circuit-open")
+                        )
+                        if sp:
+                            sp.add_event(
+                                "fault", kind="circuit-open", attempt=attempt
+                            )
+                        break
+                    region = OffloadRegion(
+                        self._inner.link, injector=self.injector
+                    )
+                    handle = region.run_async(
+                        start_at=t, in_bytes=in_bytes, out_bytes=out_bytes,
+                        compute_seconds=compute, kernel=kernel,
+                        unit=i, attempt=attempt,
+                    )
+                    deadline = (
+                        self.timeout.deadline(t)
+                        if self.timeout is not None else None
+                    )
+                    try:
+                        end = region.wait(handle, now=t, deadline=deadline)
+                    except DeviceTimeout as exc:
+                        fail_at, outcome = float(exc.at), "timeout"
+                    except FaultInjected as exc:
+                        fail_at, outcome = float(exc.at), str(exc.kind)
+                    else:
+                        timeline.append(AttemptRecord(i, attempt, t, end, "ok"))
+                        results[i] = handle.result
+                        breaker.record_success(end)
+                        t = end
+                        done = True
+                        break
+                    faults += 1
+                    timeline.append(
+                        AttemptRecord(i, attempt, t, fail_at, outcome)
+                    )
+                    if sp:
+                        sp.add_event("fault", kind=outcome, attempt=attempt)
+                    breaker.record_failure(fail_at)
+                    t = fail_at
+                    attempt += 1
+                    if not self.retry.allows(attempt):
+                        break
+                    t += self.retry.backoff(attempt)
+                if not done:
+                    reclaimed.append(i)
+                    if sp:
+                        sp.add_event("chunk.reclaimed")
+                if sp:
+                    sp.set_attributes(attempts=attempt + 1, ok=done)
+                    sp.set_virtual(chunk_start, t)
         return t, results, reclaimed, timeline, faults
 
     def _wrap_healthy(self, base: HybridResult) -> ResilientResult:

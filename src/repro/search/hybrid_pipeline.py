@@ -21,6 +21,8 @@ from ..core.engine import as_codes
 from ..db.database import SequenceDatabase
 from ..db.preprocess import split_database
 from ..exceptions import PipelineError
+from ..metrics.counters import MetricsRegistry
+from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from ..runtime.offload import OffloadRegion
 from ..runtime.pcie import PCIE_GEN2_X16, PCIeLink
@@ -101,6 +103,7 @@ class HybridSearchPipeline:
         link: PCIeLink = PCIE_GEN2_X16,
         scheduler: str = "static",
         chunks: int = 24,
+        metrics: MetricsRegistry | None = None,
         matrix=UNSET,
         gaps=UNSET,
         alphabet=UNSET,
@@ -121,13 +124,16 @@ class HybridSearchPipeline:
         self.scheduler = scheduler
         self.chunks = chunks
         self.alphabet = opts.alphabet
+        self.metrics = metrics
         # One real pipeline per side, each at its device's lane width
         # (unless the options pin an explicit width).
         self._host_pipe = SearchPipeline(
-            opts.merged(lanes=opts.resolved_lanes(host_model.spec.lanes32))
+            opts.merged(lanes=opts.resolved_lanes(host_model.spec.lanes32)),
+            metrics=metrics,
         )
         self._device_pipe = SearchPipeline(
-            opts.merged(lanes=opts.resolved_lanes(device_model.spec.lanes32))
+            opts.merged(lanes=opts.resolved_lanes(device_model.spec.lanes32)),
+            metrics=metrics,
         )
 
     def search(
@@ -150,51 +156,81 @@ class HybridSearchPipeline:
                 query_name=query_name, top_k=top_k,
             )
         q = as_codes(query, self.alphabet)
-        host_db, dev_db = split_database(database, device_fraction)
+        tracer = get_tracer()
+        with tracer.span("hybrid.search") as root:
+            if root:
+                root.set_attributes(
+                    query_name=query_name, database=database.name,
+                    scheduler="static", device_fraction=device_fraction,
+                )
+            host_db, dev_db = split_database(database, device_fraction)
 
-        # --- device side: async offload region with a real kernel ----
-        dev_seconds = 0.0
-        dev_result: SearchResult | None = None
-        if len(dev_db):
-            wl = Workload.from_lengths(
-                dev_db.lengths, self.device_model.spec.lanes32
-            )
-            compute = self.device_model.run_seconds(wl, len(q), RunConfig())
-            region = OffloadRegion(self.link)
-            handle = region.run_async(
-                in_bytes=dev_db.total_residues + len(q),
-                out_bytes=4 * len(dev_db),
-                compute_seconds=compute,
-                kernel=lambda: self._device_pipe.search(
-                    q, dev_db, query_name=query_name, top_k=0
-                ),
-            )
-            dev_seconds = region.wait(handle)
-            dev_result = handle.result
+            # --- device side: async offload region with a real kernel -
+            dev_seconds = 0.0
+            dev_result: SearchResult | None = None
+            if len(dev_db):
+                with tracer.span(
+                    "hybrid.offload", worker="device"
+                ) as sp:
+                    wl = Workload.from_lengths(
+                        dev_db.lengths, self.device_model.spec.lanes32
+                    )
+                    compute = self.device_model.run_seconds(
+                        wl, len(q), RunConfig()
+                    )
+                    region = OffloadRegion(self.link)
+                    handle = region.run_async(
+                        in_bytes=dev_db.total_residues + len(q),
+                        out_bytes=4 * len(dev_db),
+                        compute_seconds=compute,
+                        kernel=lambda: self._device_pipe.search(
+                            q, dev_db, query_name=query_name, top_k=0
+                        ),
+                    )
+                    dev_seconds = region.wait(handle)
+                    dev_result = handle.result
+                    if sp:
+                        sp.set_attributes(
+                            sequences=len(dev_db),
+                            modeled_seconds=dev_seconds,
+                        )
+                        sp.set_virtual(0.0, dev_seconds)
 
-        # --- host side (overlapped in Algorithm 2) -------------------
-        host_seconds = 0.0
-        host_result: SearchResult | None = None
-        if len(host_db):
-            wl = Workload.from_lengths(
-                host_db.lengths, self.host_model.spec.lanes32
-            )
-            host_seconds = self.host_model.run_seconds(wl, len(q), RunConfig())
-            host_result = self._host_pipe.search(
-                q, host_db, query_name=query_name, top_k=0
-            )
+            # --- host side (overlapped in Algorithm 2) ----------------
+            host_seconds = 0.0
+            host_result: SearchResult | None = None
+            if len(host_db):
+                with tracer.span("hybrid.host", worker="host") as sp:
+                    wl = Workload.from_lengths(
+                        host_db.lengths, self.host_model.spec.lanes32
+                    )
+                    host_seconds = self.host_model.run_seconds(
+                        wl, len(q), RunConfig()
+                    )
+                    host_result = self._host_pipe.search(
+                        q, host_db, query_name=query_name, top_k=0
+                    )
+                    if sp:
+                        sp.set_attributes(
+                            sequences=len(host_db),
+                            modeled_seconds=host_seconds,
+                        )
+                        sp.set_virtual(0.0, host_seconds)
 
-        # --- merge (step 4) -------------------------------------------
-        merged = self._merge(
-            query_name, q, database, host_db, dev_db,
-            host_result, dev_result, top_k,
-        )
-        return HybridSearchResult(
-            result=merged,
-            device_fraction=device_fraction,
-            host_modeled_seconds=host_seconds,
-            device_modeled_seconds=dev_seconds,
-        )
+            # --- merge (step 4) ---------------------------------------
+            with tracer.span("hybrid.merge"):
+                merged = self._merge(
+                    query_name, q, database, host_db, dev_db,
+                    host_result, dev_result, top_k,
+                )
+            if root:
+                merged.trace = {"span_id": root.span_id, "span": root.name}
+            return HybridSearchResult(
+                result=merged,
+                device_fraction=device_fraction,
+                host_modeled_seconds=host_seconds,
+                device_modeled_seconds=dev_seconds,
+            )
 
     # ------------------------------------------------------------------
     def _search_queue(
@@ -207,7 +243,7 @@ class HybridSearchPipeline:
         outcome = WorkQueueScheduler(
             self.host_model, self.device_model,
             options=self.options, link=self.link, chunks=self.chunks,
-            static_fraction=device_fraction,
+            static_fraction=device_fraction, metrics=self.metrics,
         ).search(query, database, query_name=query_name, top_k=top_k)
         return HybridSearchResult(
             result=outcome.result,

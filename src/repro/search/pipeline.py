@@ -22,6 +22,8 @@ from ..db.preprocess import PreprocessedDatabase, preprocess_database
 from ..devices.openmp import ParallelFor, Schedule
 from ..exceptions import FaultInjected, PipelineError
 from ..faults.injection import FaultInjector, payload_checksum
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from .api import UNSET, SearchOptions, unify_options
 from .gcups import Stopwatch
@@ -58,6 +60,9 @@ def guarded_transmit(
                 f"{MAX_CORRUPTION_REDOS} recomputations",
                 kind="corrupt",
             )
+        get_tracer().event(
+            "fault.corrupt.redo", kind="corrupt", unit=unit, attempt=attempt
+        )
         received, declared = injector.transmit(unit, attempt, compute())
     return received, attempt
 
@@ -94,6 +99,7 @@ class SearchPipeline:
         device_model: DevicePerformanceModel | None = None,
         block_cols: int | None = None,
         saturate_bits: int | None = None,
+        metrics: MetricsRegistry | None = None,
         matrix=UNSET,
         lanes=UNSET,
         profile=UNSET,
@@ -118,6 +124,7 @@ class SearchPipeline:
         self.device_model = device_model
         self.alphabet = opts.alphabet
         self.injector = opts.injector
+        self.metrics = metrics if metrics is not None else METRICS
         self.engine = InterTaskEngine(
             alphabet=opts.alphabet,
             lanes=self.lanes,
@@ -167,108 +174,151 @@ class SearchPipeline:
                     f"({len(preprocessed.database)} vs {len(database)} entries)"
                 )
 
-        watch = Stopwatch()
-        with watch:
-            # Step 2: sort + lane packing (skipped when a matching
-            # pre-processed database was handed in).
-            pre = (
-                preprocessed if preprocessed is not None
-                else preprocess_database(database, lanes=self.lanes)
-            )
-            groups = pre.groups
-            # Step 3: the parallel group loop.  ParallelFor simulates the
-            # OpenMP schedule (and its makespan) while the work callback
-            # computes real scores.
-            sorted_scores = np.zeros(len(pre.database), dtype=np.int64)
-            sat_counts: dict[int, int] = {}
-            corrupted_redone = 0
-            prepared = self.engine._prepare(q, self.matrix)
-
-            def compute_group(g: int) -> np.ndarray:
-                scores, sat = self.engine.score_group(
-                    q, groups[g], self.matrix, self.gaps,
-                    _prepared=prepared,
+        tracer = get_tracer()
+        with tracer.span("pipeline.search") as root:
+            if root:
+                root.set_attributes(
+                    query_name=query_name, query_length=len(q),
+                    database=database.name, sequences=len(database),
+                    lanes=self.lanes,
                 )
-                if sat:
-                    from ..core.scan import ScanEngine
-
-                    exact = ScanEngine(self.alphabet)
-                    for lane in sat:
-                        idx = int(groups[g].indices[lane])
-                        scores[lane] = exact.score_pair(
-                            q, pre.database.sequences[idx],
-                            self.matrix, self.gaps,
-                        ).score
-                sat_counts[g] = len(sat)
-                return scores
-
-            def work(g: int) -> None:
-                nonlocal corrupted_redone
-                if self.injector is None:
-                    scores = compute_group(g)
-                else:
-                    scores, redos = guarded_transmit(
-                        self.injector, g, lambda: compute_group(g)
+            watch = Stopwatch()
+            with watch:
+                # Step 2: sort + lane packing (skipped when a matching
+                # pre-processed database was handed in).
+                with tracer.span("pipeline.preprocess") as sp:
+                    pre = (
+                        preprocessed if preprocessed is not None
+                        else preprocess_database(database, lanes=self.lanes)
                     )
-                    corrupted_redone += redos
-                sorted_scores[groups[g].indices] = scores
+                    if sp:
+                        sp.set_attributes(
+                            groups=len(pre.groups),
+                            reused=preprocessed is not None,
+                        )
+                groups = pre.groups
+                # Step 3: the parallel group loop.  ParallelFor simulates
+                # the OpenMP schedule (and its makespan) while the work
+                # callback computes real scores.
+                sorted_scores = np.zeros(len(pre.database), dtype=np.int64)
+                sat_counts: dict[int, int] = {}
+                corrupted_redone = 0
+                prepared = self.engine._prepare(q, self.matrix)
 
-            costs = pre.group_cells(len(q)).astype(np.float64)
-            ParallelFor(self.threads, self.schedule).run(costs, work)
+                def compute_group(g: int) -> np.ndarray:
+                    scores, sat = self.engine.score_group(
+                        q, groups[g], self.matrix, self.gaps,
+                        _prepared=prepared,
+                    )
+                    if sat:
+                        from ..core.scan import ScanEngine
 
-            # Scatter back to the caller's original database order.
-            order = database.length_order()
-            scores = np.zeros(len(database), dtype=np.int64)
-            scores[order] = sorted_scores
-            # Step 4: rank descending (stable -> ties by database order).
-            ranked = np.argsort(-scores, kind="stable")
+                        exact = ScanEngine(self.alphabet)
+                        for lane in sat:
+                            idx = int(groups[g].indices[lane])
+                            scores[lane] = exact.score_pair(
+                                q, pre.database.sequences[idx],
+                                self.matrix, self.gaps,
+                            ).score
+                    sat_counts[g] = len(sat)
+                    return scores
 
-        cells = len(q) * database.total_residues
-        hits: list[Hit] = []
-        for idx in ranked[: max(top_k, 0)]:
-            idx = int(idx)
-            alignment = (
-                align_pair(
-                    q, database.sequences[idx], self.matrix, self.gaps,
-                    alphabet=self.alphabet,
+                def work(g: int) -> None:
+                    nonlocal corrupted_redone
+                    if self.injector is None:
+                        scores = compute_group(g)
+                    else:
+                        scores, redos = guarded_transmit(
+                            self.injector, g, lambda: compute_group(g)
+                        )
+                        corrupted_redone += redos
+                    sorted_scores[groups[g].indices] = scores
+
+                with tracer.span("pipeline.score") as sp:
+                    costs = pre.group_cells(len(q)).astype(np.float64)
+                    ParallelFor(self.threads, self.schedule).run(costs, work)
+                    if sp:
+                        sp.set_attributes(
+                            groups=len(groups),
+                            saturated_recomputed=sum(sat_counts.values()),
+                            corrupted_redone=corrupted_redone,
+                        )
+
+                with tracer.span("pipeline.rank"):
+                    # Scatter back to the caller's original database order.
+                    order = database.length_order()
+                    scores = np.zeros(len(database), dtype=np.int64)
+                    scores[order] = sorted_scores
+                    # Step 4: rank descending (stable -> ties by database
+                    # order).
+                    ranked = np.argsort(-scores, kind="stable")
+
+            cells = len(q) * database.total_residues
+            hits: list[Hit] = []
+            for idx in ranked[: max(top_k, 0)]:
+                idx = int(idx)
+                alignment = (
+                    align_pair(
+                        q, database.sequences[idx], self.matrix, self.gaps,
+                        alphabet=self.alphabet,
+                    )
+                    if traceback
+                    else None
                 )
-                if traceback
-                else None
-            )
-            hits.append(
-                Hit(
-                    index=idx,
-                    header=database.headers[idx],
-                    length=len(database.sequences[idx]),
-                    score=int(scores[idx]),
-                    alignment=alignment,
+                hits.append(
+                    Hit(
+                        index=idx,
+                        header=database.headers[idx],
+                        length=len(database.sequences[idx]),
+                        score=int(scores[idx]),
+                        alignment=alignment,
+                    )
                 )
-            )
 
-        modeled = None
-        if self.device_model is not None:
-            wl = Workload.from_lengths(database.lengths, self.lanes)
-            cfg = RunConfig(
-                vectorization="intrinsic",
-                profile=self.engine.profile.value,
-                threads=min(self.threads, self.device_model.spec.max_threads),
-                schedule=self.schedule,
-                blocking=self.engine.block_cols is not None,
-            )
-            modeled = self.device_model.run_seconds(wl, len(q), cfg)
+            modeled = None
+            if self.device_model is not None:
+                wl = Workload.from_lengths(database.lengths, self.lanes)
+                cfg = RunConfig(
+                    vectorization="intrinsic",
+                    profile=self.engine.profile.value,
+                    threads=min(
+                        self.threads, self.device_model.spec.max_threads
+                    ),
+                    schedule=self.schedule,
+                    blocking=self.engine.block_cols is not None,
+                )
+                modeled = self.device_model.run_seconds(wl, len(q), cfg)
 
-        return SearchResult(
-            query_name=query_name,
-            query_length=len(q),
-            database_name=database.name,
-            scores=scores,
-            hits=hits,
-            cells=cells,
-            wall_seconds=watch.seconds,
-            modeled_seconds=modeled,
-            saturated_recomputed=sum(sat_counts.values()),
-            corrupted_redone=corrupted_redone,
-        )
+            metrics = self.metrics
+            metrics.increment("pipeline.searches")
+            metrics.observe("pipeline.search.seconds", watch.seconds)
+            if watch.seconds > 0:
+                metrics.set_gauge(
+                    "pipeline.last.gcups", cells / watch.seconds / 1e9
+                )
+            if sum(sat_counts.values()):
+                metrics.increment(
+                    "pipeline.saturated.recomputed", sum(sat_counts.values())
+                )
+            if corrupted_redone:
+                metrics.increment("pipeline.corrupt.redone", corrupted_redone)
+
+            result = SearchResult(
+                query_name=query_name,
+                query_length=len(q),
+                database_name=database.name,
+                scores=scores,
+                hits=hits,
+                cells=cells,
+                wall_seconds=watch.seconds,
+                modeled_seconds=modeled,
+                saturated_recomputed=sum(sat_counts.values()),
+                corrupted_redone=corrupted_redone,
+            )
+            if root:
+                root.set_attribute("best_score", result.best_score())
+                result.trace = {"span_id": root.span_id, "span": root.name}
+            return result
 
     # ------------------------------------------------------------------
     def search_many(

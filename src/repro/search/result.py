@@ -47,6 +47,10 @@ class SearchResult:
     modeled_seconds: float | None = None
     saturated_recomputed: int = 0
     corrupted_redone: int = 0  # groups recomputed after a checksum mismatch
+    #: Trace provenance, set when the search ran under an active tracer:
+    #: the root span's id and name, linking this outcome to the exported
+    #: span tree (:mod:`repro.obs`).
+    trace: dict | None = None
 
     def __post_init__(self) -> None:
         if self.cells < 0:
@@ -71,13 +75,16 @@ class SearchResult:
     @property
     def provenance(self) -> dict:
         """Identifying fields (:class:`~repro.search.SearchOutcome`)."""
-        return {
+        prov = {
             "kind": "search",
             "query_name": self.query_name,
             "query_length": self.query_length,
             "database_name": self.database_name,
             "sequences": len(self.scores),
         }
+        if self.trace is not None:
+            prov["trace"] = dict(self.trace)
+        return prov
 
     @property
     def modeled_gcups(self) -> float | None:

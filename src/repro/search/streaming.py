@@ -18,6 +18,8 @@ from ..core.engine import as_codes
 from ..core.intertask import InterTaskEngine
 from ..db.fasta import FastaRecord
 from ..exceptions import PipelineError
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import get_tracer
 from .api import UNSET, SearchOptions, unify_options
 from .gcups import Stopwatch
 from .result import Hit
@@ -89,6 +91,7 @@ class StreamingSearch:
         options: SearchOptions | None = None,
         gaps=UNSET,
         *,
+        metrics: MetricsRegistry | None = None,
         matrix=UNSET,
         lanes=UNSET,
         chunk_size=UNSET,
@@ -109,6 +112,7 @@ class StreamingSearch:
         self.top_k = opts.top_k
         self.alphabet = opts.alphabet
         self.injector = opts.injector
+        self.metrics = metrics if metrics is not None else METRICS
         self.engine = InterTaskEngine(
             alphabet=opts.alphabet, lanes=opts.resolved_lanes(8)
         )
@@ -133,63 +137,81 @@ class StreamingSearch:
         corrupted_redone = 0
         batch = None
         watch = Stopwatch()
+        tracer = get_tracer()
 
-        with watch:
-            for chunk in _chunked(records, self.chunk_size):
-                chunks += 1
-                seqs = [
-                    self.alphabet.encode(
-                        r.sequence, unknown=UnknownPolicy.MAP_TO_X
-                    )
-                    for r in chunk
-                ]
-                if self.injector is None:
-                    batch = self.engine.score_batch(
-                        q, seqs, self.matrix, self.gaps
-                    )
-                    scores = batch.scores
-                else:
-                    from .pipeline import guarded_transmit
+        with tracer.span("streaming.search") as root:
+            if root:
+                root.set_attributes(
+                    query_name=query_name, query_length=len(q),
+                    database=database_name, chunk_size=self.chunk_size,
+                    top_k=self.top_k,
+                )
+            with watch:
+                for chunk in _chunked(records, self.chunk_size):
+                    chunks += 1
+                    with tracer.span("streaming.chunk") as sp:
+                        if sp:
+                            sp.set_attributes(
+                                chunk=chunks - 1, records=len(chunk)
+                            )
+                        seqs = [
+                            self.alphabet.encode(
+                                r.sequence, unknown=UnknownPolicy.MAP_TO_X
+                            )
+                            for r in chunk
+                        ]
+                        if self.injector is None:
+                            batch = self.engine.score_batch(
+                                q, seqs, self.matrix, self.gaps
+                            )
+                            scores = batch.scores
+                        else:
+                            from .pipeline import guarded_transmit
 
-                    def compute(seqs=seqs):
-                        nonlocal batch
-                        batch = self.engine.score_batch(
-                            q, seqs, self.matrix, self.gaps
-                        )
-                        return batch.scores
+                            def compute(seqs=seqs):
+                                nonlocal batch
+                                batch = self.engine.score_batch(
+                                    q, seqs, self.matrix, self.gaps
+                                )
+                                return batch.scores
 
-                    scores, redos = guarded_transmit(
-                        self.injector, chunks - 1, compute
-                    )
-                    corrupted_redone += redos
-                cells += batch.cells
-                for rec, seq, score in zip(chunk, seqs, scores):
-                    idx = scanned
-                    scanned += 1
-                    hit = Hit(
-                        index=idx, header=rec.header,
-                        length=len(seq), score=int(score),
-                    )
-                    entry = (int(score), -idx, hit)
-                    if len(heap) < self.top_k:
-                        heapq.heappush(heap, entry)
-                    elif entry > heap[0]:
-                        heapq.heapreplace(heap, entry)
+                            scores, redos = guarded_transmit(
+                                self.injector, chunks - 1, compute
+                            )
+                            corrupted_redone += redos
+                        cells += batch.cells
+                        for rec, seq, score in zip(chunk, seqs, scores):
+                            idx = scanned
+                            scanned += 1
+                            hit = Hit(
+                                index=idx, header=rec.header,
+                                length=len(seq), score=int(score),
+                            )
+                            entry = (int(score), -idx, hit)
+                            if len(heap) < self.top_k:
+                                heapq.heappush(heap, entry)
+                            elif entry > heap[0]:
+                                heapq.heapreplace(heap, entry)
 
-        if scanned == 0:
-            raise PipelineError("the record stream was empty")
-        ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
-        return StreamingResult(
-            query_name=query_name,
-            query_length=len(q),
-            hits=[h for _, _, h in ranked],
-            sequences_scanned=scanned,
-            cells=cells,
-            chunks=chunks,
-            wall_seconds=watch.seconds,
-            corrupted_redone=corrupted_redone,
-            database_name=database_name,
-        )
+            if scanned == 0:
+                raise PipelineError("the record stream was empty")
+            if root:
+                root.set_attributes(chunks=chunks, sequences=scanned)
+            self.metrics.increment("streaming.searches")
+            self.metrics.increment("streaming.chunks", chunks)
+            self.metrics.observe("streaming.search.seconds", watch.seconds)
+            ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
+            return StreamingResult(
+                query_name=query_name,
+                query_length=len(q),
+                hits=[h for _, _, h in ranked],
+                sequences_scanned=scanned,
+                cells=cells,
+                chunks=chunks,
+                wall_seconds=watch.seconds,
+                corrupted_redone=corrupted_redone,
+                database_name=database_name,
+            )
 
     def search_fasta(
         self, query, path, *, query_name: str = "query"

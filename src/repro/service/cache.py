@@ -20,6 +20,7 @@ from ..db.database import SequenceDatabase
 from ..db.preprocess import PreprocessedDatabase, preprocess_database
 from ..exceptions import PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import get_tracer
 
 __all__ = ["PreprocessCache"]
 
@@ -64,22 +65,30 @@ class PreprocessCache:
         Computes and caches on first sight of the content; every later
         call with equal content (whatever object carries it) is a hit.
         """
-        key = (database.fingerprint(), int(lanes))
-        entry = self._entries.get(key)
-        if entry is not None:
-            self.hits += 1
-            self.metrics.increment("service.preprocess_cache.hits")
-            self._entries.move_to_end(key)
+        with get_tracer().span("cache.get") as sp, \
+                self.metrics.timer(
+                    "service.preprocess_cache.get.seconds"
+                ).time():
+            key = (database.fingerprint(), int(lanes))
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self.metrics.increment("service.preprocess_cache.hits")
+                self._entries.move_to_end(key)
+                if sp:
+                    sp.set_attributes(hit=True, lanes=int(lanes))
+                return entry
+            self.misses += 1
+            self.metrics.increment("service.preprocess_cache.misses")
+            entry = preprocess_database(database, lanes=lanes)
+            self._entries[key] = entry
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.metrics.increment("service.preprocess_cache.evictions")
+            if sp:
+                sp.set_attributes(hit=False, lanes=int(lanes))
             return entry
-        self.misses += 1
-        self.metrics.increment("service.preprocess_cache.misses")
-        entry = preprocess_database(database, lanes=lanes)
-        self._entries[key] = entry
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            self.metrics.increment("service.preprocess_cache.evictions")
-        return entry
 
     @property
     def hit_rate(self) -> float:

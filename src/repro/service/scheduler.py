@@ -25,6 +25,8 @@ import numpy as np
 from ..core.engine import as_codes
 from ..db.database import SequenceDatabase
 from ..exceptions import PipelineError
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel
 from ..perfmodel.scheduling import WorkQueuePlan, plan_work_queue
 from ..runtime.hybrid import HybridExecutor
@@ -106,6 +108,9 @@ class WorkQueueScheduler:
         Device share of the *reference* static split reported next to
         the dynamic makespan (the knob the paper hand-tunes; the queue
         itself has no such knob).
+    metrics:
+        Registry receiving the ``queue.*`` metrics; defaults to the
+        process-wide one and is forwarded to both per-side pipelines.
     """
 
     def __init__(
@@ -117,6 +122,7 @@ class WorkQueueScheduler:
         link: PCIeLink = PCIE_GEN2_X16,
         chunks: int = 24,
         static_fraction: float = 0.55,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 0.0 <= static_fraction <= 1.0:
             raise PipelineError(
@@ -130,14 +136,19 @@ class WorkQueueScheduler:
         self.chunks = chunks
         self.static_fraction = static_fraction
         self.alphabet = opts.alphabet
+        self.metrics = metrics if metrics is not None else METRICS
         self._pipes = {
             "host": SearchPipeline(
-                opts.merged(lanes=opts.resolved_lanes(host_model.spec.lanes32))
+                opts.merged(
+                    lanes=opts.resolved_lanes(host_model.spec.lanes32)
+                ),
+                metrics=self.metrics,
             ),
             "device": SearchPipeline(
                 opts.merged(
                     lanes=opts.resolved_lanes(device_model.spec.lanes32)
-                )
+                ),
+                metrics=self.metrics,
             ),
         }
 
@@ -168,60 +179,91 @@ class WorkQueueScheduler:
         if top_k is None:
             top_k = self.options.top_k
         q = as_codes(query, self.alphabet)
-        plan = self.plan(database.lengths, len(q))
-
-        scores = np.zeros(len(database), dtype=np.int64)
-        wall = 0.0
-        for a in plan.assignments:
-            chunk_db = database.subset(
-                a.indices, name=f"{database.name}-wq{a.chunk_id}"
-            )
-            pipe = self._pipes[a.worker]
-            if a.worker == "device":
-                region = OffloadRegion(self.link)
-                handle = region.run_async(
-                    in_bytes=a.residues + len(q),
-                    out_bytes=4 * len(chunk_db),
-                    compute_seconds=a.seconds,
-                    kernel=lambda cdb=chunk_db: pipe.search(
-                        q, cdb, query_name=query_name, top_k=0
-                    ),
-                    unit=a.chunk_id,
+        tracer = get_tracer()
+        with tracer.span("queue.search") as root:
+            if root:
+                root.set_attributes(
+                    query_name=query_name, database=database.name,
+                    scheduler="queue", sequences=len(database),
                 )
-                region.wait(handle)
-                part = handle.result
-            else:
-                part = pipe.search(q, chunk_db, query_name=query_name, top_k=0)
-            wall += part.wall_seconds
-            # part.scores follow chunk_db order == a.indices order.
-            scores[a.indices] = part.scores
+            with tracer.span("queue.plan") as sp:
+                plan = self.plan(database.lengths, len(q))
+                if sp:
+                    sp.set_attributes(
+                        chunks=len(plan.assignments),
+                        device_fraction=plan.device_residue_fraction,
+                        makespan=plan.makespan,
+                    )
 
-        ranked = np.argsort(-scores, kind="stable")
-        hits = [
-            Hit(
-                index=int(i),
-                header=database.headers[int(i)],
-                length=len(database.sequences[int(i)]),
-                score=int(scores[int(i)]),
+            scores = np.zeros(len(database), dtype=np.int64)
+            wall = 0.0
+            for a in plan.assignments:
+                chunk_db = database.subset(
+                    a.indices, name=f"{database.name}-wq{a.chunk_id}"
+                )
+                pipe = self._pipes[a.worker]
+                with tracer.span("queue.chunk") as sp:
+                    if sp:
+                        sp.set_attributes(
+                            chunk=a.chunk_id, worker=a.worker,
+                            sequences=len(chunk_db), residues=a.residues,
+                        )
+                        sp.set_virtual(a.start_seconds, a.end_seconds)
+                    if a.worker == "device":
+                        region = OffloadRegion(self.link)
+                        handle = region.run_async(
+                            in_bytes=a.residues + len(q),
+                            out_bytes=4 * len(chunk_db),
+                            compute_seconds=a.seconds,
+                            kernel=lambda cdb=chunk_db: pipe.search(
+                                q, cdb, query_name=query_name, top_k=0
+                            ),
+                            unit=a.chunk_id,
+                        )
+                        region.wait(handle)
+                        part = handle.result
+                    else:
+                        part = pipe.search(
+                            q, chunk_db, query_name=query_name, top_k=0
+                        )
+                self.metrics.increment(f"queue.chunks.{a.worker}")
+                self.metrics.observe("queue.chunk.seconds", a.seconds)
+                wall += part.wall_seconds
+                # part.scores follow chunk_db order == a.indices order.
+                scores[a.indices] = part.scores
+
+            with tracer.span("queue.merge"):
+                ranked = np.argsort(-scores, kind="stable")
+                hits = [
+                    Hit(
+                        index=int(i),
+                        header=database.headers[int(i)],
+                        length=len(database.sequences[int(i)]),
+                        score=int(scores[int(i)]),
+                    )
+                    for i in ranked[: max(top_k, 0)]
+                ]
+            static = HybridExecutor(
+                self.host_model, self.device_model, link=self.link
+            ).run(database.lengths, len(q), self.static_fraction)
+            self.metrics.set_gauge(
+                "queue.device_fraction", plan.device_residue_fraction
             )
-            for i in ranked[: max(top_k, 0)]
-        ]
-        static = HybridExecutor(
-            self.host_model, self.device_model, link=self.link
-        ).run(database.lengths, len(q), self.static_fraction)
-        result = SearchResult(
-            query_name=query_name,
-            query_length=len(q),
-            database_name=database.name,
-            scores=scores,
-            hits=hits,
-            cells=len(q) * database.total_residues,
-            wall_seconds=wall,
-            modeled_seconds=plan.makespan,
-        )
-        return QueueSearchOutcome(
-            result=result,
-            plan=plan,
-            static_fraction=self.static_fraction,
-            static_modeled_makespan=static.total_seconds,
-        )
+            result = SearchResult(
+                query_name=query_name,
+                query_length=len(q),
+                database_name=database.name,
+                scores=scores,
+                hits=hits,
+                cells=len(q) * database.total_residues,
+                wall_seconds=wall,
+                modeled_seconds=plan.makespan,
+            )
+            if root:
+                result.trace = {"span_id": root.span_id, "span": root.name}
+            return QueueSearchOutcome(
+                result=result,
+                plan=plan,
+                static_fraction=self.static_fraction,
+                static_modeled_makespan=static.total_seconds,
+            )

@@ -23,12 +23,14 @@ protocol and is score-identical to the corresponding single-query path.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..db.database import SequenceDatabase
 from ..exceptions import PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import Tracer, get_tracer, use_tracer
 from ..perfmodel.model import DevicePerformanceModel
 from ..runtime.pcie import PCIE_GEN2_X16, PCIeLink
 from ..search.api import SearchOptions, SearchOutcome, SearchRequest
@@ -144,7 +146,17 @@ class SearchService:
     chunks, static_fraction, link:
         Heterogeneous knobs forwarded to the executor.
     metrics:
-        Registry the cache reports into.
+        Registry every layer under this service reports into — the
+        cache *and* the pipelines/schedulers it drives.  Pass an
+        isolated :class:`MetricsRegistry` and the process-wide
+        :data:`METRICS` stays untouched.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` activated (via
+        :func:`~repro.obs.use_tracer`) for the duration of every
+        :meth:`search`/:meth:`run` call, so one batch yields a full
+        span tree without touching global tracer state outside the
+        call.  ``None`` (default) leaves whatever tracer is already
+        active in place.
     """
 
     def __init__(
@@ -159,6 +171,7 @@ class SearchService:
         static_fraction: float = 0.55,
         link: PCIeLink = PCIE_GEN2_X16,
         metrics: MetricsRegistry = METRICS,
+        tracer: Tracer | None = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise PipelineError(
@@ -167,6 +180,7 @@ class SearchService:
         self.options = options if options is not None else SearchOptions()
         self.scheduler = scheduler
         self.metrics = metrics
+        self.tracer = tracer
         self.cache = PreprocessCache(cache_capacity, metrics=metrics)
         if scheduler != "local" and (host_model is None or device_model is None):
             from ..devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
@@ -178,16 +192,18 @@ class SearchService:
         self.host_model = host_model
         self.device_model = device_model
         if scheduler == "local":
-            self._pipe = SearchPipeline(self.options)
+            self._pipe = SearchPipeline(self.options, metrics=metrics)
         elif scheduler == "static":
             self._hybrid = HybridSearchPipeline(
                 host_model, device_model, self.options, link=link,
+                metrics=metrics,
             )
             self._static_fraction = static_fraction
         else:
             self._queue = WorkQueueScheduler(
                 host_model, device_model, self.options,
                 link=link, chunks=chunks, static_fraction=static_fraction,
+                metrics=metrics,
             )
 
     # ------------------------------------------------------------------
@@ -205,31 +221,48 @@ class SearchService:
             out.append(req)
         return tuple(out)
 
+    def _trace_scope(self):
+        """Activate this service's tracer, if it has one."""
+        return (
+            use_tracer(self.tracer) if self.tracer is not None
+            else nullcontext()
+        )
+
     def _run_one(
         self, req: SearchRequest, database: SequenceDatabase
     ) -> SearchOutcome:
         self.metrics.increment("service.requests")
-        if self.scheduler == "local":
-            pre = self.cache.get(database, lanes=self._pipe.lanes)
-            return self._pipe.search(
-                req.query, database, query_name=req.name,
-                top_k=req.top_k, traceback=req.traceback, preprocessed=pre,
+        with get_tracer().span("service.request") as sp, \
+                self.metrics.timer("service.request.seconds").time():
+            if sp:
+                sp.set_attributes(
+                    request=req.name, scheduler=self.scheduler,
+                    database=database.name,
+                )
+            if self.scheduler == "local":
+                pre = self.cache.get(database, lanes=self._pipe.lanes)
+                return self._pipe.search(
+                    req.query, database, query_name=req.name,
+                    top_k=req.top_k, traceback=req.traceback,
+                    preprocessed=pre,
+                )
+            if self.scheduler == "static":
+                return self._hybrid.search(
+                    req.query, database, query_name=req.name,
+                    top_k=req.top_k,
+                    device_fraction=self._static_fraction,
+                )
+            return self._queue.search(
+                req.query, database, query_name=req.name, top_k=req.top_k
             )
-        if self.scheduler == "static":
-            return self._hybrid.search(
-                req.query, database, query_name=req.name, top_k=req.top_k,
-                device_fraction=self._static_fraction,
-            )
-        return self._queue.search(
-            req.query, database, query_name=req.name, top_k=req.top_k
-        )
 
     def search(
         self, request: SearchRequest | str, database: SequenceDatabase
     ) -> SearchOutcome:
         """One request through the configured executor."""
         (req,) = self._normalize(request)
-        return self._run_one(req, database)
+        with self._trace_scope():
+            return self._run_one(req, database)
 
     def run(
         self,
@@ -240,7 +273,14 @@ class SearchService:
         reqs = self._normalize(requests)
         if not reqs:
             raise PipelineError("the request batch is empty")
-        outcomes = tuple(self._run_one(r, database) for r in reqs)
+        with self._trace_scope():
+            with get_tracer().span("service.batch") as root:
+                if root:
+                    root.set_attributes(
+                        scheduler=self.scheduler, database=database.name,
+                        requests=len(reqs),
+                    )
+                outcomes = tuple(self._run_one(r, database) for r in reqs)
         self.metrics.increment("service.batches")
         return ServiceBatchResult(
             requests=reqs,

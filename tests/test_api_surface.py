@@ -66,6 +66,11 @@ PUBLIC_API = {
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # observability
+    "Tracer", "NullTracer", "Span", "TraceCollector",
+    "get_tracer", "set_tracer", "use_tracer",
+    "to_chrome_trace", "write_chrome_trace", "to_jsonl", "write_jsonl",
+    "MetricsRegistry", "METRICS",
     # errors
     "ReproError",
     "__version__",

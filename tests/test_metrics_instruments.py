@@ -1,0 +1,229 @@
+"""Typed metric instruments and the registry that serves them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import METRICS, MetricsRegistry, SearchOptions, SearchRequest, SearchService, SequenceDatabase
+from repro.db.fasta import FastaRecord
+from repro.metrics import DEFAULT_TIME_BUCKETS, Gauge, Histogram, Timer
+
+from tests.conftest import random_protein
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        g = Gauge()
+        assert g.value == 0.0
+        g.set(3.5)
+        assert g.value == 3.5
+        assert g.snapshot() == 3.5
+
+    def test_add_moves_both_ways(self):
+        g = Gauge()
+        assert g.add(2.0) == 2.0
+        assert g.add(-0.5) == 1.5
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_default_buckets_are_the_latency_ladder(self):
+        h = Histogram()
+        assert h.bounds == DEFAULT_TIME_BUCKETS
+        assert h.bounds[0] == pytest.approx(1e-5)
+        assert h.bounds[-1] == pytest.approx(500.0)
+
+    def test_count_and_sum(self):
+        h = Histogram([10.0])
+        for v in (1.0, 2.0, 3.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == pytest.approx(6.0)
+
+    def test_percentiles_interpolate_within_buckets(self):
+        h = Histogram([25.0, 50.0, 75.0, 100.0])
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0.50) == pytest.approx(50.0)
+        assert h.percentile(0.95) == pytest.approx(95.0)
+        assert h.percentile(0.25) == pytest.approx(25.0)
+
+    def test_percentile_clamped_to_observed_range(self):
+        # A single huge bucket must not inflate the estimate past max.
+        h = Histogram([1000.0])
+        h.observe(5.0)
+        h.observe(7.0)
+        assert h.percentile(0.99) == pytest.approx(7.0)
+        assert h.percentile(0.0) == pytest.approx(5.0)
+
+    def test_overflow_bucket_clamps_to_max(self):
+        h = Histogram([1.0])
+        h.observe(10.0)
+        assert h.percentile(0.5) == pytest.approx(10.0)
+
+    def test_empty_percentile_is_zero(self):
+        h = Histogram([1.0])
+        assert h.percentile(0.5) == 0.0
+        assert h.snapshot() == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_quantile_out_of_range(self):
+        h = Histogram([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+
+    def test_snapshot_shape(self):
+        h = Histogram([10.0, 20.0])
+        for v in (2.0, 4.0, 12.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(18.0)
+        assert snap["mean"] == pytest.approx(6.0)
+        assert snap["min"] == 2.0
+        assert snap["max"] == 12.0
+        assert 2.0 <= snap["p50"] <= 12.0
+
+
+class TestTimer:
+    def test_time_context_manager_observes(self):
+        t = Timer()
+        with t.time():
+            pass
+        assert t.count == 1
+        assert t.total >= 0.0
+
+    def test_observes_even_on_exception(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t.time():
+                raise RuntimeError
+        assert t.count == 1
+
+    def test_kind(self):
+        assert Timer().kind == "timer"
+        assert Histogram([1.0]).kind == "histogram"
+        assert Gauge().kind == "gauge"
+
+
+class TestRegistry:
+    def test_counters_keep_integer_semantics(self):
+        reg = MetricsRegistry()
+        assert reg.increment("hits") == 1
+        assert reg.increment("hits", 4) == 5
+        assert reg.get("hits") == 5
+        assert reg.get("never") == 0
+
+    def test_instruments_create_or_fetch(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.timer("t") is reg.timer("t")
+        assert reg.histogram("h", buckets=[1.0]) is reg.histogram("h")
+
+    def test_kind_collisions_raise(self):
+        reg = MetricsRegistry()
+        reg.increment("c")
+        with pytest.raises(ValueError):
+            reg.gauge("c")
+        reg.gauge("g")
+        with pytest.raises(ValueError):
+            reg.increment("g")
+        with pytest.raises(ValueError):
+            reg.timer("g")
+
+    def test_observe_and_set_gauge_helpers(self):
+        reg = MetricsRegistry()
+        reg.observe("lat", 0.25)
+        reg.set_gauge("depth", 7.0)
+        snap = reg.snapshot()
+        assert snap["lat"]["count"] == 1
+        assert snap["depth"] == 7.0
+
+    def test_snapshot_merges_and_sorts(self):
+        reg = MetricsRegistry()
+        reg.increment("b.count")
+        reg.set_gauge("a.gauge", 1.0)
+        reg.observe("c.seconds", 0.1)
+        assert list(reg.snapshot()) == ["a.gauge", "b.count", "c.seconds"]
+
+    def test_prefix_is_component_aware(self):
+        # Regression: "service" must not match the sibling component
+        # "service_v2" (previously a raw str.startswith match did).
+        reg = MetricsRegistry()
+        reg.increment("service.requests")
+        reg.increment("service_v2.requests")
+        reg.increment("service")
+        reg.set_gauge("service.depth", 1.0)
+        reg.set_gauge("service_v2.depth", 2.0)
+        snap = reg.snapshot(prefix="service")
+        assert set(snap) == {"service", "service.requests", "service.depth"}
+
+    def test_reset_is_component_aware(self):
+        reg = MetricsRegistry()
+        reg.increment("service.requests")
+        reg.increment("service_v2.requests")
+        reg.observe("service.seconds", 0.1)
+        reg.reset("service")
+        assert set(reg.snapshot()) == {"service_v2.requests"}
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_render_formats_each_kind(self):
+        reg = MetricsRegistry()
+        reg.increment("hits", 3)
+        reg.set_gauge("share", 0.25)
+        reg.observe("lat", 0.5)
+        text = reg.render()
+        assert "  hits  3" in text
+        assert "  share  0.25" in text
+        assert "count=1" in text
+        assert "p99=" in text
+
+
+class TestIsolatedRegistryPlumbing:
+    """Regression for the batch stats bug: a caller-supplied registry
+    must receive *all* pipeline/cache metrics, and the global METRICS
+    must stay untouched."""
+
+    def test_service_batch_reports_into_caller_registry_only(self, rng):
+        db = SequenceDatabase.from_records(
+            [FastaRecord(f"M{k}", random_protein(rng, 60)) for k in range(8)],
+            name="m-db",
+        )
+        requests = [
+            SearchRequest(query=random_protein(rng, 40), name=f"q{k}")
+            for k in range(3)
+        ]
+        before_pipeline = METRICS.snapshot("pipeline")
+        before_service = METRICS.snapshot("service")
+
+        registry = MetricsRegistry()
+        service = SearchService(SearchOptions(top_k=2), metrics=registry)
+        service.run(requests, db)
+
+        snap = registry.snapshot()
+        assert snap["service.requests"] == 3
+        assert snap["service.batches"] == 1
+        assert snap["pipeline.searches"] == 3
+        assert snap["pipeline.search.seconds"]["count"] == 3
+        assert snap["service.request.seconds"]["count"] == 3
+        assert (
+            snap["service.preprocess_cache.hits"]
+            + snap["service.preprocess_cache.misses"]
+        ) == 3
+
+        # Nothing leaked into the process-global registry.
+        assert METRICS.snapshot("pipeline") == before_pipeline
+        assert METRICS.snapshot("service") == before_service

@@ -1,0 +1,132 @@
+"""Trace exporters: Chrome trace-event JSON and the JSONL span log."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Tracer, to_chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from repro.obs.export import PID_VIRTUAL, PID_WALL
+
+
+def build_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("root", query="q0") as root:
+        with tracer.span("child-a") as a:
+            a.add_event("fault", kind="corrupt", attempt=1)
+        with tracer.span("child-b", worker="device") as b:
+            b.set_virtual(0.0, 2.5)
+        root.set_virtual(0.0, 4.0)
+    return tracer
+
+
+class TestChromeExport:
+    def test_round_trip_is_valid_json(self):
+        trace = to_chrome_trace(build_trace().collector)
+        again = json.loads(json.dumps(trace))
+        assert again == trace
+        assert isinstance(trace["traceEvents"], list)
+
+    def test_complete_events_cover_every_finished_span(self):
+        collector = build_trace().collector
+        trace = to_chrome_trace(collector)
+        wall = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == PID_WALL
+        ]
+        assert sorted(e["name"] for e in wall) == [
+            "child-a", "child-b", "root",
+        ]
+        for e in wall:
+            assert e["ts"] >= 0.0
+            assert e["dur"] >= 0.0
+            assert "span_id" in e["args"]
+
+    def test_wall_events_nest_within_parent_not_overlap_siblings(self):
+        trace = to_chrome_trace(build_trace().collector)
+        wall = {
+            e["name"]: e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == PID_WALL
+        }
+        root, a, b = wall["root"], wall["child-a"], wall["child-b"]
+        # Children sit inside the parent interval...
+        for child in (a, b):
+            assert child["ts"] >= root["ts"]
+            assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-6
+        # ...and the siblings' intervals are disjoint (monotone per track).
+        assert a["ts"] + a["dur"] <= b["ts"] + 1e-6
+
+    def test_span_events_become_instant_events(self):
+        trace = to_chrome_trace(build_trace().collector)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        (fault,) = instants
+        assert fault["name"] == "fault"
+        assert fault["args"] == {"kind": "corrupt", "attempt": 1}
+
+    def test_virtual_timeline_tracks_by_worker(self):
+        trace = to_chrome_trace(build_trace().collector)
+        virtual = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == PID_VIRTUAL
+        ]
+        assert sorted(e["name"] for e in virtual) == ["child-b", "root"]
+        thread_names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["pid"] == PID_VIRTUAL
+            and e["name"] == "thread_name"
+        }
+        assert thread_names == {"main", "device"}
+
+    def test_process_metadata_and_custom_metadata(self):
+        trace = to_chrome_trace(
+            build_trace().collector, metadata={"database": "db0"}
+        )
+        process_names = {
+            e["args"]["name"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert process_names == {"wall-clock", "virtual-time"}
+        assert trace["otherData"] == {"database": "db0"}
+
+    def test_empty_collector_exports_cleanly(self):
+        trace = to_chrome_trace(Tracer().collector)
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+    def test_non_json_attributes_are_coerced(self):
+        tracer = Tracer()
+        with tracer.span("op") as sp:
+            sp.set_attribute("obj", object())
+        trace = to_chrome_trace(tracer.collector)
+        (event,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert isinstance(event["args"]["obj"], str)
+        json.dumps(trace)
+
+    def test_write_chrome_trace_to_disk(self, tmp_path):
+        path = tmp_path / "trace.json"
+        returned = write_chrome_trace(build_trace().collector, path)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == returned
+
+
+class TestJsonlExport:
+    def test_one_record_per_span(self):
+        collector = build_trace().collector
+        lines = to_jsonl(collector).splitlines()
+        assert len(lines) == len(collector)
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"root", "child-a", "child-b"}
+
+    def test_records_carry_tree_and_events(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(build_trace().collector).splitlines()
+        ]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["child-a"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["child-a"]["events"][0]["attributes"]["kind"] == "corrupt"
+        assert by_name["child-b"]["virtual_end"] == 2.5
+
+    def test_write_jsonl_returns_count(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        count = write_jsonl(build_trace().collector, path)
+        assert count == 3
+        assert len(path.read_text().splitlines()) == 3

@@ -1,0 +1,236 @@
+"""The tracing substrate: spans, nesting, the null path, activation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import PipelineError
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    TraceCollector,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+from repro.obs.tracer import _NULL_SPAN
+
+
+class TestSpanBasics:
+    def test_span_records_wall_time_and_finishes(self):
+        tracer = Tracer()
+        with tracer.span("op") as sp:
+            assert not sp.finished
+        assert sp.finished
+        assert sp.wall_seconds >= 0.0
+        assert sp.status == "ok"
+
+    def test_attributes_and_events(self):
+        tracer = Tracer()
+        with tracer.span("op", device="phi") as sp:
+            sp.set_attribute("chunk", 3)
+            sp.set_attributes(worker="device", residues=100)
+            sp.add_event("fault", kind="corrupt", attempt=1)
+        assert sp.attributes == {
+            "device": "phi", "chunk": 3, "worker": "device", "residues": 100,
+        }
+        (ev,) = sp.events
+        assert ev.name == "fault"
+        assert ev.attributes == {"kind": "corrupt", "attempt": 1}
+
+    def test_virtual_interval(self):
+        tracer = Tracer()
+        with tracer.span("chunk") as sp:
+            sp.set_virtual(1.5, 2.25)
+        assert sp.virtual_seconds == pytest.approx(0.75)
+
+    def test_virtual_interval_rejects_backwards(self):
+        tracer = Tracer()
+        with tracer.span("chunk") as sp:
+            with pytest.raises(PipelineError):
+                sp.set_virtual(2.0, 1.0)
+
+    def test_exception_marks_status_and_still_collects(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("op"):
+                raise ValueError("boom")
+        (sp,) = tracer.collector.spans()
+        assert sp.status == "error:ValueError"
+        assert sp.attributes["error"] == "boom"
+        assert sp.finished
+
+    def test_to_dict_is_flat_and_complete(self):
+        tracer = Tracer()
+        with tracer.span("op") as sp:
+            sp.add_event("tick")
+        d = sp.to_dict()
+        assert d["name"] == "op"
+        assert d["status"] == "ok"
+        assert d["events"][0]["name"] == "tick"
+        assert d["wall_seconds"] == sp.wall_seconds
+
+
+class TestNesting:
+    def test_children_nest_automatically(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grand:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+
+    def test_event_attaches_to_innermost_open_span(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("inner") as inner:
+                tracer.event("fault", kind="hang")
+        assert inner.events[0].name == "fault"
+        assert inner.events[0].attributes["kind"] == "hang"
+
+    def test_event_outside_any_span_is_noop(self):
+        tracer = Tracer()
+        tracer.event("orphan")  # must not raise
+        assert len(tracer.collector) == 0
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def work(name):
+            with tracer.span(name) as sp:
+                seen[name] = sp.parent_id
+
+        with tracer.span("main-root"):
+            threads = [
+                threading.Thread(target=work, args=(f"t{i}",))
+                for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        # Spans opened on other threads are roots, not children of the
+        # main thread's open span.
+        assert all(parent is None for parent in seen.values())
+
+
+class TestCollector:
+    def _tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("mid"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("leaf"):
+                pass
+        return tracer.collector
+
+    def test_roots_children_descendants(self):
+        col = self._tree()
+        (root,) = col.roots()
+        assert root.name == "root"
+        names = sorted(s.name for s in col.children(root))
+        assert names == ["leaf", "mid"]
+        assert len(col.descendants(root)) == 3
+
+    def test_find_by_name(self):
+        col = self._tree()
+        assert len(col.find("leaf")) == 2
+        assert col.find("nope") == ()
+
+    def test_clear(self):
+        col = self._tree()
+        assert len(col) == 4
+        col.clear()
+        assert len(col) == 0
+
+    def test_render_tree_indents(self):
+        text = self._tree().render_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  mid")
+        assert lines[2].startswith("    leaf")
+
+    def test_collector_is_shareable(self):
+        col = TraceCollector()
+        a, b = Tracer(col), Tracer(col)
+        with a.span("from-a"):
+            pass
+        with b.span("from-b"):
+            pass
+        assert {s.name for s in col.spans()} == {"from-a", "from-b"}
+
+
+class TestNullPath:
+    def test_null_span_is_falsy_singleton(self):
+        tracer = NullTracer()
+        sp = tracer.span("anything", attr=1)
+        assert not sp
+        assert sp is _NULL_SPAN
+        assert tracer.span("other") is sp
+
+    def test_null_span_absorbs_the_full_span_api(self):
+        with NULL_TRACER.span("x") as sp:
+            sp.set_attribute("a", 1)
+            sp.set_attributes(b=2)
+            sp.add_event("e")
+            sp.set_virtual(0.0, 1.0)
+        NULL_TRACER.event("e")
+        assert NULL_TRACER.current_span() is None
+
+    def test_real_span_is_truthy(self):
+        with Tracer().span("x") as sp:
+            assert sp
+
+
+class TestActivation:
+    def test_default_active_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_activates_and_restores(self):
+        tracer = Tracer()
+        assert get_tracer() is NULL_TRACER
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_none_restores_default(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(None)
+        assert previous is NULL_TRACER
+        assert get_tracer() is NULL_TRACER
+
+    def test_nested_use_tracer(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
