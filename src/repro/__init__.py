@@ -97,6 +97,7 @@ from .obs import (
     write_chrome_trace,
     write_jsonl,
 )
+from .parallel import PackedDatabase, ProcessPoolBackend
 from .perfmodel import DevicePerformanceModel, RunConfig, Workload
 from .runtime import (
     HybridExecutor,
@@ -177,6 +178,8 @@ __all__ = [
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # parallel execution
+    "ProcessPoolBackend", "PackedDatabase",
     # observability
     "Tracer", "NullTracer", "Span", "TraceCollector",
     "get_tracer", "set_tracer", "use_tracer",

@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--metrics", action="store_true",
                    help="print the search's metrics (counters, gauges, "
                         "latency percentiles) from an isolated registry")
+    s.add_argument("--workers", type=int, default=1,
+                   help="score on a pool of real worker processes "
+                        "(scores identical to --workers 1)")
 
     bt = sub.add_parser("batch", help="serve a batch of queries")
     bt.add_argument("--queries", type=int, default=4,
@@ -102,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--metrics", action="store_true",
                     help="print the batch's metrics (counters, gauges, "
                          "latency percentiles) from an isolated registry")
+    bt.add_argument("--workers", type=int, default=1,
+                    help="drain the batch on a pool of real worker "
+                         "processes (local and queue schedulers)")
 
     t = sub.add_parser(
         "trace",
@@ -219,6 +225,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         registry = MetricsRegistry()
 
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
     pipeline = SearchPipeline(SearchOptions(
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
@@ -226,10 +235,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
         profile=args.profile,
         top_k=args.top,
         injector=injector,
-    ), metrics=registry)
-    result = pipeline.search(
-        query, db, query_name=qname, traceback=args.traceback
-    )
+    ), metrics=registry, workers=args.workers)
+    try:
+        result = pipeline.search(
+            query, db, query_name=qname, traceback=args.traceback
+        )
+    finally:
+        pipeline.close()
     if args.tsv:
         print(result.to_tsv())
         return 0
@@ -312,6 +324,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         service_kwargs["metrics"] = registry
 
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.workers > 1 and args.scheduler == "static":
+        print(
+            "error: --workers needs the local or queue scheduler "
+            "(the static split is purely modelled)",
+            file=sys.stderr,
+        )
+        return 2
     service = SearchService(
         SearchOptions(
             matrix=get_matrix(args.matrix),
@@ -320,11 +342,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             top_k=args.top,
         ),
         scheduler=args.scheduler,
+        workers=args.workers if args.workers > 1 else None,
         chunks=args.chunks,
         static_fraction=args.static_fraction,
         **service_kwargs,
     )
-    batch = service.run(requests, db)
+    try:
+        batch = service.run(requests, db)
+    finally:
+        service.close()
     print(
         f"served {len(batch)} queries against {db.name} "
         f"({len(db)} sequences) with the {batch.scheduler!r} scheduler:"

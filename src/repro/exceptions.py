@@ -23,6 +23,7 @@ __all__ = [
     "ModelError",
     "PipelineError",
     "FaultPlanError",
+    "ParallelError",
     "FaultInjected",
     "DeviceTimeout",
     "CircuitOpen",
@@ -83,6 +84,17 @@ class PipelineError(ReproError):
 
 class FaultPlanError(ReproError):
     """A fault-injection plan or policy was configured with invalid parameters."""
+
+
+class ParallelError(ReproError):
+    """The process-parallel backend failed to start or execute.
+
+    Raised when the worker pool cannot be created, dies mid-search
+    (``BrokenProcessPool``), or is driven with mismatched state (wrong
+    database broadcast, closed pool).  The search pipeline catches this
+    and falls back to in-process execution, so callers normally only see
+    it when driving :class:`repro.parallel.ProcessPoolBackend` directly.
+    """
 
 
 class FaultInjected(ReproError):

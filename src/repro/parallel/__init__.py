@@ -1,0 +1,30 @@
+"""Real process-parallel execution of database searches.
+
+Where :class:`~repro.devices.openmp.ParallelFor` *simulates* the
+paper's OpenMP schedule in virtual time on one OS process, this package
+executes the same inter-task chunk parallelism on real cores: a
+persistent worker pool (:class:`ProcessPoolBackend`) receives the
+pre-processed database once per worker — pickled into the initializer
+or mapped as zero-copy shared-memory views — and drains chunked
+lane-group tasks whose merged scores are bit-identical to the serial
+pipeline's.
+
+Entry points a caller normally uses instead of this package directly:
+``SearchPipeline(workers=N)``, ``SearchService(executor="process")``,
+``WorkQueueScheduler(workers=N)``, and the CLI's ``--workers`` flag.
+"""
+
+from .backend import ProcessPoolBackend, WorkerStats, default_chunk_size
+from .shared import PackedDatabase, SharedDatabaseBroadcast
+from .worker import ChunkResult, ChunkTask, EngineConfig
+
+__all__ = [
+    "ProcessPoolBackend",
+    "WorkerStats",
+    "default_chunk_size",
+    "PackedDatabase",
+    "SharedDatabaseBroadcast",
+    "ChunkResult",
+    "ChunkTask",
+    "EngineConfig",
+]

@@ -1,0 +1,369 @@
+"""The process-parallel execution backend: a persistent worker pool.
+
+The paper's throughput comes from keeping many real cores fed with
+independent database chunks (SWIPE-style inter-task parallelism).  The
+simulated :class:`~repro.devices.openmp.ParallelFor` models that
+schedule in virtual time on one OS process; this backend runs it for
+real: a :class:`concurrent.futures.ProcessPoolExecutor` whose workers
+receive the pre-processed database exactly once (init-time broadcast,
+or zero-copy :mod:`multiprocessing.shared_memory` views), then drain
+chunked group tasks whose arguments are tiny.
+
+Guarantees:
+
+* **Score identity** — workers run the very same kernels as the serial
+  pipeline over the very same lane groups; the merge scatters disjoint
+  index ranges, so results are bit-identical whatever the worker count,
+  chunk size, or completion order.
+* **Fault determinism** — fault-injection units are global group ids
+  and decisions are pure functions of ``(seed, unit, attempt)``, so a
+  plan misbehaves identically under any placement.
+* **Graceful degradation** — pool startup is verified with a ping; any
+  failure raises :class:`~repro.exceptions.ParallelError`, which the
+  pipeline converts into an in-process fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..db.preprocess import PreprocessedDatabase
+from ..exceptions import ParallelError
+from ..metrics.counters import MetricsRegistry
+from .shared import PackedDatabase, SharedDatabaseBroadcast
+from .worker import ChunkResult, ChunkTask, EngineConfig, init_worker, ping, score_chunk
+
+__all__ = ["WorkerStats", "ProcessPoolBackend", "default_chunk_size"]
+
+#: Ceiling on how long pool startup verification may take.
+_STARTUP_TIMEOUT_SECONDS = 60.0
+
+
+def default_chunk_size(n_groups: int, workers: int) -> int:
+    """Groups per task when the caller does not pin a chunk size.
+
+    Four chunks per worker balances scheduling slack (stragglers can be
+    absorbed) against per-task dispatch overhead — the same trade the
+    paper's dynamic OpenMP schedule makes with its chunk parameter.
+    """
+    return max(1, -(-n_groups // max(1, workers * 4)))
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting aggregated from chunk results."""
+
+    pid: int
+    tasks: int = 0
+    cells: int = 0
+    queue_wait_seconds: float = 0.0
+    compute_seconds: float = 0.0
+
+
+class ProcessPoolBackend:
+    """Persistent worker pool bound to one broadcast database.
+
+    Parameters
+    ----------
+    preprocessed:
+        The lane-packed database every worker receives once.  Accepts a
+        :class:`PreprocessedDatabase` or an already-flattened
+        :class:`PackedDatabase`.
+    workers:
+        Pool size (real OS processes).
+    chunk_size:
+        Lane groups per task; ``None`` picks
+        :func:`default_chunk_size`.  The merge is chunking-invariant.
+    broadcast:
+        ``"shm"`` — shared-memory views, zero copies per worker;
+        ``"pickle"`` — the flat arrays ride the worker initializer once;
+        ``"auto"`` (default) — try shared memory, fall back to pickle.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        where available (cheapest startup) and falls back to the
+        platform default otherwise.
+    metrics:
+        Optional registry receiving ``parallel.*`` counters, queue-wait
+        observations and per-worker stats.
+    """
+
+    def __init__(
+        self,
+        preprocessed: PreprocessedDatabase | PackedDatabase,
+        *,
+        workers: int,
+        chunk_size: int | None = None,
+        broadcast: str = "auto",
+        start_method: str | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ParallelError(f"worker count must be positive, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ParallelError(
+                f"chunk size must be positive, got {chunk_size}"
+            )
+        if broadcast not in ("auto", "shm", "pickle"):
+            raise ParallelError(
+                f"broadcast must be 'auto', 'shm' or 'pickle', got {broadcast!r}"
+            )
+        packed = (
+            preprocessed
+            if isinstance(preprocessed, PackedDatabase)
+            else PackedDatabase.from_preprocessed(preprocessed)
+        )
+        self.packed = packed
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.metrics = metrics
+        self.worker_stats: dict[int, WorkerStats] = {}
+        self._pool: ProcessPoolExecutor | None = None
+        self._broadcast_owner: SharedDatabaseBroadcast | None = None
+        self._closed = False
+
+        payload, self.broadcast_mode = self._build_payload(packed, broadcast)
+        try:
+            ctx = self._context(start_method)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=ctx,
+                initializer=init_worker,
+                initargs=(payload,),
+            )
+            # Force worker startup now: a broken initializer (or an
+            # unpicklable payload) must surface here — where the caller
+            # can fall back to in-process execution — not mid-search.
+            self._pool.submit(ping).result(timeout=_STARTUP_TIMEOUT_SECONDS)
+        except ParallelError:
+            self.close()
+            raise
+        except Exception as exc:
+            self.close()
+            raise ParallelError(
+                f"worker pool failed to start ({type(exc).__name__}: {exc})"
+            ) from exc
+        if self.metrics is not None:
+            self.metrics.set_gauge("parallel.workers", float(workers))
+            self.metrics.increment("parallel.broadcasts")
+            self.metrics.set_gauge(
+                "parallel.broadcast.bytes", float(packed.nbytes())
+            )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _context(start_method: str | None):
+        if start_method is not None:
+            return multiprocessing.get_context(start_method)
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+
+    def _build_payload(
+        self, packed: PackedDatabase, broadcast: str
+    ) -> tuple[tuple[str, object], str]:
+        if broadcast in ("auto", "shm"):
+            try:
+                self._broadcast_owner = SharedDatabaseBroadcast(packed)
+                return ("shm", self._broadcast_owner.handle()), "shm"
+            except Exception:
+                if broadcast == "shm":
+                    raise
+                self._broadcast_owner = None
+        return ("pickle", packed), "pickle"
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Lane groups available in the broadcast database."""
+        return self.packed.n_groups
+
+    def group_chunks(self, chunk_size: int | None = None) -> list[tuple[int, ...]]:
+        """Deterministic chunking of the group ids into task-sized runs."""
+        size = chunk_size or self.chunk_size or default_chunk_size(
+            self.n_groups, self.workers
+        )
+        ids = range(self.n_groups)
+        return [tuple(ids[k:k + size]) for k in range(0, self.n_groups, size)]
+
+    def submit_tasks(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
+        """Run chunk tasks on the pool; results in task order.
+
+        The merge downstream scatters disjoint positions, so result
+        order does not affect scores — task order is kept purely so the
+        accounting (metrics, traces) is reproducible.
+        """
+        if self._pool is None:
+            raise ParallelError("worker pool is closed")
+        try:
+            futures = [
+                self._pool.submit(
+                    score_chunk, replace(task, submitted_at=time.time())
+                )
+                for task in tasks
+            ]
+            results = [f.result() for f in futures]
+        except ParallelError:
+            raise
+        except BrokenProcessPool as exc:
+            raise ParallelError(
+                f"worker pool died mid-search ({exc})"
+            ) from exc
+        except Exception as exc:
+            raise ParallelError(
+                f"parallel chunk execution failed "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+        self._observe(results)
+        return results
+
+    def score_groups(
+        self,
+        query: np.ndarray,
+        matrix,
+        gaps,
+        engine: EngineConfig,
+        *,
+        plan=None,
+        chunk_size: int | None = None,
+    ) -> tuple[np.ndarray, int, int, list[ChunkResult]]:
+        """Score every broadcast lane group; merge deterministically.
+
+        Returns ``(sorted_scores, saturated, redone, chunk_results)``
+        where ``sorted_scores`` follows the sorted-database order (the
+        same array the serial group loop fills in).
+        """
+        tasks = [
+            ChunkTask(
+                chunk_id=k,
+                kind="groups",
+                query=query,
+                matrix=matrix,
+                gaps=gaps,
+                engine=engine,
+                group_ids=chunk,
+                plan=plan,
+            )
+            for k, chunk in enumerate(self.group_chunks(chunk_size))
+        ]
+        results = self.submit_tasks(tasks)
+        scores = np.zeros(self.packed.n_sequences, dtype=np.int64)
+        saturated = redone = 0
+        for res in results:
+            scores[res.positions] = res.scores
+            saturated += res.saturated
+            redone += res.redone
+        return scores, saturated, redone, results
+
+    def score_subset(
+        self,
+        query: np.ndarray,
+        positions: np.ndarray,
+        matrix,
+        gaps,
+        engine: EngineConfig,
+        *,
+        chunk_id: int = 0,
+        plan=None,
+        fault_unit_base: int = 0,
+    ) -> ChunkResult:
+        """Score an arbitrary subset of sequences as one pool task.
+
+        ``positions`` are sorted-database positions; the worker re-packs
+        the subset into lane groups at ``engine.lanes`` exactly like a
+        standalone pipeline over that sub-database would.
+        """
+        task = ChunkTask(
+            chunk_id=chunk_id,
+            kind="subset",
+            query=query,
+            matrix=matrix,
+            gaps=gaps,
+            engine=engine,
+            positions=tuple(int(p) for p in positions),
+            plan=plan,
+            fault_unit_base=fault_unit_base,
+        )
+        return self.submit_tasks([task])[0]
+
+    def submit_subsets(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
+        """Run many prepared subset tasks concurrently (queue draining)."""
+        return self.submit_tasks(tasks)
+
+    # ------------------------------------------------------------------
+    def _observe(self, results: list[ChunkResult]) -> None:
+        for res in results:
+            stats = self.worker_stats.get(res.pid)
+            if stats is None:
+                stats = self.worker_stats[res.pid] = WorkerStats(res.pid)
+            stats.tasks += 1
+            stats.cells += res.cells
+            stats.queue_wait_seconds += res.queue_wait_seconds
+            stats.compute_seconds += res.compute_seconds
+        if self.metrics is None:
+            return
+        self.metrics.increment("parallel.chunks", len(results))
+        self.metrics.increment(
+            "parallel.cells", sum(r.cells for r in results)
+        )
+        for res in results:
+            self.metrics.observe(
+                "parallel.chunk.queue_wait.seconds", res.queue_wait_seconds
+            )
+            self.metrics.observe(
+                "parallel.chunk.compute.seconds", res.compute_seconds
+            )
+        # Per-worker rollups under stable slot names (sorted by pid so
+        # repeated renders are comparable across runs).
+        for slot, pid in enumerate(sorted(self.worker_stats)):
+            stats = self.worker_stats[pid]
+            self.metrics.set_gauge(f"parallel.worker.{slot}.tasks", stats.tasks)
+            self.metrics.set_gauge(f"parallel.worker.{slot}.cells", stats.cells)
+            self.metrics.set_gauge(
+                f"parallel.worker.{slot}.queue_wait.seconds",
+                stats.queue_wait_seconds,
+            )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and release the broadcast (idempotent)."""
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        owner, self._broadcast_owner = self._broadcast_owner, None
+        if owner is not None:
+            owner.close()
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran."""
+        return self._closed
+
+    def __enter__(self) -> "ProcessPoolBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ProcessPoolBackend workers={self.workers} "
+            f"groups={self.n_groups} broadcast={self.broadcast_mode!r} "
+            f"{state}>"
+        )
+

@@ -1,0 +1,266 @@
+"""Shareable flat views of a pre-processed database.
+
+A :class:`~repro.db.preprocess.PreprocessedDatabase` is a Python list of
+per-group ``(n_max, L)`` arrays — convenient for the serial pipeline,
+wasteful to ship to worker processes one task at a time.  This module
+re-expresses the same data as a handful of flat numpy arrays
+(:class:`PackedDatabase`) that can be broadcast to a worker pool exactly
+once: either pickled into each worker's initializer (cheap — a single
+contiguous buffer per field) or placed in
+:mod:`multiprocessing.shared_memory` segments that every worker maps
+without any copy at all (:class:`SharedDatabaseBroadcast`).
+
+Workers reconstruct zero-copy :class:`~repro.core.intertask.LaneGroup`
+views from the flat arrays, so the scoring kernels are byte-for-byte the
+same computation the serial pipeline performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.intertask import LaneGroup
+from ..exceptions import ParallelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..db.preprocess import PreprocessedDatabase
+
+__all__ = [
+    "PackedDatabase",
+    "SharedArrayHandle",
+    "SharedDatabaseBroadcast",
+    "attach_shared_database",
+]
+
+#: The array fields of a :class:`PackedDatabase`, in broadcast order.
+_ARRAY_FIELDS = (
+    "codes", "lengths", "indices",
+    "group_offsets", "lane_offsets", "group_nmax",
+)
+
+
+@dataclass
+class PackedDatabase:
+    """A lane-packed database flattened into shareable arrays.
+
+    Attributes
+    ----------
+    lanes:
+        Lane width the groups were packed at.
+    n_sequences:
+        Number of database sequences (sum of real lanes).
+    codes:
+        1-D ``uint8``: every group's ``(n_max, L)`` code plane,
+        C-order flattened and concatenated.
+    lengths, indices:
+        1-D ``int64``: per-lane true lengths and sorted-database
+        positions, concatenated across groups.
+    group_offsets:
+        ``(G + 1,)`` offsets into :attr:`codes` per group.
+    lane_offsets:
+        ``(G + 1,)`` offsets into :attr:`lengths`/:attr:`indices`.
+    group_nmax:
+        ``(G,)`` padded common length of each group.
+    """
+
+    lanes: int
+    n_sequences: int
+    codes: np.ndarray
+    lengths: np.ndarray
+    indices: np.ndarray
+    group_offsets: np.ndarray
+    lane_offsets: np.ndarray
+    group_nmax: np.ndarray
+    #: Keeps attached SharedMemory segments alive for view-backed
+    #: instances; never pickled with the data (see ``__getstate__``).
+    _keepalive: tuple = field(default=(), repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_preprocessed(cls, pre: "PreprocessedDatabase") -> "PackedDatabase":
+        """Flatten a pre-processed database into shareable arrays."""
+        groups = pre.groups
+        group_offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+        lane_offsets = np.zeros(len(groups) + 1, dtype=np.int64)
+        group_nmax = np.zeros(len(groups), dtype=np.int64)
+        for g, grp in enumerate(groups):
+            group_offsets[g + 1] = group_offsets[g] + grp.codes.size
+            lane_offsets[g + 1] = lane_offsets[g] + grp.lanes
+            group_nmax[g] = grp.n_max
+        codes = np.empty(int(group_offsets[-1]), dtype=np.uint8)
+        lengths = np.empty(int(lane_offsets[-1]), dtype=np.int64)
+        indices = np.empty(int(lane_offsets[-1]), dtype=np.int64)
+        for g, grp in enumerate(groups):
+            codes[group_offsets[g]:group_offsets[g + 1]] = (
+                np.ascontiguousarray(grp.codes).reshape(-1)
+            )
+            lengths[lane_offsets[g]:lane_offsets[g + 1]] = grp.lengths
+            indices[lane_offsets[g]:lane_offsets[g + 1]] = grp.indices
+        return cls(
+            lanes=pre.lanes,
+            n_sequences=len(pre.database),
+            codes=codes,
+            lengths=lengths,
+            indices=indices,
+            group_offsets=group_offsets,
+            lane_offsets=lane_offsets,
+            group_nmax=group_nmax,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_groups(self) -> int:
+        """Number of lane groups."""
+        return int(self.group_nmax.shape[0])
+
+    def group(self, g: int) -> LaneGroup:
+        """Zero-copy :class:`LaneGroup` view of group ``g``."""
+        if not 0 <= g < self.n_groups:
+            raise ParallelError(f"group {g} out of range [0, {self.n_groups})")
+        lanes = int(self.lane_offsets[g + 1] - self.lane_offsets[g])
+        n_max = int(self.group_nmax[g])
+        codes = self.codes[
+            self.group_offsets[g]:self.group_offsets[g + 1]
+        ].reshape(n_max, lanes)
+        return LaneGroup(
+            codes=codes,
+            lengths=self.lengths[self.lane_offsets[g]:self.lane_offsets[g + 1]],
+            indices=self.indices[self.lane_offsets[g]:self.lane_offsets[g + 1]],
+        )
+
+    def sequence(self, sorted_pos: int) -> np.ndarray:
+        """Unpadded codes of the sequence at ``sorted_pos`` (sorted order)."""
+        if not 0 <= sorted_pos < self.n_sequences:
+            raise ParallelError(
+                f"sequence {sorted_pos} out of range [0, {self.n_sequences})"
+            )
+        # Groups pack consecutive sorted positions; locate by lane offset.
+        g = int(np.searchsorted(self.lane_offsets, sorted_pos, side="right")) - 1
+        lane = sorted_pos - int(self.lane_offsets[g])
+        grp = self.group(g)
+        return np.ascontiguousarray(grp.codes[: int(grp.lengths[lane]), lane])
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The flat array fields, by name (broadcast payload)."""
+        return {name: getattr(self, name) for name in _ARRAY_FIELDS}
+
+    def nbytes(self) -> int:
+        """Total payload size of the flat arrays."""
+        return int(sum(a.nbytes for a in self.arrays().values()))
+
+    def __getstate__(self) -> dict:
+        # Shared-memory keepalives must never ride along a pickle: the
+        # receiving process attaches its own segments (or gets plain
+        # copies).  Materialise views so the payload is self-contained.
+        state = {
+            "lanes": self.lanes,
+            "n_sequences": self.n_sequences,
+            "_keepalive": (),
+        }
+        for name in _ARRAY_FIELDS:
+            state[name] = np.ascontiguousarray(getattr(self, name))
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """Picklable descriptor of one shared-memory backed array."""
+
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedDatabaseBroadcast:
+    """Owner side of a shared-memory database broadcast.
+
+    Copies a :class:`PackedDatabase`'s flat arrays into
+    :class:`multiprocessing.shared_memory.SharedMemory` segments once;
+    :meth:`handle` returns a tiny picklable descriptor workers attach to
+    with :func:`attach_shared_database` — no per-worker copy of the
+    database payload at all.  The creating process must keep this object
+    alive until the pool is done, then :meth:`close` (which unlinks).
+    """
+
+    def __init__(self, packed: PackedDatabase) -> None:
+        from multiprocessing import shared_memory
+
+        self._segments: list = []
+        self._handles: dict[str, SharedArrayHandle] = {}
+        self.lanes = packed.lanes
+        self.n_sequences = packed.n_sequences
+        try:
+            for name, arr in packed.arrays().items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(arr.nbytes, 1)
+                )
+                self._segments.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                self._handles[name] = SharedArrayHandle(
+                    shm_name=shm.name,
+                    shape=tuple(arr.shape),
+                    dtype=arr.dtype.str,
+                )
+        except Exception:
+            self.close()
+            raise
+
+    def handle(self) -> dict:
+        """The picklable broadcast descriptor workers attach to."""
+        return {
+            "lanes": self.lanes,
+            "n_sequences": self.n_sequences,
+            "arrays": dict(self._handles),
+        }
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover
+                pass
+
+
+def attach_shared_database(handle: dict) -> PackedDatabase:
+    """Worker-side attach: map the broadcast segments as array views.
+
+    The returned :class:`PackedDatabase` keeps the mapped segments alive
+    through ``_keepalive``.  Attaching deliberately bypasses the
+    resource tracker: the broadcasting process owns the segments'
+    lifetime and unlinks them on pool shutdown; a worker registering
+    (and later auto-unlinking) them would tear the database down under
+    its siblings — and, with a fork-shared tracker, clobber the owner's
+    own registration.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    arrays: dict[str, np.ndarray] = {}
+    segments = []
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *a, **k: None
+    try:
+        for name, h in handle["arrays"].items():
+            shm = shared_memory.SharedMemory(name=h.shm_name)
+            segments.append(shm)
+            arrays[name] = np.ndarray(
+                h.shape, dtype=np.dtype(h.dtype), buffer=shm.buf
+            )
+    finally:
+        resource_tracker.register = original_register
+    return PackedDatabase(
+        lanes=handle["lanes"],
+        n_sequences=handle["n_sequences"],
+        _keepalive=tuple(segments),
+        **arrays,
+    )

@@ -1,0 +1,254 @@
+"""Worker-process side of the process-parallel backend.
+
+Everything in this module runs inside pool workers.  The database is
+broadcast exactly once per worker through :func:`init_worker` (either a
+pickled :class:`~repro.parallel.shared.PackedDatabase` or a
+shared-memory descriptor that is attached without copying); tasks then
+carry only the per-search state — query codes, scoring scheme, engine
+configuration, the chunk's group ids — which is tiny next to the
+database payload.
+
+The scoring code path is deliberately the same one the serial pipeline
+runs: :meth:`InterTaskEngine.score_group` per lane group, exact
+:class:`ScanEngine` recompute for saturated lanes, and the checksum
+guard (:func:`repro.search.pipeline.guarded_transmit`) when a fault plan
+is active.  Fault decisions are a pure function of
+``(plan.seed, unit, attempt)`` with ``unit`` being the *global* group
+index, so a fault fires (or not) identically whichever worker — or the
+serial pipeline itself — executes the group.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.intertask import InterTaskEngine, LaneGroup, build_lane_groups
+from ..core.scan import ScanEngine
+from ..exceptions import ParallelError
+from ..faults.injection import FaultInjector, FaultPlan
+from ..scoring.gaps import GapModel
+from ..scoring.matrices import SubstitutionMatrix
+from .shared import PackedDatabase, attach_shared_database
+
+__all__ = [
+    "EngineConfig",
+    "ChunkTask",
+    "ChunkResult",
+    "init_worker",
+    "score_chunk",
+    "ping",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Inter-task engine construction parameters, picklable."""
+
+    lanes: int
+    profile: str = "sequence"
+    block_cols: int | None = None
+    saturate_bits: int | None = None
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One unit of pool work: a slice of the database to score.
+
+    ``kind="groups"`` scores broadcast lane groups ``group_ids`` as-is
+    (the plain pipeline's chunking).  ``kind="subset"`` extracts the
+    sequences at ``positions`` (sorted-database order) and packs them
+    into fresh lane groups at ``engine.lanes`` — the work-queue
+    scheduler's arbitrarily-shaped chunks.  ``fault_unit_base`` offsets
+    the fault-injection unit ids so a subset chunk replays the exact
+    per-unit decisions of its serial counterpart.
+    """
+
+    chunk_id: int
+    kind: str
+    query: np.ndarray
+    matrix: SubstitutionMatrix
+    gaps: GapModel
+    engine: EngineConfig
+    group_ids: tuple[int, ...] = ()
+    positions: tuple[int, ...] = ()
+    plan: FaultPlan | None = None
+    fault_unit_base: int = 0
+    submitted_at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """What one chunk sends back: scores plus worker accounting."""
+
+    chunk_id: int
+    positions: np.ndarray   # sorted-database positions, parallel to scores
+    scores: np.ndarray
+    saturated: int
+    redone: int
+    cells: int
+    pid: int
+    queue_wait_seconds: float
+    compute_seconds: float
+
+
+#: Per-worker state installed by :func:`init_worker`.
+_STATE: dict = {}
+
+
+def init_worker(payload: tuple[str, object]) -> None:
+    """Pool initializer: receive the database broadcast, once.
+
+    ``payload`` is ``("pickle", PackedDatabase)`` — the flat arrays
+    arrive pickled with the initializer — or ``("shm", handle)`` — the
+    worker maps the owner's shared-memory segments with zero copy.
+    """
+    mode, data = payload
+    if mode == "shm":
+        db = attach_shared_database(data)  # type: ignore[arg-type]
+    elif mode == "pickle":
+        db = data
+        if not isinstance(db, PackedDatabase):
+            raise ParallelError(
+                f"broadcast payload is {type(data).__name__}, "
+                "expected PackedDatabase"
+            )
+    else:
+        raise ParallelError(f"unknown broadcast mode {mode!r}")
+    _STATE.clear()
+    _STATE["db"] = db
+    _STATE["engines"] = {}
+    _STATE["pid"] = os.getpid()
+
+
+def ping() -> int:
+    """Liveness probe: confirms the worker initialised, returns its pid."""
+    if "db" not in _STATE:
+        raise ParallelError("worker has no database broadcast")
+    return _STATE["pid"]
+
+
+def _engine(cfg: EngineConfig, alphabet) -> InterTaskEngine:
+    """The worker's engine for this configuration (cached per config)."""
+    key = (cfg, alphabet.letters)
+    eng = _STATE["engines"].get(key)
+    if eng is None:
+        eng = InterTaskEngine(
+            alphabet=alphabet,
+            lanes=cfg.lanes,
+            profile=cfg.profile,
+            block_cols=cfg.block_cols,
+            saturate_bits=cfg.saturate_bits,
+        )
+        _STATE["engines"][key] = eng
+    return eng
+
+
+def _score_groups(task: ChunkTask, groups, units, engine, exact):
+    """Score lane groups exactly like the serial pipeline's group loop.
+
+    ``groups`` is a list of :class:`LaneGroup`; ``units`` the matching
+    fault-injection unit ids.  Returns ``(positions, scores, saturated,
+    redone, cells)`` with ``positions`` being each lane's
+    ``group.indices`` entry (caller-defined coordinate space).
+    """
+    from ..search.pipeline import guarded_transmit
+
+    q = task.query
+    prepared = engine._prepare(q, task.matrix)
+    injector = FaultInjector(task.plan) if task.plan is not None else None
+    positions: list[np.ndarray] = []
+    scores: list[np.ndarray] = []
+    saturated = redone = cells = 0
+
+    for group, unit in zip(groups, units):
+        # Saturation count is per *group*, not per compute call: a
+        # corruption redo recomputes the same lanes, matching the serial
+        # pipeline's assignment (not accumulation) semantics.
+        sat_holder = [0]
+
+        def compute(group=group, sat_holder=sat_holder) -> np.ndarray:
+            g_scores, g_sat = engine.score_group(
+                q, group, task.matrix, task.gaps, _prepared=prepared
+            )
+            for lane in g_sat:
+                seq = np.ascontiguousarray(
+                    group.codes[: int(group.lengths[lane]), lane]
+                )
+                g_scores[lane] = exact.score_pair(
+                    q, seq, task.matrix, task.gaps
+                ).score
+            sat_holder[0] = len(g_sat)
+            return g_scores
+
+        if injector is None:
+            g_scores = compute()
+        else:
+            g_scores, redos = guarded_transmit(injector, unit, compute)
+            redone += redos
+        saturated += sat_holder[0]
+        positions.append(np.asarray(group.indices, dtype=np.int64))
+        scores.append(np.asarray(g_scores, dtype=np.int64))
+        cells += len(q) * int(group.lengths.sum())
+
+    if positions:
+        return (
+            np.concatenate(positions), np.concatenate(scores),
+            saturated, redone, cells,
+        )
+    empty = np.zeros(0, dtype=np.int64)
+    return empty, empty.copy(), saturated, redone, cells
+
+
+def score_chunk(task: ChunkTask) -> ChunkResult:
+    """Execute one :class:`ChunkTask` against the broadcast database."""
+    started = time.time()
+    t0 = time.perf_counter()
+    db: PackedDatabase = _STATE.get("db")  # type: ignore[assignment]
+    if db is None:
+        raise ParallelError("worker has no database broadcast")
+    alphabet = task.matrix.alphabet
+    engine = _engine(task.engine, alphabet)
+    exact = ScanEngine(alphabet)
+
+    if task.kind == "groups":
+        groups = [db.group(g) for g in task.group_ids]
+        units = list(task.group_ids)
+        positions, scores, saturated, redone, cells = _score_groups(
+            task, groups, units, engine, exact
+        )
+    elif task.kind == "subset":
+        seqs = [db.sequence(p) for p in task.positions]
+        packed = build_lane_groups(seqs, task.engine.lanes)
+        groups = []
+        # Rebase each group's indices from chunk-local to sorted-database
+        # positions so the merge is coordinate-free for the caller.
+        pos = np.asarray(task.positions, dtype=np.int64)
+        for grp in packed:
+            groups.append(LaneGroup(
+                codes=grp.codes,
+                lengths=grp.lengths,
+                indices=pos[grp.indices],
+            ))
+        units = [task.fault_unit_base + g for g in range(len(groups))]
+        positions, scores, saturated, redone, cells = _score_groups(
+            task, groups, units, engine, exact
+        )
+    else:
+        raise ParallelError(f"unknown chunk kind {task.kind!r}")
+
+    wait = max(0.0, started - task.submitted_at) if task.submitted_at else 0.0
+    return ChunkResult(
+        chunk_id=task.chunk_id,
+        positions=positions,
+        scores=scores,
+        saturated=saturated,
+        redone=redone,
+        cells=cells,
+        pid=_STATE["pid"],
+        queue_wait_seconds=wait,
+        compute_seconds=time.perf_counter() - t0,
+    )

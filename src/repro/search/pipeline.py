@@ -20,7 +20,7 @@ from ..core.traceback import align_pair
 from ..db.database import SequenceDatabase
 from ..db.preprocess import PreprocessedDatabase, preprocess_database
 from ..devices.openmp import ParallelFor, Schedule
-from ..exceptions import FaultInjected, PipelineError
+from ..exceptions import FaultInjected, ParallelError, PipelineError
 from ..faults.injection import FaultInjector, payload_checksum
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
@@ -84,11 +84,27 @@ class SearchPipeline:
         Cache-blocking tile width forwarded to the engine.
     saturate_bits:
         Narrow-score saturation width forwarded to the engine.
+    workers:
+        Real OS processes scoring lane-group chunks concurrently
+        (:class:`repro.parallel.ProcessPoolBackend`).  ``1`` (default)
+        keeps the in-process group loop under the simulated OpenMP
+        schedule.  The pool persists across searches of the same
+        database, the database is broadcast to it once, and merged
+        scores are bit-identical to the serial path; if the pool cannot
+        start, the pipeline falls back to in-process execution (counted
+        in ``parallel.fallback``).
+    parallel_chunk_size:
+        Lane groups per worker task; ``None`` lets the backend pick.
+        Scores are chunking-invariant.
+    parallel_broadcast:
+        Database sharing strategy: ``"shm"`` (shared-memory views),
+        ``"pickle"`` (init-time broadcast) or ``"auto"``.
 
     With a fault injector set, per-group score payloads are shipped
     through it with a checksum guard: a corrupted group is detected and
     recomputed, so the returned scores always match the fault-free run
-    exactly.
+    exactly — under either executor, because fault decisions are keyed
+    on the global group id, not the worker that runs it.
     """
 
     def __init__(
@@ -100,6 +116,9 @@ class SearchPipeline:
         block_cols: int | None = None,
         saturate_bits: int | None = None,
         metrics: MetricsRegistry | None = None,
+        workers: int | None = None,
+        parallel_chunk_size: int | None = None,
+        parallel_broadcast: str = "auto",
         matrix=UNSET,
         lanes=UNSET,
         profile=UNSET,
@@ -132,6 +151,115 @@ class SearchPipeline:
             block_cols=block_cols,
             saturate_bits=saturate_bits,
         )
+        if workers is not None and int(workers) < 1:
+            raise PipelineError(
+                f"worker count must be positive, got {workers}"
+            )
+        self.workers = int(workers) if workers is not None else 1
+        self.parallel_chunk_size = parallel_chunk_size
+        self.parallel_broadcast = parallel_broadcast
+        self._backend = None
+        self._backend_key: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_backend(self, database: SequenceDatabase, pre):
+        """The worker pool bound to ``database``, (re)created on change.
+
+        The pool — and its one-time database broadcast — persists across
+        searches; a different database (or lane width) tears it down and
+        broadcasts afresh.
+        """
+        from ..parallel.backend import ProcessPoolBackend
+
+        key = (database.fingerprint(), self.lanes)
+        if (
+            self._backend is not None
+            and not self._backend.closed
+            and self._backend_key == key
+        ):
+            return self._backend
+        self.close()
+        self._backend = ProcessPoolBackend(
+            pre,
+            workers=self.workers,
+            chunk_size=self.parallel_chunk_size,
+            broadcast=self.parallel_broadcast,
+            metrics=self.metrics,
+        )
+        self._backend_key = key
+        return self._backend
+
+    def _note_fallback(self, tracer, exc: Exception) -> None:
+        self.metrics.increment("parallel.fallback")
+        tracer.event(
+            "parallel.fallback", reason=f"{type(exc).__name__}: {exc}"
+        )
+
+    def _score_parallel(self, q, database, pre, tracer):
+        """Score every group on the process pool.
+
+        Returns ``(sorted_scores, saturated, redone, chunk_results)`` or
+        ``None`` when the pool cannot run — the caller then falls back
+        to the in-process group loop, which computes identical scores.
+        """
+        from ..parallel.worker import EngineConfig
+
+        try:
+            backend = self._ensure_backend(database, pre)
+        except ParallelError as exc:
+            self._note_fallback(tracer, exc)
+            return None
+        cfg = EngineConfig(
+            lanes=self.lanes,
+            profile=self.engine.profile.value,
+            block_cols=self.engine.block_cols,
+            saturate_bits=self.engine.saturate_bits,
+        )
+        plan = self.injector.plan if self.injector is not None else None
+        try:
+            scores, saturated, redone, results = backend.score_groups(
+                q, self.matrix, self.gaps, cfg,
+                plan=plan, chunk_size=self.parallel_chunk_size,
+            )
+        except ParallelError as exc:
+            self._note_fallback(tracer, exc)
+            return None
+        for res in results:
+            with tracer.span("parallel.chunk") as cp:
+                if cp:
+                    cp.set_attributes(
+                        chunk=res.chunk_id,
+                        worker_pid=res.pid,
+                        sequences=int(res.positions.shape[0]),
+                        cells=res.cells,
+                        queue_wait_seconds=round(res.queue_wait_seconds, 6),
+                        compute_seconds=round(res.compute_seconds, 6),
+                    )
+        return scores, saturated, redone, results
+
+    def close(self) -> None:
+        """Shut down the parallel worker pool, if one is running.
+
+        Safe to call repeatedly; the pipeline keeps working afterwards
+        (a later ``workers > 1`` search simply starts a fresh pool).
+        """
+        backend, self._backend = self._backend, None
+        self._backend_key = None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "SearchPipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def search(
@@ -235,14 +363,36 @@ class SearchPipeline:
                     sorted_scores[groups[g].indices] = scores
 
                 with tracer.span("pipeline.score") as sp:
-                    costs = pre.group_cells(len(q)).astype(np.float64)
-                    ParallelFor(self.threads, self.schedule).run(costs, work)
-                    if sp:
-                        sp.set_attributes(
-                            groups=len(groups),
-                            saturated_recomputed=sum(sat_counts.values()),
-                            corrupted_redone=corrupted_redone,
+                    par = (
+                        self._score_parallel(q, database, pre, tracer)
+                        if self.workers > 1
+                        else None
+                    )
+                    if par is not None:
+                        par_scores, sat_total, corrupted_redone, chunks = par
+                        sorted_scores[:] = par_scores
+                        if sp:
+                            sp.set_attributes(
+                                groups=len(groups),
+                                executor="process",
+                                workers=self.workers,
+                                chunks=len(chunks),
+                                saturated_recomputed=sat_total,
+                                corrupted_redone=corrupted_redone,
+                            )
+                    else:
+                        costs = pre.group_cells(len(q)).astype(np.float64)
+                        ParallelFor(self.threads, self.schedule).run(
+                            costs, work
                         )
+                        sat_total = sum(sat_counts.values())
+                        if sp:
+                            sp.set_attributes(
+                                groups=len(groups),
+                                executor="inprocess",
+                                saturated_recomputed=sat_total,
+                                corrupted_redone=corrupted_redone,
+                            )
 
                 with tracer.span("pipeline.rank"):
                     # Scatter back to the caller's original database order.
@@ -296,9 +446,9 @@ class SearchPipeline:
                 metrics.set_gauge(
                     "pipeline.last.gcups", cells / watch.seconds / 1e9
                 )
-            if sum(sat_counts.values()):
+            if sat_total:
                 metrics.increment(
-                    "pipeline.saturated.recomputed", sum(sat_counts.values())
+                    "pipeline.saturated.recomputed", sat_total
                 )
             if corrupted_redone:
                 metrics.increment("pipeline.corrupt.redone", corrupted_redone)
@@ -312,7 +462,7 @@ class SearchPipeline:
                 cells=cells,
                 wall_seconds=watch.seconds,
                 modeled_seconds=modeled,
-                saturated_recomputed=sum(sat_counts.values()),
+                saturated_recomputed=sat_total,
                 corrupted_redone=corrupted_redone,
             )
             if root:

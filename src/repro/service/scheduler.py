@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.engine import as_codes
 from ..db.database import SequenceDatabase
-from ..exceptions import PipelineError
+from ..exceptions import ParallelError, PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel
@@ -111,6 +111,19 @@ class WorkQueueScheduler:
     metrics:
         Registry receiving the ``queue.*`` metrics; defaults to the
         process-wide one and is forwarded to both per-side pipelines.
+    workers:
+        With ``workers > 1``, the planned chunks are drained by a real
+        process pool (:class:`repro.parallel.ProcessPoolBackend`): each
+        assignment becomes one subset task, re-packed worker-side at its
+        side's lane width exactly like the serial per-chunk pipeline, so
+        the merged scores — and the fault-injection redo counts — are
+        identical to serial draining.  The virtual-time plan (and the
+        modelled offload accounting) is unchanged; only the real
+        execution moves onto the pool.  Falls back to serial draining if
+        the pool cannot run.
+    parallel_broadcast:
+        Broadcast strategy forwarded to the pool (``"auto"``, ``"shm"``
+        or ``"pickle"``).
     """
 
     def __init__(
@@ -123,10 +136,16 @@ class WorkQueueScheduler:
         chunks: int = 24,
         static_fraction: float = 0.55,
         metrics: MetricsRegistry | None = None,
+        workers: int | None = None,
+        parallel_broadcast: str = "auto",
     ) -> None:
         if not 0.0 <= static_fraction <= 1.0:
             raise PipelineError(
                 f"static fraction must be within [0, 1], got {static_fraction}"
+            )
+        if workers is not None and int(workers) < 1:
+            raise PipelineError(
+                f"worker count must be positive, got {workers}"
             )
         opts = options if options is not None else SearchOptions()
         self.options = opts
@@ -151,6 +170,129 @@ class WorkQueueScheduler:
                 metrics=self.metrics,
             ),
         }
+        self.workers = int(workers) if workers is not None else 1
+        self.parallel_broadcast = parallel_broadcast
+        self._backend = None
+        self._backend_key: tuple | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_backend(self, database: SequenceDatabase):
+        """The worker pool bound to ``database`` (re-broadcast on change)."""
+        from ..db.preprocess import preprocess_database
+        from ..parallel.backend import ProcessPoolBackend
+
+        key = (database.fingerprint(),)
+        if (
+            self._backend is not None
+            and not self._backend.closed
+            and self._backend_key == key
+        ):
+            return self._backend
+        self.close()
+        # Broadcast lane width is irrelevant for subset tasks (workers
+        # re-pack at each task's own width); use the host side's.
+        pre = preprocess_database(database, lanes=self._pipes["host"].lanes)
+        self._backend = ProcessPoolBackend(
+            pre,
+            workers=self.workers,
+            broadcast=self.parallel_broadcast,
+            metrics=self.metrics,
+        )
+        self._backend_key = key
+        return self._backend
+
+    def _drain_parallel(self, q, database: SequenceDatabase, plan, tracer):
+        """Drain every planned assignment on the process pool.
+
+        Returns ``(scores, wall_seconds)`` in original database order,
+        or ``None`` when the pool cannot run (caller drains serially).
+        Each assignment ships its sequences in assignment order, so the
+        worker's stable length sort packs the exact lane groups — and
+        replays the exact chunk-local fault-unit decisions — of the
+        serial per-chunk pipeline.
+        """
+        from ..parallel.worker import ChunkTask, EngineConfig
+
+        try:
+            backend = self._ensure_backend(database)
+        except ParallelError as exc:
+            self.metrics.increment("parallel.fallback")
+            tracer.event(
+                "parallel.fallback", reason=f"{type(exc).__name__}: {exc}"
+            )
+            return None
+        order = database.length_order()
+        inv = np.empty(len(database), dtype=np.int64)
+        inv[order] = np.arange(len(database), dtype=np.int64)
+        fault_plan = (
+            self.options.injector.plan
+            if self.options.injector is not None
+            else None
+        )
+        tasks = []
+        for a in plan.assignments:
+            pipe = self._pipes[a.worker]
+            tasks.append(ChunkTask(
+                chunk_id=a.chunk_id,
+                kind="subset",
+                query=q,
+                matrix=pipe.matrix,
+                gaps=pipe.gaps,
+                engine=EngineConfig(
+                    lanes=pipe.lanes,
+                    profile=pipe.engine.profile.value,
+                    block_cols=pipe.engine.block_cols,
+                    saturate_bits=pipe.engine.saturate_bits,
+                ),
+                positions=tuple(int(p) for p in inv[a.indices]),
+                plan=fault_plan,
+            ))
+        try:
+            results = backend.submit_subsets(tasks)
+        except ParallelError as exc:
+            self.metrics.increment("parallel.fallback")
+            tracer.event(
+                "parallel.fallback", reason=f"{type(exc).__name__}: {exc}"
+            )
+            return None
+        sorted_scores = np.zeros(len(database), dtype=np.int64)
+        wall = 0.0
+        for a, res in zip(plan.assignments, results):
+            sorted_scores[res.positions] = res.scores
+            wall += res.compute_seconds
+            with tracer.span("queue.chunk") as sp:
+                if sp:
+                    sp.set_attributes(
+                        chunk=a.chunk_id, worker=a.worker,
+                        sequences=len(a.indices), residues=a.residues,
+                        worker_pid=res.pid, executor="process",
+                    )
+                    sp.set_virtual(a.start_seconds, a.end_seconds)
+            self.metrics.increment(f"queue.chunks.{a.worker}")
+            self.metrics.observe("queue.chunk.seconds", a.seconds)
+        scores = np.zeros(len(database), dtype=np.int64)
+        scores[order] = sorted_scores
+        return scores, wall
+
+    def close(self) -> None:
+        """Shut down the parallel worker pool, if one is running."""
+        backend, self._backend = self._backend, None
+        self._backend_key = None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "WorkQueueScheduler":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     def plan(self, lengths: np.ndarray, query_len: int) -> WorkQueuePlan:
@@ -195,6 +337,23 @@ class WorkQueueScheduler:
                         makespan=plan.makespan,
                     )
 
+            drained = (
+                self._drain_parallel(q, database, plan, tracer)
+                if self.workers > 1
+                else None
+            )
+            if drained is not None:
+                scores, wall = drained
+                if root:
+                    root.set_attributes(
+                        executor="process", workers=self.workers
+                    )
+                return self._finish(
+                    q, database, plan, scores, wall,
+                    query_name=query_name, top_k=top_k,
+                    tracer=tracer, root=root,
+                )
+
             scores = np.zeros(len(database), dtype=np.int64)
             wall = 0.0
             for a in plan.assignments:
@@ -232,38 +391,49 @@ class WorkQueueScheduler:
                 # part.scores follow chunk_db order == a.indices order.
                 scores[a.indices] = part.scores
 
-            with tracer.span("queue.merge"):
-                ranked = np.argsort(-scores, kind="stable")
-                hits = [
-                    Hit(
-                        index=int(i),
-                        header=database.headers[int(i)],
-                        length=len(database.sequences[int(i)]),
-                        score=int(scores[int(i)]),
-                    )
-                    for i in ranked[: max(top_k, 0)]
-                ]
-            static = HybridExecutor(
-                self.host_model, self.device_model, link=self.link
-            ).run(database.lengths, len(q), self.static_fraction)
-            self.metrics.set_gauge(
-                "queue.device_fraction", plan.device_residue_fraction
+            return self._finish(
+                q, database, plan, scores, wall,
+                query_name=query_name, top_k=top_k,
+                tracer=tracer, root=root,
             )
-            result = SearchResult(
-                query_name=query_name,
-                query_length=len(q),
-                database_name=database.name,
-                scores=scores,
-                hits=hits,
-                cells=len(q) * database.total_residues,
-                wall_seconds=wall,
-                modeled_seconds=plan.makespan,
-            )
-            if root:
-                result.trace = {"span_id": root.span_id, "span": root.name}
-            return QueueSearchOutcome(
-                result=result,
-                plan=plan,
-                static_fraction=self.static_fraction,
-                static_modeled_makespan=static.total_seconds,
-            )
+
+    def _finish(
+        self, q, database, plan, scores, wall,
+        *, query_name, top_k, tracer, root,
+    ) -> QueueSearchOutcome:
+        """Rank merged scores and attach the static reference makespan."""
+        with tracer.span("queue.merge"):
+            ranked = np.argsort(-scores, kind="stable")
+            hits = [
+                Hit(
+                    index=int(i),
+                    header=database.headers[int(i)],
+                    length=len(database.sequences[int(i)]),
+                    score=int(scores[int(i)]),
+                )
+                for i in ranked[: max(top_k, 0)]
+            ]
+        static = HybridExecutor(
+            self.host_model, self.device_model, link=self.link
+        ).run(database.lengths, len(q), self.static_fraction)
+        self.metrics.set_gauge(
+            "queue.device_fraction", plan.device_residue_fraction
+        )
+        result = SearchResult(
+            query_name=query_name,
+            query_length=len(q),
+            database_name=database.name,
+            scores=scores,
+            hits=hits,
+            cells=len(q) * database.total_residues,
+            wall_seconds=wall,
+            modeled_seconds=plan.makespan,
+        )
+        if root:
+            result.trace = {"span_id": root.span_id, "span": root.name}
+        return QueueSearchOutcome(
+            result=result,
+            plan=plan,
+            static_fraction=self.static_fraction,
+            static_modeled_makespan=static.total_seconds,
+        )

@@ -23,6 +23,7 @@ protocol and is score-identical to the corresponding single-query path.
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -43,6 +44,7 @@ from .scheduler import WorkQueueScheduler
 __all__ = ["ServiceBatchResult", "SearchService"]
 
 SCHEDULERS = ("local", "static", "queue")
+EXECUTORS = ("inprocess", "process")
 
 
 @dataclass
@@ -138,6 +140,18 @@ class SearchService:
         (per-request ``top_k``/``traceback`` still apply).
     scheduler:
         ``"local"``, ``"static"`` or ``"queue"`` (see module docstring).
+    executor:
+        ``"inprocess"`` (default) runs everything on this process;
+        ``"process"`` scores on a persistent pool of ``workers`` real
+        OS processes (``local`` searches through
+        ``SearchPipeline(workers=N)``, ``queue`` drains its chunk queue
+        through the same pool).  Scores are identical either way; the
+        pool falls back to in-process execution if it cannot start.
+        The ``static`` scheduler is a purely modelled split and has no
+        process executor.
+    workers:
+        Pool size for the process executor; defaults to the CPU count.
+        Passing ``workers > 1`` implies ``executor="process"``.
     host_model, device_model:
         Device pair for the heterogeneous schedulers; defaults to the
         paper's dual Xeon + Xeon Phi when needed.
@@ -164,6 +178,8 @@ class SearchService:
         options: SearchOptions | None = None,
         *,
         scheduler: str = "local",
+        executor: str = "inprocess",
+        workers: int | None = None,
         host_model: DevicePerformanceModel | None = None,
         device_model: DevicePerformanceModel | None = None,
         cache_capacity: int = 8,
@@ -177,6 +193,27 @@ class SearchService:
             raise PipelineError(
                 f"scheduler must be one of {SCHEDULERS}, got {scheduler!r}"
             )
+        if executor not in EXECUTORS:
+            raise PipelineError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if workers is not None:
+            if int(workers) < 1:
+                raise PipelineError(
+                    f"worker count must be positive, got {workers}"
+                )
+            if int(workers) > 1:
+                executor = "process"
+        if executor == "process":
+            if scheduler == "static":
+                raise PipelineError(
+                    "the static scheduler is purely modelled and has no "
+                    "process executor; use 'local' or 'queue'"
+                )
+            if workers is None:
+                workers = os.cpu_count() or 2
+        self.executor = executor
+        self.workers = int(workers) if workers is not None else 1
         self.options = options if options is not None else SearchOptions()
         self.scheduler = scheduler
         self.metrics = metrics
@@ -191,8 +228,11 @@ class SearchService:
                 device_model = DevicePerformanceModel(XEON_PHI_57XX)
         self.host_model = host_model
         self.device_model = device_model
+        pool_workers = self.workers if executor == "process" else None
         if scheduler == "local":
-            self._pipe = SearchPipeline(self.options, metrics=metrics)
+            self._pipe = SearchPipeline(
+                self.options, metrics=metrics, workers=pool_workers
+            )
         elif scheduler == "static":
             self._hybrid = HybridSearchPipeline(
                 host_model, device_model, self.options, link=link,
@@ -203,8 +243,25 @@ class SearchService:
             self._queue = WorkQueueScheduler(
                 host_model, device_model, self.options,
                 link=link, chunks=chunks, static_fraction=static_fraction,
-                metrics=metrics,
+                metrics=metrics, workers=pool_workers,
             )
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the process executor's worker pool, if any."""
+        pipe = getattr(self, "_pipe", None)
+        if pipe is not None:
+            pipe.close()
+        queue = getattr(self, "_queue", None)
+        if queue is not None:
+            queue.close()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -66,6 +66,8 @@ PUBLIC_API = {
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # parallel execution
+    "ProcessPoolBackend", "PackedDatabase",
     # observability
     "Tracer", "NullTracer", "Span", "TraceCollector",
     "get_tracer", "set_tracer", "use_tracer",

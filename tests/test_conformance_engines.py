@@ -1,0 +1,131 @@
+"""Differential conformance: every engine computes identical scores.
+
+The registered engines (scalar, diagonal, striped, scan, intertask) and
+the banded engine with a band covering the whole matrix all implement
+the same local-alignment recurrences (paper Eq. 6); on any input their
+scores must agree exactly.  The scalar engine is the reference — it is
+the most literal transcription of the recurrences — and everything else
+is checked against it over a seeded grid of random databases, queries,
+substitution matrices and gap models, plus the awkward edge cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alphabet import PROTEIN
+from repro.core.banded import BandedEngine
+from repro.core.engine import available_engines, get_engine
+from repro.scoring import GapModel, get_matrix
+from tests.conftest import random_protein
+
+MATRIX_NAMES = ("BLOSUM62", "BLOSUM50", "PAM250", "PAM70")
+GAP_MODELS = (GapModel(10, 2), GapModel(5, 1))
+GAP_IDS = ("gaps10-2", "gaps5-1")
+
+
+def reference_scores(query, seqs, matrix, gaps) -> np.ndarray:
+    """Scalar-engine scores: the conformance ground truth."""
+    return get_engine("scalar", PROTEIN).score_batch(
+        query, seqs, matrix, gaps
+    ).scores
+
+
+def assert_all_engines_agree(query, seqs, matrix, gaps) -> None:
+    """Every registered engine (and a covering band) matches scalar."""
+    ref = reference_scores(query, seqs, matrix, gaps)
+    for name in available_engines():
+        if name == "scalar":
+            continue
+        got = get_engine(name, PROTEIN).score_batch(
+            query, seqs, matrix, gaps
+        ).scores
+        np.testing.assert_array_equal(
+            got, ref,
+            err_msg=f"engine {name!r} diverges from scalar "
+                    f"({matrix.name}, open={gaps.open} ext={gaps.extend})",
+        )
+    # The banded engine is exact when the band covers the full matrix.
+    longest = max((len(s) for s in seqs), default=1)
+    banded = BandedEngine(PROTEIN, width=max(len(query), longest))
+    got = banded.score_batch(query, seqs, matrix, gaps).scores
+    np.testing.assert_array_equal(
+        got, ref, err_msg="covering-band engine diverges from scalar"
+    )
+
+
+class TestRandomGrid:
+    @pytest.mark.parametrize("matrix_name", MATRIX_NAMES)
+    @pytest.mark.parametrize("gaps", GAP_MODELS, ids=GAP_IDS)
+    def test_engines_agree_on_random_inputs(self, rng, matrix_name, gaps):
+        matrix = get_matrix(matrix_name)
+        for _ in range(2):
+            seqs = [
+                random_protein(rng, int(n))
+                for n in rng.integers(1, 46, size=9)
+            ]
+            query = random_protein(rng, int(rng.integers(4, 33)))
+            assert_all_engines_agree(query, seqs, matrix, gaps)
+
+    def test_engines_agree_across_lane_widths(self, rng, blosum62, gaps):
+        # Lane width only changes packing, never scores (intertask).
+        seqs = [random_protein(rng, int(n)) for n in rng.integers(2, 40, 11)]
+        query = random_protein(rng, 25)
+        ref = reference_scores(query, seqs, blosum62, gaps)
+        for lanes in (1, 3, 8, 16):
+            got = get_engine("intertask", PROTEIN, lanes=lanes).score_batch(
+                query, seqs, blosum62, gaps
+            ).scores
+            np.testing.assert_array_equal(
+                got, ref, err_msg=f"intertask lanes={lanes}"
+            )
+
+
+class TestEdgeCases:
+    def test_empty_database(self, blosum62, gaps):
+        for name in available_engines():
+            batch = get_engine(name, PROTEIN).score_batch(
+                "ACDEFG", [], blosum62, gaps
+            )
+            assert batch.scores.shape == (0,), name
+        banded = BandedEngine(PROTEIN, width=8)
+        assert banded.score_batch("ACDEFG", [], blosum62, gaps).scores.shape \
+            == (0,)
+
+    def test_length_one_sequences(self, blosum62, gaps):
+        seqs = ["A", "W", "C", "K", "A"]
+        assert_all_engines_agree("A", seqs, blosum62, gaps)
+        assert_all_engines_agree("WCKA", seqs, blosum62, gaps)
+        # Exact single-residue match scores the diagonal matrix entry.
+        scores = reference_scores("A", seqs, blosum62, gaps)
+        a = PROTEIN.encode("A")[0]
+        assert scores[0] == blosum62.data[a, a]
+
+    def test_all_identical_residues(self, blosum62, gaps):
+        seqs = ["L" * n for n in (1, 2, 7, 19, 40)]
+        assert_all_engines_agree("L" * 12, seqs, blosum62, gaps)
+        # A homopolymer alignment never gaps: score is match * overlap.
+        scores = reference_scores("L" * 12, seqs, blosum62, gaps)
+        ll = int(blosum62.data[PROTEIN.encode("L")[0], PROTEIN.encode("L")[0]])
+        expected = [ll * min(12, n) for n in (1, 2, 7, 19, 40)]
+        np.testing.assert_array_equal(scores, expected)
+
+    @pytest.mark.parametrize("gaps", GAP_MODELS, ids=GAP_IDS)
+    def test_ambiguity_codes(self, rng, blosum62, gaps):
+        # X (unknown), B/Z (ambiguous) and * (stop) are real alphabet
+        # members with real matrix rows; engines must not special-case
+        # them.
+        seqs = [
+            "XXXX",
+            "BZXB*",
+            "AXRNX",
+            "*" * 3,
+            random_protein(rng, 20) + "XBZ*",
+        ]
+        assert_all_engines_agree("ARNXBZ*", seqs, blosum62, gaps)
+        assert_all_engines_agree("XXX", seqs, blosum62, gaps)
+
+    def test_query_of_length_one(self, rng, blosum62, gaps):
+        seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 30, 7)]
+        assert_all_engines_agree("W", seqs, blosum62, gaps)
