@@ -62,6 +62,8 @@ from .db import (
     PAPER_QUERIES,
     SequenceDatabase,
     SyntheticSwissProt,
+    ShardSpec,
+    iter_shards,
     make_query_set,
     preprocess_database,
     read_fasta,
@@ -129,6 +131,7 @@ from .search import (
     SearchPipeline,
     SearchRequest,
     SearchResult,
+    ShardedStreamingSearch,
     StreamingResult,
     StreamingSearch,
     gcups,
@@ -161,6 +164,7 @@ __all__ = [
     "SequenceDatabase", "SyntheticSwissProt", "PAPER_QUERIES",
     "make_query_set", "read_fasta", "write_fasta",
     "preprocess_database", "split_database",
+    "ShardSpec", "iter_shards",
     # devices / model / runtime
     "DeviceSpec", "XEON_E5_2670_DUAL", "XEON_PHI_57XX",
     "ParallelFor", "Schedule",
@@ -172,7 +176,7 @@ __all__ = [
     # search
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
-    "StreamingSearch", "StreamingResult",
+    "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome", "waterman_eggert",
     # service

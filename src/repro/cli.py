@@ -9,6 +9,10 @@ Subcommands
     Serve many queries through :class:`repro.SearchService` — shared
     pre-processing cache, selectable scheduler (``local``/``static``/
     ``queue``), dynamic-vs-static makespan comparison.
+``stream``
+    Out-of-core streaming search over a FASTA file: only one chunk (or
+    bounded shard, with ``--workers``) is resident at a time, so the
+    database never needs to fit in memory.
 ``align``
     Align two sequences (local / global / semi-global) with traceback.
 ``trace``
@@ -108,6 +112,36 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--workers", type=int, default=1,
                     help="drain the batch on a pool of real worker "
                          "processes (local and queue schedulers)")
+
+    st = sub.add_parser(
+        "stream",
+        help="out-of-core streaming search (database never fully loaded)",
+    )
+    st.add_argument("--query", help="query sequence (residue letters)")
+    st.add_argument("--query-fasta",
+                    help="FASTA file; first record is the query")
+    st.add_argument("--db-fasta", required=True,
+                    help="database FASTA file to stream")
+    st.add_argument("--matrix", default="BLOSUM62")
+    st.add_argument("--gap-open", type=int, default=10)
+    st.add_argument("--gap-extend", type=int, default=2)
+    st.add_argument("--lanes", type=int, default=8)
+    st.add_argument("--chunk-size", type=int, default=512,
+                    help="records scored per batch")
+    st.add_argument("--top", type=int, default=10,
+                    help="ranked hits kept (0 = scores only)")
+    st.add_argument("--workers", type=int, default=1,
+                    help="score shards on a pool of real worker processes "
+                         "(results identical to --workers 1)")
+    st.add_argument("--shard-residues", type=int, default=1_000_000,
+                    help="max residues resident per shard (--workers > 1)")
+    st.add_argument("--shard-records", type=int, default=None,
+                    help="max records resident per shard (--workers > 1)")
+    st.add_argument("--fault-plan", metavar="SPEC",
+                    help='inject faults, e.g. "seed=7,corrupt=0.2" '
+                         "(scores stay exact via the checksum guard)")
+    st.add_argument("--metrics", action="store_true",
+                    help="print the scan's metrics from an isolated registry")
 
     t = sub.add_parser(
         "trace",
@@ -371,6 +405,67 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"at {args.static_fraction:.0%} {static:.3f}s "
             f"({static / dyn:.2f}x)" if dyn > 0 else
             "modelled makespan: degenerate (zero-cost workload)"
+        )
+    if registry is not None:
+        print("\nmetrics:")
+        print(registry.render())
+    return 0
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .db import read_fasta
+    from .scoring import GapModel, get_matrix
+    from .search import SearchOptions, StreamingSearch
+
+    if args.query:
+        query = args.query
+        qname = "cmdline-query"
+    elif args.query_fasta:
+        rec = next(iter(read_fasta(args.query_fasta)))
+        query, qname = rec.sequence, rec.accession
+    else:
+        print("error: provide --query or --query-fasta", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+
+    injector = None
+    if args.fault_plan:
+        from .faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.parse(args.fault_plan))
+
+    registry = None
+    if args.metrics:
+        from .metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    search = StreamingSearch(
+        SearchOptions(
+            matrix=get_matrix(args.matrix),
+            gaps=GapModel(args.gap_open, args.gap_extend),
+            lanes=args.lanes,
+            chunk_size=args.chunk_size,
+            top_k=args.top,
+            injector=injector,
+        ),
+        metrics=registry,
+        workers=args.workers,
+        shard_residues=args.shard_residues,
+        shard_records=args.shard_records,
+    )
+    try:
+        result = search.search_fasta(query, args.db_fasta, query_name=qname)
+    finally:
+        search.close()
+    print(result.summary())
+    if injector is not None:
+        print(
+            f"fault injection: {result.corrupted_redone} corrupted chunk "
+            "transmissions detected by checksum and recomputed; "
+            "scores are exact"
         )
     if registry is not None:
         print("\nmetrics:")
@@ -660,6 +755,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "search": _cmd_search,
         "batch": _cmd_batch,
+        "stream": _cmd_stream,
         "trace": _cmd_trace,
         "align": _cmd_align,
         "blast": _cmd_blast,

@@ -14,6 +14,7 @@ from .database import SequenceDatabase
 from .synthetic import SyntheticSwissProt, SWISSPROT_2013_11, TREMBL_2014_07
 from .queries import PAPER_QUERIES, QuerySpec, make_query_set
 from .preprocess import preprocess_database, split_database, PreprocessedDatabase
+from .shards import Shard, ShardSpec, iter_shards
 from .mutate import mutate, plant_homologs, PlantedHomolog
 
 __all__ = [
@@ -30,6 +31,9 @@ __all__ = [
     "preprocess_database",
     "split_database",
     "PreprocessedDatabase",
+    "Shard",
+    "ShardSpec",
+    "iter_shards",
     "mutate",
     "plant_homologs",
     "PlantedHomolog",

@@ -33,11 +33,18 @@ __all__ = ["PreprocessedDatabase", "preprocess_database", "split_database"]
 
 @dataclass
 class PreprocessedDatabase:
-    """A length-sorted database packed into inter-task lane groups."""
+    """A length-sorted database packed into inter-task lane groups.
+
+    ``database`` is the *sorted* copy; ``source_fingerprint`` pins the
+    original (pre-sort) database this preprocess was built from, so
+    consumers handed both can verify content — not just shape — still
+    matches (``None`` on hand-built instances skips that check).
+    """
 
     database: SequenceDatabase
     groups: list[LaneGroup]
     lanes: int
+    source_fingerprint: int | None = None
 
     @property
     def total_residues(self) -> int:
@@ -70,7 +77,10 @@ def preprocess_database(
     """Sort by length and pack into lane groups (Algorithm 1, line 4)."""
     sorted_db = db.sorted_by_length()
     groups = build_lane_groups(sorted_db.sequences, lanes, sort_by_length=False)
-    return PreprocessedDatabase(database=sorted_db, groups=groups, lanes=lanes)
+    return PreprocessedDatabase(
+        database=sorted_db, groups=groups, lanes=lanes,
+        source_fingerprint=db.fingerprint(),
+    )
 
 
 def split_database(

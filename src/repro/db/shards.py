@@ -1,0 +1,192 @@
+"""Bounded-memory database shards for the out-of-core parallel scan.
+
+The paper's future-work databases (TrEMBL and beyond) do not fit in
+memory, and SWAPHI shows the same inter-task engine scales across
+database *partitions*.  This module is the partitioning substrate: a
+:class:`ShardSpec` bounds how much of a sequence stream may be resident
+at once (by residues and/or records), and :func:`iter_shards` walks any
+record stream — FASTA records, ``(header, sequence)`` pairs, already
+encoded arrays — yielding one bounded :class:`Shard` at a time.
+
+Shard boundaries can be *aligned* to a record granularity
+(``align_records``): the sharded search driver aligns them to its
+streaming chunk size so every serial chunk falls entirely inside one
+shard, which is what keeps per-chunk fault-injection units — and
+therefore redo counts — bit-identical to the serial scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..alphabet import PROTEIN, Alphabet, UnknownPolicy
+from ..exceptions import DatabaseError
+from .fasta import FastaRecord
+
+__all__ = ["ShardSpec", "Shard", "iter_shards", "encode_record"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Residency bounds for one shard of a streamed database.
+
+    Parameters
+    ----------
+    max_residues:
+        Close a shard before it would exceed this many residues.
+    max_records:
+        Close a shard before it would exceed this many records.
+
+    At least one bound must be set.  A bound is a *target*, checked at
+    aligned block boundaries: a shard never grows past it except when a
+    single aligned block is itself larger than the bound (the block then
+    becomes the whole shard — peak residency is therefore
+    ``max(bound, largest aligned block)``).
+    """
+
+    max_residues: int | None = None
+    max_records: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_residues is None and self.max_records is None:
+            raise DatabaseError(
+                "shard spec needs max_residues and/or max_records"
+            )
+        if self.max_residues is not None and self.max_residues < 1:
+            raise DatabaseError(
+                f"max_residues must be positive, got {self.max_residues}"
+            )
+        if self.max_records is not None and self.max_records < 1:
+            raise DatabaseError(
+                f"max_records must be positive, got {self.max_records}"
+            )
+
+    def would_overflow(self, residues: int, records: int) -> bool:
+        """Whether a shard at this fill level has reached a bound."""
+        if self.max_residues is not None and residues > self.max_residues:
+            return True
+        if self.max_records is not None and records > self.max_records:
+            return True
+        return False
+
+
+@dataclass
+class Shard:
+    """One bounded slice of a streamed database, encoded and resident.
+
+    Attributes
+    ----------
+    shard_id:
+        0-based position of this shard in the stream.
+    base_index:
+        Global record index of the shard's first entry (a multiple of
+        ``align_records`` by construction).
+    headers, sequences:
+        Parallel lists: FASTA headers and encoded ``uint8`` arrays.
+    """
+
+    shard_id: int
+    base_index: int
+    headers: list[str] = field(default_factory=list)
+    sequences: list[np.ndarray] = field(default_factory=list)
+
+    @property
+    def n_records(self) -> int:
+        """Records resident in this shard."""
+        return len(self.sequences)
+
+    @property
+    def residues(self) -> int:
+        """Residues resident in this shard."""
+        return sum(len(s) for s in self.sequences)
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+def encode_record(
+    item: "FastaRecord | tuple", alphabet: Alphabet
+) -> tuple[str, np.ndarray]:
+    """Normalise one stream item to ``(header, encoded codes)``.
+
+    Accepts a :class:`~repro.db.fasta.FastaRecord`, or a ``(header,
+    sequence)`` pair whose sequence is either residue letters or an
+    already encoded ``uint8`` array (passed through without copying).
+    Unknown residues map to X, matching every other load path.
+    """
+    if isinstance(item, FastaRecord):
+        header, seq = item.header, item.sequence
+    else:
+        try:
+            header, seq = item
+        except (TypeError, ValueError):
+            raise DatabaseError(
+                f"stream items must be FastaRecord or (header, sequence) "
+                f"pairs, got {type(item).__name__}"
+            ) from None
+    if isinstance(seq, np.ndarray):
+        return str(header), seq
+    return str(header), alphabet.encode(seq, unknown=UnknownPolicy.MAP_TO_X)
+
+
+def iter_shards(
+    records: Iterable,
+    spec: ShardSpec,
+    *,
+    alphabet: Alphabet = PROTEIN,
+    align_records: int = 1,
+) -> Iterator[Shard]:
+    """Split a record stream into bounded-memory :class:`Shard` slices.
+
+    Only the shard under construction is resident; each yielded shard
+    can be dropped by the consumer before the next one is read.  Shard
+    boundaries fall exclusively at multiples of ``align_records``
+    (except at end of stream), so consumers that process records in
+    fixed-size chunks see every chunk land inside exactly one shard.
+    """
+    if align_records < 1:
+        raise DatabaseError(
+            f"align_records must be positive, got {align_records}"
+        )
+    shard_id = 0
+    next_base = 0
+    shard: Shard | None = None
+    block_headers: list[str] = []
+    block_seqs: list[np.ndarray] = []
+    block_residues = 0
+
+    def flush_block() -> Iterator[Shard]:
+        """Append the pending aligned block, closing the shard first
+        when adding it would overflow the spec."""
+        nonlocal shard, shard_id, next_base, block_residues
+        if not block_seqs:
+            return
+        if shard is not None and spec.would_overflow(
+            shard.residues + block_residues,
+            shard.n_records + len(block_seqs),
+        ):
+            yield shard
+            shard = None
+        if shard is None:
+            shard = Shard(shard_id=shard_id, base_index=next_base)
+            shard_id += 1
+        shard.headers.extend(block_headers)
+        shard.sequences.extend(block_seqs)
+        next_base += len(block_seqs)
+        block_headers.clear()
+        block_seqs.clear()
+        block_residues = 0
+
+    for item in records:
+        header, codes = encode_record(item, alphabet)
+        block_headers.append(header)
+        block_seqs.append(codes)
+        block_residues += len(codes)
+        if len(block_seqs) == align_records:
+            yield from flush_block()
+    yield from flush_block()
+    if shard is not None:
+        yield shard

@@ -73,8 +73,11 @@ class ProcessPoolBackend:
     ----------
     preprocessed:
         The lane-packed database every worker receives once.  Accepts a
-        :class:`PreprocessedDatabase` or an already-flattened
-        :class:`PackedDatabase`.
+        :class:`PreprocessedDatabase`, an already-flattened
+        :class:`PackedDatabase`, or ``None`` for a *streaming* pool:
+        workers then hold no resident database and only accept
+        ``kind="stream"`` tasks that carry their own sequences (the
+        sharded out-of-core scan).
     workers:
         Pool size (real OS processes).
     chunk_size:
@@ -95,7 +98,7 @@ class ProcessPoolBackend:
 
     def __init__(
         self,
-        preprocessed: PreprocessedDatabase | PackedDatabase,
+        preprocessed: PreprocessedDatabase | PackedDatabase | None,
         *,
         workers: int,
         chunk_size: int | None = None,
@@ -113,11 +116,12 @@ class ProcessPoolBackend:
             raise ParallelError(
                 f"broadcast must be 'auto', 'shm' or 'pickle', got {broadcast!r}"
             )
-        packed = (
-            preprocessed
-            if isinstance(preprocessed, PackedDatabase)
-            else PackedDatabase.from_preprocessed(preprocessed)
-        )
+        if preprocessed is None:
+            packed = None
+        elif isinstance(preprocessed, PackedDatabase):
+            packed = preprocessed
+        else:
+            packed = PackedDatabase.from_preprocessed(preprocessed)
         self.packed = packed
         self.workers = workers
         self.chunk_size = chunk_size
@@ -150,10 +154,11 @@ class ProcessPoolBackend:
             ) from exc
         if self.metrics is not None:
             self.metrics.set_gauge("parallel.workers", float(workers))
-            self.metrics.increment("parallel.broadcasts")
-            self.metrics.set_gauge(
-                "parallel.broadcast.bytes", float(packed.nbytes())
-            )
+            if packed is not None:
+                self.metrics.increment("parallel.broadcasts")
+                self.metrics.set_gauge(
+                    "parallel.broadcast.bytes", float(packed.nbytes())
+                )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -166,8 +171,10 @@ class ProcessPoolBackend:
         )
 
     def _build_payload(
-        self, packed: PackedDatabase, broadcast: str
+        self, packed: PackedDatabase | None, broadcast: str
     ) -> tuple[tuple[str, object], str]:
+        if packed is None:
+            return ("none", None), "none"
         if broadcast in ("auto", "shm"):
             try:
                 self._broadcast_owner = SharedDatabaseBroadcast(packed)
@@ -179,10 +186,18 @@ class ProcessPoolBackend:
         return ("pickle", packed), "pickle"
 
     # ------------------------------------------------------------------
+    def _require_db(self) -> PackedDatabase:
+        if self.packed is None:
+            raise ParallelError(
+                "this pool has no broadcast database (it was started for "
+                "streaming tasks only)"
+            )
+        return self.packed
+
     @property
     def n_groups(self) -> int:
         """Lane groups available in the broadcast database."""
-        return self.packed.n_groups
+        return self._require_db().n_groups
 
     def group_chunks(self, chunk_size: int | None = None) -> list[tuple[int, ...]]:
         """Deterministic chunking of the group ids into task-sized runs."""
@@ -192,22 +207,36 @@ class ProcessPoolBackend:
         ids = range(self.n_groups)
         return [tuple(ids[k:k + size]) for k in range(0, self.n_groups, size)]
 
-    def submit_tasks(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
-        """Run chunk tasks on the pool; results in task order.
+    def submit_tasks_async(self, tasks: list[ChunkTask]):
+        """Enqueue chunk tasks; return their futures without waiting.
 
-        The merge downstream scatters disjoint positions, so result
-        order does not affect scores — task order is kept purely so the
-        accounting (metrics, traces) is reproducible.
+        The driver of the sharded out-of-core scan uses this to keep
+        the workers busy on shard *k* while it reads and encodes shard
+        *k + 1* (double buffering); pass the futures to
+        :meth:`collect` to harvest results.
         """
         if self._pool is None:
             raise ParallelError("worker pool is closed")
         try:
-            futures = [
+            return [
                 self._pool.submit(
                     score_chunk, replace(task, submitted_at=time.time())
                 )
                 for task in tasks
             ]
+        except BrokenProcessPool as exc:
+            raise ParallelError(
+                f"worker pool died on submit ({exc})"
+            ) from exc
+        except Exception as exc:
+            raise ParallelError(
+                f"parallel task submission failed "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
+
+    def collect(self, futures) -> list[ChunkResult]:
+        """Wait for futures from :meth:`submit_tasks_async`, in order."""
+        try:
             results = [f.result() for f in futures]
         except ParallelError:
             raise
@@ -222,6 +251,15 @@ class ProcessPoolBackend:
             ) from exc
         self._observe(results)
         return results
+
+    def submit_tasks(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
+        """Run chunk tasks on the pool; results in task order.
+
+        The merge downstream scatters disjoint positions, so result
+        order does not affect scores — task order is kept purely so the
+        accounting (metrics, traces) is reproducible.
+        """
+        return self.collect(self.submit_tasks_async(tasks))
 
     def score_groups(
         self,
@@ -239,6 +277,7 @@ class ProcessPoolBackend:
         where ``sorted_scores`` follows the sorted-database order (the
         same array the serial group loop fills in).
         """
+        packed = self._require_db()
         tasks = [
             ChunkTask(
                 chunk_id=k,
@@ -253,7 +292,7 @@ class ProcessPoolBackend:
             for k, chunk in enumerate(self.group_chunks(chunk_size))
         ]
         results = self.submit_tasks(tasks)
-        scores = np.zeros(self.packed.n_sequences, dtype=np.int64)
+        scores = np.zeros(packed.n_sequences, dtype=np.int64)
         saturated = redone = 0
         for res in results:
             scores[res.positions] = res.scores
@@ -361,9 +400,10 @@ class ProcessPoolBackend:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self._closed else "open"
+        groups = self.packed.n_groups if self.packed is not None else "none"
         return (
             f"<ProcessPoolBackend workers={self.workers} "
-            f"groups={self.n_groups} broadcast={self.broadcast_mode!r} "
+            f"groups={groups} broadcast={self.broadcast_mode!r} "
             f"{state}>"
         )
 

@@ -62,9 +62,13 @@ class ChunkTask:
     (the plain pipeline's chunking).  ``kind="subset"`` extracts the
     sequences at ``positions`` (sorted-database order) and packs them
     into fresh lane groups at ``engine.lanes`` — the work-queue
-    scheduler's arbitrarily-shaped chunks.  ``fault_unit_base`` offsets
-    the fault-injection unit ids so a subset chunk replays the exact
-    per-unit decisions of its serial counterpart.
+    scheduler's arbitrarily-shaped chunks.  ``kind="stream"`` carries
+    its own encoded sequences ``seqs`` (one streaming chunk of an
+    out-of-core scan — no broadcast database needed) starting at global
+    record index ``base_index``; the worker scores it exactly like the
+    serial :class:`~repro.search.StreamingSearch` chunk loop does.
+    ``fault_unit_base`` offsets the fault-injection unit ids so a chunk
+    replays the exact per-unit decisions of its serial counterpart.
     """
 
     chunk_id: int
@@ -75,6 +79,8 @@ class ChunkTask:
     engine: EngineConfig
     group_ids: tuple[int, ...] = ()
     positions: tuple[int, ...] = ()
+    seqs: tuple[np.ndarray, ...] = ()
+    base_index: int = 0
     plan: FaultPlan | None = None
     fault_unit_base: int = 0
     submitted_at: float = 0.0
@@ -104,7 +110,9 @@ def init_worker(payload: tuple[str, object]) -> None:
 
     ``payload`` is ``("pickle", PackedDatabase)`` — the flat arrays
     arrive pickled with the initializer — or ``("shm", handle)`` — the
-    worker maps the owner's shared-memory segments with zero copy.
+    worker maps the owner's shared-memory segments with zero copy — or
+    ``("none", None)`` for a streaming pool whose tasks carry their own
+    sequences (``kind="stream"``).
     """
     mode, data = payload
     if mode == "shm":
@@ -116,6 +124,8 @@ def init_worker(payload: tuple[str, object]) -> None:
                 f"broadcast payload is {type(data).__name__}, "
                 "expected PackedDatabase"
             )
+    elif mode == "none":
+        db = None
     else:
         raise ParallelError(f"unknown broadcast mode {mode!r}")
     _STATE.clear()
@@ -203,18 +213,66 @@ def _score_groups(task: ChunkTask, groups, units, engine, exact):
     return empty, empty.copy(), saturated, redone, cells
 
 
+def _score_stream(task: ChunkTask, engine: InterTaskEngine):
+    """Score one streaming chunk exactly like the serial streamed scan.
+
+    The whole chunk goes through :meth:`InterTaskEngine.score_batch`
+    (saturated lanes recomputed exactly inside, as in the serial path)
+    and — under a fault plan — through one checksum-guarded transmit
+    whose unit id is the chunk's *global* chunk index
+    (``fault_unit_base``), so corruption decisions and redo counts
+    replay the serial scan bit for bit.
+    """
+    from ..search.pipeline import guarded_transmit
+
+    seqs = [np.asarray(s, dtype=np.uint8) for s in task.seqs]
+    batch_holder: list = []
+
+    def compute() -> np.ndarray:
+        batch = engine.score_batch(task.query, seqs, task.matrix, task.gaps)
+        batch_holder.append(batch)
+        return batch.scores
+
+    if task.plan is None:
+        scores = compute()
+        redone = 0
+    else:
+        injector = FaultInjector(task.plan)
+        scores, redone = guarded_transmit(
+            injector, task.fault_unit_base, compute
+        )
+    batch = batch_holder[-1]
+    positions = task.base_index + np.arange(len(seqs), dtype=np.int64)
+    return (
+        positions,
+        np.asarray(scores, dtype=np.int64),
+        len(batch.saturated),
+        redone,
+        batch.cells,
+    )
+
+
 def score_chunk(task: ChunkTask) -> ChunkResult:
     """Execute one :class:`ChunkTask` against the broadcast database."""
     started = time.time()
     t0 = time.perf_counter()
-    db: PackedDatabase = _STATE.get("db")  # type: ignore[assignment]
-    if db is None:
-        raise ParallelError("worker has no database broadcast")
+    if "db" not in _STATE:
+        raise ParallelError("worker was not initialised")
+    db: PackedDatabase | None = _STATE.get("db")
+    if db is None and task.kind != "stream":
+        raise ParallelError(
+            f"worker has no database broadcast (required by "
+            f"kind={task.kind!r} tasks)"
+        )
     alphabet = task.matrix.alphabet
     engine = _engine(task.engine, alphabet)
     exact = ScanEngine(alphabet)
 
-    if task.kind == "groups":
+    if task.kind == "stream":
+        positions, scores, saturated, redone, cells = _score_stream(
+            task, engine
+        )
+    elif task.kind == "groups":
         groups = [db.group(g) for g in task.group_ids]
         units = list(task.group_ids)
         positions, scores, saturated, redone, cells = _score_groups(

@@ -13,6 +13,7 @@ from .result import Hit, SearchResult
 from .pipeline import SearchPipeline
 from .gcups import gcups, Stopwatch
 from .streaming import StreamingSearch, StreamingResult
+from .sharded import ShardedStreamingSearch
 from .multiquery import MultiQueryExecutor, MultiQueryOutcome
 from .hybrid_pipeline import HybridSearchPipeline, HybridSearchResult
 from .stats import (
@@ -40,6 +41,7 @@ __all__ = [
     "ungapped_lambda",
     "StreamingSearch",
     "StreamingResult",
+    "ShardedStreamingSearch",
     "MultiQueryExecutor",
     "MultiQueryOutcome",
     "HybridSearchPipeline",

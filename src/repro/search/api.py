@@ -75,7 +75,9 @@ class SearchOptions:
     threads:
         Virtual thread count for the schedule simulation.
     top_k:
-        Default number of ranked hits returned.
+        Default number of ranked hits returned; ``0`` means scores
+        only — the search still runs and accounts, but keeps no
+        ranked hits (the work-queue scheduler uses this internally).
     chunk_size:
         Streaming batch size (records per chunk).
     alphabet:
@@ -100,8 +102,10 @@ class SearchOptions:
             raise PipelineError(f"lanes must be positive, got {self.lanes}")
         if self.threads < 1:
             raise PipelineError(f"threads must be positive, got {self.threads}")
-        if self.top_k < 1:
-            raise PipelineError(f"top_k must be positive, got {self.top_k}")
+        if self.top_k < 0:
+            raise PipelineError(
+                f"top_k must be non-negative, got {self.top_k}"
+            )
         if self.chunk_size < 1:
             raise PipelineError(
                 f"chunk size must be positive, got {self.chunk_size}"

@@ -19,16 +19,26 @@ __all__ = ["gcups", "Stopwatch"]
 def gcups(cells: int, seconds: float) -> float:
     """Giga cell updates per second.
 
+    A zero-duration measurement — tiny inputs under a coarse clock —
+    degrades to ``0.0`` rather than raising: throughput is simply
+    unmeasurable there, and result properties consumed after the fact
+    (``summary()``, service accounting) must not blow up a search that
+    already succeeded.
+
     Raises
     ------
     PipelineError
-        On non-positive time or negative cell counts, which would
-        silently report nonsense throughput.
+        On negative time or negative cell counts, which would silently
+        report nonsense throughput.
     """
-    if seconds <= 0:
-        raise PipelineError(f"elapsed time must be positive, got {seconds}")
+    if seconds < 0:
+        raise PipelineError(
+            f"elapsed time must be non-negative, got {seconds}"
+        )
     if cells < 0:
         raise PipelineError(f"cell count must be non-negative, got {cells}")
+    if seconds == 0:
+        return 0.0
     return cells / seconds / 1e9
 
 

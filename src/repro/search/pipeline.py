@@ -301,6 +301,17 @@ class SearchPipeline:
                     "preprocessed database does not match the search database "
                     f"({len(preprocessed.database)} vs {len(database)} entries)"
                 )
+            # Same shape is not same content: a stale preprocess of a
+            # different database would silently score the wrong
+            # sequences.  The source fingerprint pins the original
+            # (pre-sort) database this preprocess came from.
+            src_fp = preprocessed.source_fingerprint
+            if src_fp is not None and src_fp != database.fingerprint():
+                raise PipelineError(
+                    "preprocessed database content does not match the "
+                    "search database (fingerprint mismatch) — it was "
+                    "built from a different database"
+                )
 
         tracer = get_tracer()
         with tracer.span("pipeline.search") as root:

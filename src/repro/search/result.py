@@ -25,8 +25,14 @@ class Hit:
 
     @property
     def accession(self) -> str:
-        """First token of the FASTA header."""
-        return self.header.split()[0]
+        """First token of the FASTA header.
+
+        Empty or whitespace-only headers (programmatically built
+        databases can carry them) yield the stable placeholder
+        ``"<unnamed>"`` rather than crashing report formatting.
+        """
+        parts = self.header.split()
+        return parts[0] if parts else "<unnamed>"
 
 
 @dataclass

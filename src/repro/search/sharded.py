@@ -1,0 +1,356 @@
+"""Sharded out-of-core parallel search — streaming meets the pool.
+
+Before this module the library could search databases bigger than
+memory (:class:`~repro.search.StreamingSearch`, strictly serial) or
+search on many real cores (:class:`~repro.parallel.ProcessPoolBackend`,
+fully-resident databases only) — but not both at once.  This driver
+composes them, SWAPHI-style: the record stream is split into
+bounded-memory *shards* (:mod:`repro.db.shards`), every shard's chunks
+are scored on the persistent worker pool, and a single bounded top-k
+heap merges the results.
+
+Determinism and fault guarantees match the serial scan exactly:
+
+* **Chunk alignment** — shard boundaries fall on multiples of the
+  streaming ``chunk_size``, so every pool task is one *serial* chunk
+  and its fault-injection unit is the global chunk index.  Corruption
+  decisions (and therefore ``corrupted_redone``) replay bit for bit.
+* **Order-free merge** — heap entries are totally ordered by
+  ``(score, -global index)``; the k largest under a total order do not
+  depend on insertion order, so ties still resolve toward the earlier
+  database record and the ranked hits are bit-identical to the serial
+  scan whatever the worker count or completion order.
+* **Double buffering** — shard *k* executes on the pool while the
+  driver reads and encodes shard *k + 1*; at most two shards (plus the
+  heap) are ever resident in the driver, which is what bounds peak
+  memory by shard size rather than database size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator
+
+from ..core.engine import as_codes
+from ..db.shards import Shard, ShardSpec, iter_shards
+from ..exceptions import PipelineError
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.tracer import get_tracer
+from .api import SearchOptions
+from .gcups import Stopwatch
+from .result import Hit
+from .streaming import StreamingResult
+
+__all__ = ["DEFAULT_SHARD_RESIDUES", "ShardedStreamingSearch"]
+
+#: Default residue bound per shard — a few thousand typical protein
+#: sequences: big enough to keep a small pool saturated, small enough
+#: that two resident shards stay far below any realistic database.
+DEFAULT_SHARD_RESIDUES = 1_000_000
+
+
+class ShardedStreamingSearch:
+    """Out-of-core top-k scan executed on a persistent worker pool.
+
+    Parameters
+    ----------
+    options:
+        Shared :class:`~repro.search.SearchOptions`; ``chunk_size`` is
+        the per-task record batch (identical meaning to the serial
+        :class:`~repro.search.StreamingSearch`), ``top_k`` the hits
+        retained (``0`` = scores-only accounting, no hits).
+    workers:
+        Real worker processes scoring chunks concurrently.
+    shard_residues, shard_records:
+        Bounds of one shard (:class:`~repro.db.shards.ShardSpec`);
+        defaults to :data:`DEFAULT_SHARD_RESIDUES` residues when
+        neither is given.
+    metrics:
+        Registry receiving ``streaming.*`` and ``streaming.shard.*``
+        metrics (defaults to the process-wide one).
+
+    The pool starts lazily on the first search (or via :meth:`start`)
+    and persists across searches; :meth:`close` shuts it down.
+    """
+
+    def __init__(
+        self,
+        options: SearchOptions | None = None,
+        *,
+        workers: int,
+        shard_residues: int | None = None,
+        shard_records: int | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if int(workers) < 1:
+            raise PipelineError(
+                f"worker count must be positive, got {workers}"
+            )
+        opts = options if options is not None else SearchOptions()
+        self.options = opts
+        self.matrix = opts.resolved_matrix()
+        self.gaps = opts.resolved_gaps()
+        self.chunk_size = opts.chunk_size
+        self.top_k = opts.top_k
+        self.alphabet = opts.alphabet
+        self.injector = opts.injector
+        self.workers = int(workers)
+        if shard_residues is None and shard_records is None:
+            shard_residues = DEFAULT_SHARD_RESIDUES
+        self.spec = ShardSpec(
+            max_residues=shard_residues, max_records=shard_records
+        )
+        self.metrics = metrics if metrics is not None else METRICS
+        from ..parallel.worker import EngineConfig
+
+        # The serial streamed scan runs a default-profile, unblocked
+        # engine at the options' lane width — mirror it exactly.
+        self._engine_cfg = EngineConfig(lanes=opts.resolved_lanes(8))
+        self._backend = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def start(self):
+        """Start (or return) the streaming worker pool.
+
+        Raises :class:`~repro.exceptions.ParallelError` when the pool
+        cannot come up — deliberately *before* any record is consumed,
+        so callers can still fall back to the serial scan over the very
+        same stream.
+        """
+        from ..parallel.backend import ProcessPoolBackend
+
+        if self._backend is None or self._backend.closed:
+            self._backend = ProcessPoolBackend(
+                None, workers=self.workers, metrics=self.metrics
+            )
+        return self._backend
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        backend, self._backend = self._backend, None
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "ShardedStreamingSearch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # the sharded scan
+    # ------------------------------------------------------------------
+    def _read_shards(self, records: Iterable, tracer) -> Iterator[Shard]:
+        """Yield shards, timing each read/encode leg (`shard.read`)."""
+        source = iter_shards(
+            records, self.spec,
+            alphabet=self.alphabet, align_records=self.chunk_size,
+        )
+        while True:
+            watch = Stopwatch()
+            with tracer.span("shard.read") as sp, watch:
+                shard = next(source, None)
+                if sp and shard is not None:
+                    sp.set_attributes(
+                        shard=shard.shard_id,
+                        records=shard.n_records,
+                        residues=shard.residues,
+                    )
+            if shard is None:
+                return
+            self.metrics.increment("streaming.shard.count")
+            self.metrics.increment("streaming.shard.records", shard.n_records)
+            self.metrics.increment("streaming.shard.residues", shard.residues)
+            self.metrics.observe("streaming.shard.read.seconds", watch.seconds)
+            yield shard
+
+    def _submit(self, backend, q, shard: Shard):
+        """One pool task per serial chunk of ``shard`` (non-blocking)."""
+        from ..parallel.worker import ChunkTask
+
+        plan = self.injector.plan if self.injector is not None else None
+        tasks = []
+        for off in range(0, shard.n_records, self.chunk_size):
+            base = shard.base_index + off
+            unit = base // self.chunk_size  # global serial chunk index
+            tasks.append(ChunkTask(
+                chunk_id=unit,
+                kind="stream",
+                query=q,
+                matrix=self.matrix,
+                gaps=self.gaps,
+                engine=self._engine_cfg,
+                seqs=tuple(shard.sequences[off:off + self.chunk_size]),
+                base_index=base,
+                plan=plan,
+                fault_unit_base=unit,
+            ))
+        return backend.submit_tasks_async(tasks), len(tasks)
+
+    def _merge(self, backend, shard: Shard, futures, heap, tracer) -> tuple:
+        """Harvest ``shard``'s results and fold them into the heap."""
+        watch = Stopwatch()
+        with tracer.span("shard.score") as sp, watch:
+            results = backend.collect(futures)
+            if sp:
+                sp.set_attributes(
+                    shard=shard.shard_id, chunks=len(results),
+                    workers=len({r.pid for r in results}),
+                )
+        self.metrics.observe("streaming.shard.score.seconds", watch.seconds)
+
+        scanned = cells = redone = 0
+        merge_watch = Stopwatch()
+        with tracer.span("shard.merge") as sp, merge_watch:
+            if sp:
+                sp.set_attributes(shard=shard.shard_id)
+            for res in results:
+                cells += res.cells
+                redone += res.redone
+                for pos, score in zip(res.positions, res.scores):
+                    idx = int(pos)
+                    scanned += 1
+                    local = idx - shard.base_index
+                    hit = Hit(
+                        index=idx,
+                        header=shard.headers[local],
+                        length=len(shard.sequences[local]),
+                        score=int(score),
+                    )
+                    entry = (int(score), -idx, hit)
+                    if len(heap) < self.top_k:
+                        heapq.heappush(heap, entry)
+                    elif heap and entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+        self.metrics.observe(
+            "streaming.shard.merge.seconds", merge_watch.seconds
+        )
+        return scanned, cells, redone
+
+    def search_records(
+        self,
+        query,
+        records: Iterable,
+        *,
+        query_name: str = "query",
+        database_name: str = "<stream>",
+        top_k: int | None = None,
+    ) -> StreamingResult:
+        """Stream records through the pool; return the serial top-k.
+
+        ``records`` may be :class:`~repro.db.fasta.FastaRecord` objects
+        or ``(header, sequence)`` pairs (sequences as residue letters or
+        encoded arrays).  Hits, tie order and ``corrupted_redone`` are
+        bit-identical to :class:`~repro.search.StreamingSearch` over the
+        same stream.
+        """
+        q = as_codes(query, self.alphabet)
+        if top_k is None:
+            top_k = self.top_k
+        backend = self.start()
+        heap: list[tuple[int, int, Hit]] = []
+        scanned = cells = chunks = shards = 0
+        corrupted_redone = 0
+        watch = Stopwatch()
+        tracer = get_tracer()
+
+        # Temporarily pin the heap bound for _merge (kept on self to
+        # avoid threading it through every helper).
+        saved_top_k, self.top_k = self.top_k, top_k
+        try:
+            with tracer.span("streaming.search") as root:
+                if root:
+                    root.set_attributes(
+                        query_name=query_name, query_length=len(q),
+                        database=database_name, chunk_size=self.chunk_size,
+                        top_k=top_k, executor="sharded",
+                        workers=self.workers,
+                        shard_residues=self.spec.max_residues,
+                        shard_records=self.spec.max_records,
+                    )
+                with watch:
+                    pending: tuple | None = None
+                    # Double buffer: while shard k executes on the pool,
+                    # the loop header reads/encodes shard k+1.
+                    for shard in self._read_shards(records, tracer):
+                        shards += 1
+                        if pending is not None:
+                            done_shard, futures = pending
+                            s, c, r = self._merge(
+                                backend, done_shard, futures, heap, tracer
+                            )
+                            scanned += s
+                            cells += c
+                            corrupted_redone += r
+                        futures, n_tasks = self._submit(backend, q, shard)
+                        chunks += n_tasks
+                        pending = (shard, futures)
+                    if pending is not None:
+                        done_shard, futures = pending
+                        s, c, r = self._merge(
+                            backend, done_shard, futures, heap, tracer
+                        )
+                        scanned += s
+                        cells += c
+                        corrupted_redone += r
+
+                if scanned == 0:
+                    raise PipelineError("the record stream was empty")
+                if root:
+                    root.set_attributes(
+                        chunks=chunks, sequences=scanned, shards=shards
+                    )
+                self.metrics.increment("streaming.searches")
+                self.metrics.increment("streaming.chunks", chunks)
+                self.metrics.observe(
+                    "streaming.search.seconds", watch.seconds
+                )
+                ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
+                return StreamingResult(
+                    query_name=query_name,
+                    query_length=len(q),
+                    hits=[h for _, _, h in ranked],
+                    sequences_scanned=scanned,
+                    cells=cells,
+                    chunks=chunks,
+                    wall_seconds=watch.seconds,
+                    corrupted_redone=corrupted_redone,
+                    database_name=database_name,
+                )
+        finally:
+            self.top_k = saved_top_k
+
+    def search_fasta(
+        self, query, path, *, query_name: str = "query",
+        top_k: int | None = None,
+    ) -> StreamingResult:
+        """Stream a FASTA file from disk (never fully loaded)."""
+        from pathlib import Path
+
+        from ..db.fasta import read_fasta
+
+        return self.search_records(
+            query, read_fasta(path), query_name=query_name,
+            database_name=Path(path).stem, top_k=top_k,
+        )
+
+    def search_database(
+        self, query, database, *, query_name: str = "query",
+        top_k: int | None = None,
+    ) -> StreamingResult:
+        """Scan a resident :class:`~repro.db.SequenceDatabase`.
+
+        The entries stream through the shard pipeline in database
+        order without re-encoding; useful when a database object is
+        too large to preprocess/broadcast whole but already loaded.
+        """
+        return self.search_records(
+            query,
+            zip(database.headers, database.sequences),
+            query_name=query_name,
+            database_name=database.name,
+            top_k=top_k,
+        )

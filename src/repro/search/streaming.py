@@ -13,15 +13,15 @@ import heapq
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from ..alphabet import UnknownPolicy
 from ..core.engine import as_codes
 from ..core.intertask import InterTaskEngine
 from ..db.fasta import FastaRecord
-from ..exceptions import PipelineError
+from ..db.shards import encode_record
+from ..exceptions import ParallelError, PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
 from .api import UNSET, SearchOptions, unify_options
-from .gcups import Stopwatch
+from .gcups import Stopwatch, gcups
 from .result import Hit
 
 __all__ = ["StreamingResult", "StreamingSearch"]
@@ -43,10 +43,12 @@ class StreamingResult:
 
     @property
     def wall_gcups(self) -> float:
-        """Python throughput of the streamed scan."""
-        if self.wall_seconds <= 0:
-            raise PipelineError("wall time must be positive")
-        return self.cells / self.wall_seconds / 1e9
+        """Python throughput of the streamed scan.
+
+        ``0.0`` for a zero-duration measurement (tiny input, coarse
+        clock); raises only on negative time.
+        """
+        return gcups(self.cells, self.wall_seconds)
 
     @property
     def gcups(self) -> float:
@@ -56,6 +58,26 @@ class StreamingResult:
     def best_score(self) -> int:
         """Highest score seen (0 when nothing scored)."""
         return self.hits[0].score if self.hits else 0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        lines = [
+            f"query {self.query_name} (len {self.query_length}) vs "
+            f"{self.database_name}: {self.sequences_scanned} sequences in "
+            f"{self.chunks} chunks, {self.cells / 1e9:.3f} Gcells in "
+            f"{self.wall_seconds:.3f}s ({self.wall_gcups:.4f} GCUPS wall)"
+        ]
+        if self.corrupted_redone:
+            lines.append(
+                f"  {self.corrupted_redone} chunk(s) recomputed after "
+                f"checksum mismatch"
+            )
+        for rank, hit in enumerate(self.hits[:10], start=1):
+            lines.append(
+                f"  #{rank:<2d} score {hit.score:>6d}  {hit.accession} "
+                f"(len {hit.length})"
+            )
+        return "\n".join(lines)
 
     @property
     def provenance(self) -> dict:
@@ -84,6 +106,15 @@ class StreamingSearch:
         checksum guard; corrupted chunks are recomputed, so the top-k
         matches the fault-free scan.  The old per-class keywords still
         work but emit a :class:`DeprecationWarning`.
+    workers:
+        ``1`` (default) scans serially in-process.  ``> 1`` routes
+        every chunk through a persistent worker-process pool, reading
+        shards of ``shard_residues`` residues (or ``shard_records``
+        records) double-buffered against execution — results stay
+        bit-identical to the serial scan (see
+        :class:`~repro.search.sharded.ShardedStreamingSearch`).  When
+        the pool cannot start, the scan falls back to serial and the
+        ``streaming.fallback`` counter records it.
     """
 
     def __init__(
@@ -92,6 +123,9 @@ class StreamingSearch:
         gaps=UNSET,
         *,
         metrics: MetricsRegistry | None = None,
+        workers: int = 1,
+        shard_residues: int | None = None,
+        shard_records: int | None = None,
         matrix=UNSET,
         lanes=UNSET,
         chunk_size=UNSET,
@@ -105,6 +139,10 @@ class StreamingSearch:
                  top_k=top_k, alphabet=alphabet, injector=injector),
             owner="StreamingSearch",
         )
+        if int(workers) < 1:
+            raise PipelineError(
+                f"worker count must be positive, got {workers}"
+            )
         self.options = opts
         self.matrix = opts.resolved_matrix()
         self.gaps = opts.resolved_gaps()
@@ -112,21 +150,79 @@ class StreamingSearch:
         self.top_k = opts.top_k
         self.alphabet = opts.alphabet
         self.injector = opts.injector
+        self.workers = int(workers)
+        self.shard_residues = shard_residues
+        self.shard_records = shard_records
         self.metrics = metrics if metrics is not None else METRICS
         self.engine = InterTaskEngine(
             alphabet=opts.alphabet, lanes=opts.resolved_lanes(8)
         )
+        self._sharded = None
+
+    # ------------------------------------------------------------------
+    def _sharded_driver(self):
+        """The lazily built pool-backed driver (``workers > 1`` only)."""
+        if self._sharded is None:
+            from .sharded import ShardedStreamingSearch
+
+            self._sharded = ShardedStreamingSearch(
+                self.options,
+                workers=self.workers,
+                shard_residues=self.shard_residues,
+                shard_records=self.shard_records,
+                metrics=self.metrics,
+            )
+        return self._sharded
+
+    def close(self) -> None:
+        """Shut down the worker pool, if one was started (idempotent)."""
+        sharded, self._sharded = self._sharded, None
+        if sharded is not None:
+            sharded.close()
+
+    def __enter__(self) -> "StreamingSearch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     def search_records(
         self,
         query,
-        records: Iterable[FastaRecord],
+        records: Iterable,
         *,
         query_name: str = "query",
         database_name: str = "<stream>",
+        top_k: int | None = None,
     ) -> StreamingResult:
-        """Stream FASTA records through the engine; return the top-k."""
+        """Stream records through the engine; return the top-k.
+
+        ``records`` may be :class:`~repro.db.fasta.FastaRecord` objects
+        or ``(header, sequence)`` pairs.  ``top_k`` overrides the
+        options' value for this one search (``0`` = scores-only
+        accounting, no ranked hits).
+        """
+        if top_k is None:
+            top_k = self.top_k
+        if self.workers > 1:
+            try:
+                driver = self._sharded_driver()
+                # Start the pool before touching the stream so a failed
+                # start can still fall back over the same iterator.
+                driver.start()
+            except ParallelError as exc:
+                self.metrics.increment("streaming.fallback")
+                get_tracer().event(
+                    "streaming.fallback", reason=str(exc),
+                    workers=self.workers,
+                )
+            else:
+                return driver.search_records(
+                    query, records, query_name=query_name,
+                    database_name=database_name, top_k=top_k,
+                )
         q = as_codes(query, self.alphabet)
         # Min-heap of (score, -index, hit): smallest retained hit on top;
         # on score ties the later record loses.
@@ -144,7 +240,7 @@ class StreamingSearch:
                 root.set_attributes(
                     query_name=query_name, query_length=len(q),
                     database=database_name, chunk_size=self.chunk_size,
-                    top_k=self.top_k,
+                    top_k=top_k,
                 )
             with watch:
                 for chunk in _chunked(records, self.chunk_size):
@@ -154,12 +250,12 @@ class StreamingSearch:
                             sp.set_attributes(
                                 chunk=chunks - 1, records=len(chunk)
                             )
-                        seqs = [
-                            self.alphabet.encode(
-                                r.sequence, unknown=UnknownPolicy.MAP_TO_X
-                            )
-                            for r in chunk
+                        pairs = [
+                            encode_record(item, self.alphabet)
+                            for item in chunk
                         ]
+                        headers = [h for h, _ in pairs]
+                        seqs = [s for _, s in pairs]
                         if self.injector is None:
                             batch = self.engine.score_batch(
                                 q, seqs, self.matrix, self.gaps
@@ -180,17 +276,17 @@ class StreamingSearch:
                             )
                             corrupted_redone += redos
                         cells += batch.cells
-                        for rec, seq, score in zip(chunk, seqs, scores):
+                        for header, seq, score in zip(headers, seqs, scores):
                             idx = scanned
                             scanned += 1
                             hit = Hit(
-                                index=idx, header=rec.header,
+                                index=idx, header=header,
                                 length=len(seq), score=int(score),
                             )
                             entry = (int(score), -idx, hit)
-                            if len(heap) < self.top_k:
+                            if len(heap) < top_k:
                                 heapq.heappush(heap, entry)
-                            elif entry > heap[0]:
+                            elif heap and entry > heap[0]:
                                 heapq.heapreplace(heap, entry)
 
             if scanned == 0:
@@ -214,7 +310,8 @@ class StreamingSearch:
             )
 
     def search_fasta(
-        self, query, path, *, query_name: str = "query"
+        self, query, path, *, query_name: str = "query",
+        top_k: int | None = None,
     ) -> StreamingResult:
         """Stream a FASTA file from disk (never fully loaded)."""
         from pathlib import Path
@@ -223,7 +320,24 @@ class StreamingSearch:
 
         return self.search_records(
             query, read_fasta(path), query_name=query_name,
-            database_name=Path(path).stem,
+            database_name=Path(path).stem, top_k=top_k,
+        )
+
+    def search_database(
+        self, query, database, *, query_name: str = "query",
+        top_k: int | None = None,
+    ) -> StreamingResult:
+        """Scan a resident :class:`~repro.db.SequenceDatabase`.
+
+        Entries stream through the chunk (and, with ``workers > 1``,
+        shard) pipeline in database order without re-encoding.
+        """
+        return self.search_records(
+            query,
+            zip(database.headers, database.sequences),
+            query_name=query_name,
+            database_name=database.name,
+            top_k=top_k,
         )
 
 

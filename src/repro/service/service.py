@@ -44,7 +44,7 @@ from .scheduler import WorkQueueScheduler
 __all__ = ["ServiceBatchResult", "SearchService"]
 
 SCHEDULERS = ("local", "static", "queue")
-EXECUTORS = ("inprocess", "process")
+EXECUTORS = ("inprocess", "process", "sharded")
 
 
 @dataclass
@@ -145,13 +145,23 @@ class SearchService:
         ``"process"`` scores on a persistent pool of ``workers`` real
         OS processes (``local`` searches through
         ``SearchPipeline(workers=N)``, ``queue`` drains its chunk queue
-        through the same pool).  Scores are identical either way; the
-        pool falls back to in-process execution if it cannot start.
-        The ``static`` scheduler is a purely modelled split and has no
-        process executor.
+        through the same pool).  ``"sharded"`` (``local`` scheduler
+        only) streams databases larger than ``shard_residues`` through
+        the bounded-memory sharded scan on the worker pool instead of
+        preprocessing them whole — the out-of-core path; smaller
+        databases (and traceback requests, which need the resident
+        pipeline) still take the cached-preprocess route.  Scores are
+        identical every way; a pool that cannot start falls back to
+        in-process execution.  The ``static`` scheduler is a purely
+        modelled split and has no process executor.
     workers:
-        Pool size for the process executor; defaults to the CPU count.
-        Passing ``workers > 1`` implies ``executor="process"``.
+        Pool size for the process/sharded executors; defaults to the
+        CPU count.  Passing ``workers > 1`` implies
+        ``executor="process"`` when no executor was chosen.
+    shard_residues:
+        Sharded-executor knob: databases above this many residues
+        stream through shards of (at most) this size; others go
+        through the resident pipeline.
     host_model, device_model:
         Device pair for the heterogeneous schedulers; defaults to the
         paper's dual Xeon + Xeon Phi when needed.
@@ -185,6 +195,7 @@ class SearchService:
         cache_capacity: int = 8,
         chunks: int = 24,
         static_fraction: float = 0.55,
+        shard_residues: int = 1_000_000,
         link: PCIeLink = PCIE_GEN2_X16,
         metrics: MetricsRegistry = METRICS,
         tracer: Tracer | None = None,
@@ -202,9 +213,18 @@ class SearchService:
                 raise PipelineError(
                     f"worker count must be positive, got {workers}"
                 )
-            if int(workers) > 1:
+            if int(workers) > 1 and executor == "inprocess":
                 executor = "process"
-        if executor == "process":
+        if shard_residues < 1:
+            raise PipelineError(
+                f"shard_residues must be positive, got {shard_residues}"
+            )
+        if executor == "sharded" and scheduler != "local":
+            raise PipelineError(
+                "the sharded executor streams through the local pipeline "
+                f"only; scheduler {scheduler!r} does not support it"
+            )
+        if executor in ("process", "sharded"):
             if scheduler == "static":
                 raise PipelineError(
                     "the static scheduler is purely modelled and has no "
@@ -228,11 +248,20 @@ class SearchService:
                 device_model = DevicePerformanceModel(XEON_PHI_57XX)
         self.host_model = host_model
         self.device_model = device_model
+        self.shard_residues = int(shard_residues)
         pool_workers = self.workers if executor == "process" else None
         if scheduler == "local":
             self._pipe = SearchPipeline(
                 self.options, metrics=metrics, workers=pool_workers
             )
+            if executor == "sharded":
+                from ..search.streaming import StreamingSearch
+
+                self._stream = StreamingSearch(
+                    self.options, metrics=metrics,
+                    workers=self.workers,
+                    shard_residues=self.shard_residues,
+                )
         elif scheduler == "static":
             self._hybrid = HybridSearchPipeline(
                 host_model, device_model, self.options, link=link,
@@ -252,6 +281,9 @@ class SearchService:
         pipe = getattr(self, "_pipe", None)
         if pipe is not None:
             pipe.close()
+        stream = getattr(self, "_stream", None)
+        if stream is not None:
+            stream.close()
         queue = getattr(self, "_queue", None)
         if queue is not None:
             queue.close()
@@ -297,6 +329,17 @@ class SearchService:
                     database=database.name,
                 )
             if self.scheduler == "local":
+                if (
+                    self.executor == "sharded"
+                    and not req.traceback
+                    and database.total_residues > self.shard_residues
+                ):
+                    # Out-of-core route: never preprocess/cache the
+                    # whole database, stream it in bounded shards.
+                    return self._stream.search_database(
+                        req.query, database, query_name=req.name,
+                        top_k=req.top_k,
+                    )
                 pre = self.cache.get(database, lanes=self._pipe.lanes)
                 return self._pipe.search(
                     req.query, database, query_name=req.name,

@@ -49,6 +49,7 @@ PUBLIC_API = {
     "SequenceDatabase", "SyntheticSwissProt", "PAPER_QUERIES",
     "make_query_set", "read_fasta", "write_fasta",
     "preprocess_database", "split_database",
+    "ShardSpec", "iter_shards",
     # devices / model / runtime
     "DeviceSpec", "XEON_E5_2670_DUAL", "XEON_PHI_57XX",
     "ParallelFor", "Schedule",
@@ -60,7 +61,7 @@ PUBLIC_API = {
     # search
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
-    "StreamingSearch", "StreamingResult",
+    "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome",
     # service
@@ -150,7 +151,7 @@ class TestSearchOptions:
         [
             dict(lanes=0),
             dict(threads=0),
-            dict(top_k=0),
+            dict(top_k=-1),
             dict(chunk_size=0),
             dict(profile="diagonal"),
             dict(schedule="fifo"),

@@ -27,9 +27,14 @@ class TestGcupsMetric:
     def test_value(self):
         assert gcups(2_000_000_000, 2.0) == 1.0
 
+    def test_zero_duration_degrades_to_zero(self):
+        # A coarse clock can legitimately measure 0s on tiny inputs;
+        # the metric degrades instead of blowing up a finished search.
+        assert gcups(100, 0.0) == 0.0
+
     def test_invalid(self):
         with pytest.raises(PipelineError):
-            gcups(100, 0.0)
+            gcups(100, -0.5)
         with pytest.raises(PipelineError):
             gcups(-1, 1.0)
 

@@ -95,4 +95,15 @@ class TestStreamBehaviour:
         with pytest.raises(PipelineError):
             StreamingSearch(chunk_size=0)
         with pytest.raises(PipelineError):
-            StreamingSearch(top_k=0)
+            StreamingSearch(top_k=-1)
+        with pytest.raises(PipelineError):
+            StreamingSearch(workers=0)
+
+    def test_top_k_zero_scores_only(self, records, rng):
+        # 0 = scores-only accounting: the scan runs, keeps no hits.
+        q = random_protein(rng, 15)
+        result = StreamingSearch(top_k=0).search_records(
+            q, iter(records[:30])
+        )
+        assert result.hits == []
+        assert result.sequences_scanned == 30
