@@ -1,0 +1,109 @@
+"""Self-healing overhead: a chaos scan vs the same scan fault-free.
+
+A worker death mid-scan costs one pool rebuild plus the re-execution of
+the chunks whose results died with it — not the whole scan.  This
+benchmark measures that price for real: the same sharded out-of-core
+scan is run clean and under a seeded worker-kill plan, asserting
+bit-identical hits and bounding the chaos run's slowdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.faults import FaultInjector, FaultPlan
+from repro.metrics import MetricsRegistry, format_table
+from repro.search import SearchOptions, ShardedStreamingSearch
+
+from conftest import run_once
+
+SCALE = 0.004
+QUERY = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQMTPSRHADSLVKQ"
+CHUNK_SIZE = 64
+SHARD_RECORDS = 256
+#: One poison chunk: it kills its worker until quarantined, so the run
+#: pays poison_threshold pool rebuilds plus the inline reclaim.
+KILL_PLAN = FaultPlan(seed=11, worker_kill_units=(3,))
+
+
+@pytest.fixture(scope="module")
+def database():
+    return SyntheticSwissProt(seed=23).generate(scale=SCALE)
+
+
+@pytest.mark.benchmark(group="self-healing")
+def test_self_healing_overhead(benchmark, show, database):
+    clean_opts = SearchOptions(chunk_size=CHUNK_SIZE, top_k=10)
+    chaos_opts = SearchOptions(
+        chunk_size=CHUNK_SIZE, top_k=10,
+        injector=FaultInjector(KILL_PLAN),
+    )
+
+    def measure() -> dict:
+        out: dict = {}
+        with ShardedStreamingSearch(
+            clean_opts, workers=2, shard_records=SHARD_RECORDS
+        ) as clean:
+            clean.search_database(QUERY, database)  # warm-up: pool start
+            t0 = time.perf_counter()
+            out["clean"] = clean.search_database(QUERY, database)
+            out["clean_wall"] = time.perf_counter() - t0
+
+        registry = MetricsRegistry()
+        with ShardedStreamingSearch(
+            chaos_opts, workers=2, shard_records=SHARD_RECORDS,
+            metrics=registry,
+        ) as chaos:
+            t0 = time.perf_counter()
+            out["chaos"] = chaos.search_database(QUERY, database)
+            out["chaos_wall"] = time.perf_counter() - t0
+        out["heals"] = registry.snapshot().get("pool.heal.count", 0)
+        out["quarantined"] = registry.snapshot().get(
+            "pool.heal.quarantined", 0
+        )
+        return out
+
+    r = run_once(benchmark, measure)
+    clean, chaos = r["clean"], r["chaos"]
+    overhead = r["chaos_wall"] / r["clean_wall"]
+
+    show(format_table(
+        ["run", "wall", "GCUPS", "heals"],
+        [
+            ("clean x2", f"{r['clean_wall']:.3f}s",
+             f"{clean.wall_gcups:.4f}", 0),
+            ("worker-kill x2", f"{r['chaos_wall']:.3f}s",
+             f"{chaos.wall_gcups:.4f}", r["heals"]),
+        ],
+        title=f"self-healing overhead ({len(database)} records, "
+              f"poison chunk 3, {overhead:.2f}x wall)",
+    ))
+    benchmark.extra_info.update(
+        clean_wall=r["clean_wall"], chaos_wall=r["chaos_wall"],
+        heals=r["heals"], quarantined=r["quarantined"],
+        overhead=overhead,
+    )
+
+    # The plan actually fired and the pool healed through it.
+    assert r["heals"] >= 1
+    assert r["quarantined"] >= 1
+
+    # Healing must not change a single bit of the result.
+    assert [
+        (h.score, h.index, h.header, h.length) for h in chaos.hits
+    ] == [
+        (h.score, h.index, h.header, h.length) for h in clean.hits
+    ]
+    assert chaos.sequences_scanned == clean.sequences_scanned
+    assert chaos.cells == clean.cells
+
+    # The price of surviving: pool rebuilds + redone chunks, bounded —
+    # a heal must never cost anything like a full rescan (generous
+    # ceiling to stay robust on slow shared runners).
+    assert overhead < 25.0, (
+        f"chaos run took {overhead:.1f}x the clean scan — healing is "
+        "costing more than re-running the search"
+    )

@@ -80,6 +80,7 @@ from .devices import (
 from .exceptions import ReproError
 from .faults import (
     CircuitBreaker,
+    Deadline,
     FaultInjector,
     FaultPlan,
     RetryPolicy,
@@ -126,6 +127,9 @@ from .search import (
     HybridSearchResult,
     MultiQueryExecutor,
     MultiQueryOutcome,
+    PartialResult,
+    ScanJournal,
+    ScanState,
     SearchOptions,
     SearchOutcome,
     SearchPipeline,
@@ -171,12 +175,13 @@ __all__ = [
     "DevicePerformanceModel", "RunConfig", "Workload",
     "HybridExecutor", "PCIE_GEN2_X16",
     # faults / resilience
-    "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout",
+    "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout", "Deadline",
     "CircuitBreaker", "ResilientHybridExecutor", "ResilientResult",
     # search
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
     "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
+    "PartialResult", "ScanJournal", "ScanState",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome", "waterman_eggert",
     # service

@@ -138,8 +138,21 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--shard-records", type=int, default=None,
                     help="max records resident per shard (--workers > 1)")
     st.add_argument("--fault-plan", metavar="SPEC",
-                    help='inject faults, e.g. "seed=7,corrupt=0.2" '
-                         "(scores stay exact via the checksum guard)")
+                    help='inject faults, e.g. "seed=7,corrupt=0.2" or '
+                         '"seed=7,worker-kill=0.1" (scores stay exact: '
+                         "checksums catch corruption, the pool self-heals)")
+    st.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="wall-clock budget for the whole scan; on expiry "
+                         "the merged prefix is reported and the exit "
+                         "status is 1")
+    st.add_argument("--journal", metavar="PATH",
+                    help="journal per-shard merge state here so an "
+                         "interrupted scan can be resumed (--workers > 1)")
+    st.add_argument("--resume", action="store_true",
+                    help="resume a journalled scan instead of restarting")
+    st.add_argument("--chunk-timeout", type=float, default=None,
+                    help="seconds before an unresponsive worker chunk is "
+                         "declared hung and the pool is healed")
     st.add_argument("--metrics", action="store_true",
                     help="print the scan's metrics from an isolated registry")
 
@@ -414,8 +427,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 def _cmd_stream(args: argparse.Namespace) -> int:
     from .db import read_fasta
+    from .faults import Deadline
     from .scoring import GapModel, get_matrix
-    from .search import SearchOptions, StreamingSearch
+    from .search import PartialResult, SearchOptions, StreamingSearch
 
     if args.query:
         query = args.query
@@ -428,6 +442,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         return 2
     if args.workers < 1:
         print("error: --workers must be positive", file=sys.stderr)
+        return 2
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal", file=sys.stderr)
+        return 2
+    if (args.journal or args.resume) and args.workers == 1:
+        print("error: --journal/--resume need --workers > 1 "
+              "(only the sharded scan journals its merge state)",
+              file=sys.stderr)
+        return 2
+    if args.deadline is not None and args.deadline <= 0:
+        print("error: --deadline must be positive", file=sys.stderr)
         return 2
 
     injector = None
@@ -442,6 +467,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
         registry = MetricsRegistry()
 
+    deadline = (
+        Deadline.after(args.deadline) if args.deadline is not None else None
+    )
     search = StreamingSearch(
         SearchOptions(
             matrix=get_matrix(args.matrix),
@@ -450,11 +478,15 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             top_k=args.top,
             injector=injector,
+            deadline=deadline,
         ),
         metrics=registry,
         workers=args.workers,
         shard_residues=args.shard_residues,
         shard_records=args.shard_records,
+        journal=args.journal,
+        resume=args.resume,
+        chunk_timeout=args.chunk_timeout,
     )
     try:
         result = search.search_fasta(query, args.db_fasta, query_name=qname)
@@ -470,6 +502,19 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     if registry is not None:
         print("\nmetrics:")
         print(registry.render())
+    if isinstance(result, PartialResult):
+        frac = result.completion()
+        pct = f" ({frac:.0%} of the scan)" if frac is not None else ""
+        where = (
+            f"; resume with --journal {args.journal} --resume"
+            if args.journal else ""
+        )
+        print(
+            f"error: deadline expired after {result.sequences_scanned} "
+            f"sequences{pct}{where}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

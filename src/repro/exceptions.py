@@ -27,6 +27,8 @@ __all__ = [
     "FaultInjected",
     "DeviceTimeout",
     "CircuitOpen",
+    "DeadlineExceeded",
+    "ServiceOverloaded",
 ]
 
 
@@ -129,3 +131,32 @@ class DeviceTimeout(ReproError):
 
 class CircuitOpen(ReproError):
     """A circuit breaker is open: the device is refusing new work."""
+
+
+class DeadlineExceeded(ReproError):
+    """An end-to-end deadline expired before the operation finished.
+
+    Raised by the process-parallel backend (outstanding futures are
+    cancelled first) and by the resident pipeline.  The streaming entry
+    points convert it into a typed
+    :class:`~repro.search.PartialResult` carrying the hits merged so
+    far, so callers of those paths normally never see this exception.
+
+    ``remaining`` carries the deadline's remaining budget (usually a
+    small negative number) at the moment the expiry was observed.
+    """
+
+    def __init__(
+        self, message: str, *, remaining: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.remaining = remaining
+
+
+class ServiceOverloaded(ReproError):
+    """The service shed load: a batch exceeded its admission cap.
+
+    Raised by :class:`repro.service.SearchService` when a batch is
+    larger than ``max_queue_depth``; the rejected batch is counted in
+    the ``service.load_shed`` metric and nothing is executed.
+    """

@@ -17,7 +17,7 @@ from .injection import (
     FaultPlan,
     payload_checksum,
 )
-from .policy import BreakerState, CircuitBreaker, RetryPolicy, Timeout
+from .policy import BreakerState, CircuitBreaker, Deadline, RetryPolicy, Timeout
 
 __all__ = [
     "FaultKind",
@@ -27,6 +27,7 @@ __all__ = [
     "payload_checksum",
     "RetryPolicy",
     "Timeout",
+    "Deadline",
     "CircuitBreaker",
     "BreakerState",
 ]

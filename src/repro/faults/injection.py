@@ -26,6 +26,22 @@ Fault classes (all in virtual time):
 ``outage``
     Permanent device death: every unit at or beyond ``outage_unit``
     fails, on every attempt, forever.
+
+Process-level faults (real wall clock, applied only inside pool worker
+processes of :mod:`repro.parallel`):
+
+``worker-kill``
+    The worker process executing the chunk dies abruptly
+    (``os._exit``), breaking the pool mid-search.
+``worker-hang``
+    The worker wedges for ``worker_hang_seconds`` before computing.
+
+Their decisions come from an *independent* random stream
+(:meth:`FaultInjector.process_decision`), so adding process faults to a
+plan never perturbs the transfer/corrupt draws — redo counts stay
+bit-identical to the same plan without them.  ``worker_kill_units`` /
+``worker_hang_units`` name poison chunks deterministically: those fire
+on **every** attempt, which is what exercises the pool's quarantine.
 """
 
 from __future__ import annotations
@@ -55,6 +71,13 @@ class FaultKind(Enum):
     CORRUPT = "corrupt"
     STRAGGLER = "straggler"
     OUTAGE = "outage"
+    WORKER_KILL = "worker-kill"
+    WORKER_HANG = "worker-hang"
+
+
+def _unit_list(raw: str) -> tuple[int, ...]:
+    """Parse a colon-separated unit list (``"3:7:11"``) from a spec."""
+    return tuple(int(part) for part in raw.split(":") if part)
 
 
 #: Plan-spec keys accepted by :meth:`FaultPlan.parse`.
@@ -67,7 +90,17 @@ _SPEC_KEYS = {
     "factor": ("straggler_factor", float),
     "hang-seconds": ("hang_seconds", float),
     "outage": ("outage_unit", int),
+    "worker-kill": ("worker_kill_rate", float),
+    "worker-hang": ("worker_hang_rate", float),
+    "worker-hang-seconds": ("worker_hang_seconds", float),
+    "kill-units": ("worker_kill_units", _unit_list),
+    "hang-units": ("worker_hang_units", _unit_list),
 }
+
+#: Salt of the independent rng stream feeding process-fault draws —
+#: distinct from the transfer-draw stream ``[seed, unit, attempt]`` and
+#: the corruption-delta stream ``[..., 0xBAD]``.
+_PROCESS_STREAM = 0x0DEAD
 
 
 @dataclass(frozen=True)
@@ -87,6 +120,12 @@ class FaultPlan:
     straggler_factor: float = 4.0
     hang_seconds: float = 30.0
     outage_unit: int | None = None
+    # Process-level faults (independent rng stream; see module docs).
+    worker_kill_rate: float = 0.0
+    worker_hang_rate: float = 0.0
+    worker_hang_seconds: float = 5.0
+    worker_kill_units: tuple[int, ...] = ()
+    worker_hang_units: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         rates = {
@@ -98,10 +137,18 @@ class FaultPlan:
         for name, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
+        # The process-fault rates come from an independent stream and a
+        # process fault composes with a transfer fault on the retried
+        # attempt — so they are each bounded but excluded from the
+        # at-most-one-per-attempt sum below.
         if sum(rates.values()) > 1.0 + 1e-12:
             raise FaultPlanError(
                 f"fault rates must sum to at most 1, got {sum(rates.values())}"
             )
+        for name in ("worker_kill_rate", "worker_hang_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultPlanError(f"{name} must be in [0, 1], got {rate}")
         if self.straggler_factor < 1.0:
             raise FaultPlanError(
                 f"straggler factor must be >= 1, got {self.straggler_factor}"
@@ -110,10 +157,25 @@ class FaultPlan:
             raise FaultPlanError(
                 f"hang duration must be positive, got {self.hang_seconds}"
             )
+        if self.worker_hang_seconds <= 0:
+            raise FaultPlanError(
+                f"worker hang duration must be positive, got "
+                f"{self.worker_hang_seconds}"
+            )
         if self.outage_unit is not None and self.outage_unit < 0:
             raise FaultPlanError(
                 f"outage unit must be non-negative, got {self.outage_unit}"
             )
+        for name in ("worker_kill_units", "worker_hang_units"):
+            units = getattr(self, name)
+            # Normalise lists (e.g. from JSON) into hashable tuples.
+            if not isinstance(units, tuple):
+                object.__setattr__(self, name, tuple(units))
+                units = getattr(self, name)
+            if any(int(u) < 0 for u in units):
+                raise FaultPlanError(
+                    f"{name} must be non-negative chunk indices, got {units}"
+                )
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +187,17 @@ class FaultPlan:
             and self.corrupt_rate == 0.0
             and self.straggler_rate == 0.0
             and self.outage_unit is None
+            and not self.has_process_faults
+        )
+
+    @property
+    def has_process_faults(self) -> bool:
+        """True when the plan can kill or hang real worker processes."""
+        return bool(
+            self.worker_kill_rate
+            or self.worker_hang_rate
+            or self.worker_kill_units
+            or self.worker_hang_units
         )
 
     @classmethod
@@ -135,7 +208,11 @@ class FaultPlan:
         ``"seed=7,fail=0.15,corrupt=0.05,outage=12"``.  Keys: ``seed``,
         ``fail``, ``hang``, ``corrupt``, ``straggler`` (rates),
         ``factor`` (straggler slowdown), ``hang-seconds``, ``outage``
-        (unit index of the permanent outage).
+        (unit index of the permanent outage), plus the process-level
+        kinds ``worker-kill`` / ``worker-hang`` (rates),
+        ``worker-hang-seconds``, and ``kill-units`` / ``hang-units``
+        (colon-separated poison chunk indices, e.g.
+        ``"kill-units=3:7"``).
         """
         kwargs: dict[str, object] = {}
         for part in spec.split(","):
@@ -224,6 +301,43 @@ class FaultInjector:
                 kind = FaultKind.STRAGGLER
                 factor = plan.straggler_factor
             decision = FaultDecision(unit, attempt, kind, factor)
+        if decision.faulty:
+            self.events.append(decision)
+            get_tracer().event(
+                "fault.injected", kind=decision.kind.value,
+                unit=unit, attempt=attempt,
+            )
+        return decision
+
+    def process_decision(self, unit: int, attempt: int = 0) -> FaultDecision:
+        """The process-level fault (if any) for chunk ``unit``, try ``attempt``.
+
+        Pure function of ``(plan.seed, unit, attempt)`` on a stream
+        independent of :meth:`decide`, so enabling worker kills/hangs
+        never changes transfer or corruption draws.  Explicitly listed
+        poison units (``worker_kill_units`` / ``worker_hang_units``)
+        fire on *every* attempt — they model a chunk that reliably
+        takes its worker down, which is what the pool's quarantine
+        exists for.  Probabilistic draws are fresh per attempt, so a
+        transient kill usually clears on resubmission.
+        """
+        plan = self.plan
+        kind: FaultKind | None = None
+        if unit in plan.worker_kill_units:
+            kind = FaultKind.WORKER_KILL
+        elif unit in plan.worker_hang_units:
+            kind = FaultKind.WORKER_HANG
+        elif plan.worker_kill_rate or plan.worker_hang_rate:
+            draw = float(
+                np.random.default_rng(
+                    [plan.seed, unit, attempt, _PROCESS_STREAM]
+                ).random()
+            )
+            if draw < plan.worker_kill_rate:
+                kind = FaultKind.WORKER_KILL
+            elif draw < plan.worker_kill_rate + plan.worker_hang_rate:
+                kind = FaultKind.WORKER_HANG
+        decision = FaultDecision(unit, attempt, kind)
         if decision.faulty:
             self.events.append(decision)
             get_tracer().event(

@@ -21,28 +21,56 @@ Guarantees:
 * **Graceful degradation** — pool startup is verified with a ping; any
   failure raises :class:`~repro.exceptions.ParallelError`, which the
   pipeline converts into an in-process fallback.
+* **Self-healing** — a worker death mid-search (``BrokenProcessPool``,
+  or a hang detected by ``chunk_timeout``) rebuilds the pool,
+  re-broadcasts the database if the shared segments died with it, and
+  re-submits only the in-flight chunks whose results were lost.  The
+  heal budget (``max_heals``) bounds how many rebuilds one pool will
+  attempt; a chunk that keeps killing workers is quarantined after
+  ``poison_threshold`` losses and reclaimed *inline* in the driver
+  (where process faults are never applied), so results — including
+  corruption-redo accounting — stay bit-identical to serial.
+* **Deadlines** — :meth:`collect` bounds every wait by the caller's
+  :class:`~repro.faults.Deadline`; on expiry it cancels the outstanding
+  futures and raises :class:`~repro.exceptions.DeadlineExceeded` for
+  the streaming layer to convert into a partial result.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 
 import numpy as np
 
 from ..db.preprocess import PreprocessedDatabase
-from ..exceptions import ParallelError
+from ..exceptions import DeadlineExceeded, ParallelError
+from ..faults.policy import Deadline
 from ..metrics.counters import MetricsRegistry
+from ..obs.tracer import get_tracer
 from .shared import PackedDatabase, SharedDatabaseBroadcast
-from .worker import ChunkResult, ChunkTask, EngineConfig, init_worker, ping, score_chunk
+from .worker import (
+    ChunkResult,
+    ChunkTask,
+    EngineConfig,
+    init_worker,
+    ping,
+    run_chunk,
+    score_chunk,
+)
 
 __all__ = ["WorkerStats", "ProcessPoolBackend", "default_chunk_size"]
 
 #: Ceiling on how long pool startup verification may take.
 _STARTUP_TIMEOUT_SECONDS = 60.0
+
+#: How long :meth:`close` waits for a terminated worker to reap.
+_REAP_TIMEOUT_SECONDS = 5.0
 
 
 def default_chunk_size(n_groups: int, workers: int) -> int:
@@ -91,9 +119,23 @@ class ProcessPoolBackend:
         ``multiprocessing`` start method; default prefers ``fork``
         where available (cheapest startup) and falls back to the
         platform default otherwise.
+    max_heals:
+        How many pool rebuilds (worker deaths or hang timeouts) this
+        backend will absorb over its lifetime before giving up with
+        :class:`~repro.exceptions.ParallelError`.
+    poison_threshold:
+        After this many lost results, a chunk is declared poison: it is
+        quarantined (recorded in :attr:`quarantined`) and reclaimed
+        inline in the driver instead of being retried forever.
+    chunk_timeout:
+        Hang watchdog for :meth:`collect`: if no in-flight chunk
+        completes within this many seconds, the pool is declared hung
+        and healed.  ``None`` (default) disables hang detection; set it
+        comfortably above the worst-case single-chunk compute time.
     metrics:
         Optional registry receiving ``parallel.*`` counters, queue-wait
-        observations and per-worker stats.
+        observations, per-worker stats, and ``pool.heal.*`` /
+        ``deadline.*`` resilience counters.
     """
 
     def __init__(
@@ -104,6 +146,9 @@ class ProcessPoolBackend:
         chunk_size: int | None = None,
         broadcast: str = "auto",
         start_method: str | None = None,
+        max_heals: int = 8,
+        poison_threshold: int = 3,
+        chunk_timeout: float | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
@@ -116,6 +161,18 @@ class ProcessPoolBackend:
             raise ParallelError(
                 f"broadcast must be 'auto', 'shm' or 'pickle', got {broadcast!r}"
             )
+        if max_heals < 0:
+            raise ParallelError(
+                f"heal budget must be non-negative, got {max_heals}"
+            )
+        if poison_threshold < 1:
+            raise ParallelError(
+                f"poison threshold must be >= 1, got {poison_threshold}"
+            )
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ParallelError(
+                f"chunk timeout must be positive, got {chunk_timeout}"
+            )
         if preprocessed is None:
             packed = None
         elif isinstance(preprocessed, PackedDatabase):
@@ -125,25 +182,28 @@ class ProcessPoolBackend:
         self.packed = packed
         self.workers = workers
         self.chunk_size = chunk_size
+        self.max_heals = max_heals
+        self.poison_threshold = poison_threshold
+        self.chunk_timeout = chunk_timeout
         self.metrics = metrics
         self.worker_stats: dict[int, WorkerStats] = {}
+        self.heals = 0
+        self.quarantined: list[int] = []
+        self._broadcast_pref = broadcast
         self._pool: ProcessPoolExecutor | None = None
         self._broadcast_owner: SharedDatabaseBroadcast | None = None
         self._closed = False
+        self._generation = 0
+        self._inflight: dict = {}          # future -> (task, generation)
+        self._chunk_failures: dict[int, int] = {}  # chunk_id -> lost results
+        self._driver_engines: dict = {}    # engine cache for inline reclaim
 
-        payload, self.broadcast_mode = self._build_payload(packed, broadcast)
+        self._payload, self.broadcast_mode = self._build_payload(
+            packed, broadcast
+        )
         try:
-            ctx = self._context(start_method)
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=ctx,
-                initializer=init_worker,
-                initargs=(payload,),
-            )
-            # Force worker startup now: a broken initializer (or an
-            # unpicklable payload) must surface here — where the caller
-            # can fall back to in-process execution — not mid-search.
-            self._pool.submit(ping).result(timeout=_STARTUP_TIMEOUT_SECONDS)
+            self._ctx = self._context(start_method)
+            self._pool = self._spawn_pool()
         except ParallelError:
             self.close()
             raise
@@ -185,6 +245,123 @@ class ProcessPoolBackend:
                 self._broadcast_owner = None
         return ("pickle", packed), "pickle"
 
+    def _spawn_pool(self) -> ProcessPoolExecutor:
+        """Start a pool on the current payload; ping-verify it."""
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._ctx,
+            initializer=init_worker,
+            initargs=(self._payload,),
+        )
+        # Force worker startup now: a broken initializer (or an
+        # unpicklable payload) must surface here — where the caller
+        # can fall back to in-process execution — not mid-search.
+        try:
+            pool.submit(ping).result(timeout=_STARTUP_TIMEOUT_SECONDS)
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise
+        return pool
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers."""
+        procs = [p for p in getattr(pool, "_processes", {}).values() if p]
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=_REAP_TIMEOUT_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Self-healing
+    # ------------------------------------------------------------------
+    def _heal(self, reason: str) -> None:
+        """Replace the broken pool with a fresh, ping-verified one.
+
+        Only the pool is rebuilt; results already harvested and the
+        broadcast stay.  If the fresh pool cannot start — the shared
+        segments may have died with the workers — the broadcast is
+        rebuilt once and the spawn retried ("re-broadcast if needed").
+        Raises :class:`~repro.exceptions.ParallelError` once the heal
+        budget is spent.
+        """
+        self.heals += 1
+        if self.metrics is not None:
+            self.metrics.increment("pool.heal.count")
+        get_tracer().event("pool.heal", reason=reason, heal=self.heals)
+        if self.heals > self.max_heals:
+            raise ParallelError(
+                f"worker pool heal budget exhausted after "
+                f"{self.max_heals} heals (last reason: {reason})"
+            )
+        old, self._pool = self._pool, None
+        if old is not None:
+            self._terminate_pool(old)
+        # Futures of the dead pool can no longer produce results.
+        self._generation += 1
+        try:
+            self._pool = self._spawn_pool()
+        except Exception:
+            owner, self._broadcast_owner = self._broadcast_owner, None
+            if owner is not None:
+                try:
+                    owner.close()
+                except Exception:
+                    pass
+            self._payload, self.broadcast_mode = self._build_payload(
+                self.packed, self._broadcast_pref
+            )
+            if self.metrics is not None:
+                self.metrics.increment("pool.heal.rebroadcasts")
+            try:
+                self._pool = self._spawn_pool()
+            except Exception as exc:
+                raise ParallelError(
+                    f"worker pool failed to heal after {reason} "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+
+    def _redo(self, task: ChunkTask):
+        """Re-run a chunk whose result was lost with its worker.
+
+        Returns a fresh future — or, once the chunk has crossed
+        ``poison_threshold`` losses, a :class:`ChunkResult` computed
+        *inline* in the driver: a poison chunk keeps killing whatever
+        worker touches it, so the only safe executor is the one process
+        whose fault hooks never fire.
+        """
+        failures = self._chunk_failures.get(task.chunk_id, 0) + 1
+        self._chunk_failures[task.chunk_id] = failures
+        if self.metrics is not None:
+            self.metrics.increment("pool.heal.resubmitted")
+        if failures >= self.poison_threshold:
+            self.quarantined.append(task.chunk_id)
+            if self.metrics is not None:
+                self.metrics.increment("pool.heal.quarantined")
+            get_tracer().event(
+                "pool.quarantine", chunk=task.chunk_id, failures=failures
+            )
+            if task.deadline is not None:
+                task.deadline.check(f"quarantined chunk {task.chunk_id}")
+            return run_chunk(
+                replace(task, submitted_at=time.time()),
+                db=self.packed,
+                engines=self._driver_engines,
+                pid=os.getpid(),
+            )
+        return self._submit_one(replace(task, attempt=task.attempt + 1))
+
+    def _cancel_pending(self, pending) -> None:
+        for fut in pending:
+            fut.cancel()
+            self._inflight.pop(fut, None)
+
+    def cancel(self, futures) -> None:
+        """Abandon outstanding futures (deadline expiry, aborted scan)."""
+        self._cancel_pending(list(futures))
+
     # ------------------------------------------------------------------
     def _require_db(self) -> PackedDatabase:
         if self.packed is None:
@@ -207,6 +384,27 @@ class ProcessPoolBackend:
         ids = range(self.n_groups)
         return [tuple(ids[k:k + size]) for k in range(0, self.n_groups, size)]
 
+    def _submit_one(self, task: ChunkTask):
+        """Submit one task, healing the pool if submission finds it dead."""
+        task = replace(task, submitted_at=time.time())
+        while True:
+            if self._pool is None:
+                raise ParallelError("worker pool is closed")
+            try:
+                fut = self._pool.submit(score_chunk, task)
+            except BrokenProcessPool:
+                self._heal("broken pool on submit")
+                continue
+            except ParallelError:
+                raise
+            except Exception as exc:
+                raise ParallelError(
+                    f"parallel task submission failed "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+            self._inflight[fut] = (task, self._generation)
+            return fut
+
     def submit_tasks_async(self, tasks: list[ChunkTask]):
         """Enqueue chunk tasks; return their futures without waiting.
 
@@ -217,49 +415,125 @@ class ProcessPoolBackend:
         """
         if self._pool is None:
             raise ParallelError("worker pool is closed")
-        try:
-            return [
-                self._pool.submit(
-                    score_chunk, replace(task, submitted_at=time.time())
-                )
-                for task in tasks
-            ]
-        except BrokenProcessPool as exc:
-            raise ParallelError(
-                f"worker pool died on submit ({exc})"
-            ) from exc
-        except Exception as exc:
-            raise ParallelError(
-                f"parallel task submission failed "
-                f"({type(exc).__name__}: {exc})"
-            ) from exc
+        return [self._submit_one(task) for task in tasks]
 
-    def collect(self, futures) -> list[ChunkResult]:
-        """Wait for futures from :meth:`submit_tasks_async`, in order."""
+    def collect(
+        self, futures, *, deadline: Deadline | None = None
+    ) -> list[ChunkResult]:
+        """Wait for futures from :meth:`submit_tasks_async`, in order.
+
+        This is the resilience core: worker deaths
+        (``BrokenProcessPool``) trigger a heal and the re-submission of
+        exactly the chunks whose results were lost; a silent pool
+        (nothing completes within ``chunk_timeout``) is declared hung
+        and healed the same way; a chunk that keeps killing workers is
+        quarantined and reclaimed inline.  An expired ``deadline``
+        cancels everything still outstanding and raises
+        :class:`~repro.exceptions.DeadlineExceeded`.
+        """
+        order: list[int] = []
+        pending = set()
+        for fut in futures:
+            entry = self._inflight.get(fut)
+            if entry is None:
+                raise ParallelError(
+                    "collect() was passed a future this pool does not own"
+                )
+            order.append(entry[0].chunk_id)
+            pending.add(fut)
+        results: dict[int, ChunkResult] = {}
+
+        def absorb(redone) -> None:
+            # _redo yields either a replacement future or an inline
+            # result for a quarantined chunk.
+            if isinstance(redone, ChunkResult):
+                results[redone.chunk_id] = redone
+            else:
+                pending.add(redone)
+
         try:
-            results = [f.result() for f in futures]
-        except ParallelError:
+            while pending:
+                if deadline is not None:
+                    deadline.check("parallel chunk collection")
+                timeout = self.chunk_timeout
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    timeout = (
+                        remaining if timeout is None
+                        else min(timeout, remaining)
+                    )
+                t0 = time.perf_counter()
+                done, _ = futures_wait(
+                    pending, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    waited = time.perf_counter() - t0
+                    if (
+                        self.chunk_timeout is not None
+                        and waited >= self.chunk_timeout - 1e-3
+                        and (deadline is None or not deadline.expired)
+                    ):
+                        # Nothing finished inside the watchdog window:
+                        # the pool is hung.  Everything in flight is
+                        # lost; heal once and redo the lot.
+                        lost = [
+                            self._inflight.pop(f)[0]
+                            for f in pending if f in self._inflight
+                        ]
+                        for fut in pending:
+                            fut.cancel()
+                        pending.clear()
+                        self._heal("chunk timeout (hung worker)")
+                        for task in lost:
+                            absorb(self._redo(task))
+                    continue
+                for fut in done:
+                    pending.discard(fut)
+                    task, generation = self._inflight.pop(
+                        fut, (None, None)
+                    )
+                    try:
+                        res = fut.result()
+                    except BrokenProcessPool:
+                        if generation == self._generation:
+                            self._heal("worker death")
+                        if task is not None:
+                            absorb(self._redo(task))
+                    else:
+                        results[res.chunk_id] = res
+        except DeadlineExceeded:
+            self._cancel_pending(pending)
+            if self.metrics is not None:
+                self.metrics.increment("deadline.pool.expired")
+            get_tracer().event(
+                "deadline.expired", where="pool.collect",
+                outstanding=len(pending),
+            )
             raise
-        except BrokenProcessPool as exc:
-            raise ParallelError(
-                f"worker pool died mid-search ({exc})"
-            ) from exc
+        except ParallelError:
+            self._cancel_pending(pending)
+            raise
         except Exception as exc:
+            self._cancel_pending(pending)
             raise ParallelError(
                 f"parallel chunk execution failed "
                 f"({type(exc).__name__}: {exc})"
             ) from exc
-        self._observe(results)
-        return results
 
-    def submit_tasks(self, tasks: list[ChunkTask]) -> list[ChunkResult]:
+        ordered = [results[chunk_id] for chunk_id in order]
+        self._observe(ordered)
+        return ordered
+
+    def submit_tasks(
+        self, tasks: list[ChunkTask], *, deadline: Deadline | None = None
+    ) -> list[ChunkResult]:
         """Run chunk tasks on the pool; results in task order.
 
         The merge downstream scatters disjoint positions, so result
         order does not affect scores — task order is kept purely so the
         accounting (metrics, traces) is reproducible.
         """
-        return self.collect(self.submit_tasks_async(tasks))
+        return self.collect(self.submit_tasks_async(tasks), deadline=deadline)
 
     def score_groups(
         self,
@@ -270,6 +544,7 @@ class ProcessPoolBackend:
         *,
         plan=None,
         chunk_size: int | None = None,
+        deadline: Deadline | None = None,
     ) -> tuple[np.ndarray, int, int, list[ChunkResult]]:
         """Score every broadcast lane group; merge deterministically.
 
@@ -288,10 +563,11 @@ class ProcessPoolBackend:
                 engine=engine,
                 group_ids=chunk,
                 plan=plan,
+                deadline=deadline,
             )
             for k, chunk in enumerate(self.group_chunks(chunk_size))
         ]
-        results = self.submit_tasks(tasks)
+        results = self.submit_tasks(tasks, deadline=deadline)
         scores = np.zeros(packed.n_sequences, dtype=np.int64)
         saturated = redone = 0
         for res in results:
@@ -371,11 +647,17 @@ class ProcessPoolBackend:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the pool down and release the broadcast (idempotent)."""
+        """Shut the pool down and release the broadcast (idempotent).
+
+        Teardown terminates rather than joins the workers: results are
+        always harvested before close, and a pool being closed because
+        a worker hung must not block on that worker forever.
+        """
         self._closed = True
+        self._inflight.clear()
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            self._terminate_pool(pool)
         owner, self._broadcast_owner = self._broadcast_owner, None
         if owner is not None:
             owner.close()
@@ -406,4 +688,3 @@ class ProcessPoolBackend:
             f"groups={groups} broadcast={self.broadcast_mode!r} "
             f"{state}>"
         )
-

@@ -16,6 +16,13 @@ is active.  Fault decisions are a pure function of
 ``(plan.seed, unit, attempt)`` with ``unit`` being the *global* group
 index, so a fault fires (or not) identically whichever worker — or the
 serial pipeline itself — executes the group.
+
+Process-level faults (``worker-kill`` / ``worker-hang``) are applied in
+:func:`score_chunk` — the pool entry point — *before* any scoring, and
+never inside :func:`run_chunk`, the pure scoring body.  The driver runs
+:func:`run_chunk` inline to reclaim quarantined poison chunks, so the
+inline path replays corruption redo accounting exactly while being
+structurally incapable of killing the driver process.
 """
 
 from __future__ import annotations
@@ -28,8 +35,9 @@ import numpy as np
 
 from ..core.intertask import InterTaskEngine, LaneGroup, build_lane_groups
 from ..core.scan import ScanEngine
-from ..exceptions import ParallelError
-from ..faults.injection import FaultInjector, FaultPlan
+from ..exceptions import ParallelError, ReproError
+from ..faults.injection import FaultInjector, FaultKind, FaultPlan
+from ..faults.policy import Deadline
 from ..scoring.gaps import GapModel
 from ..scoring.matrices import SubstitutionMatrix
 from .shared import PackedDatabase, attach_shared_database
@@ -39,6 +47,7 @@ __all__ = [
     "ChunkTask",
     "ChunkResult",
     "init_worker",
+    "run_chunk",
     "score_chunk",
     "ping",
 ]
@@ -69,6 +78,12 @@ class ChunkTask:
     serial :class:`~repro.search.StreamingSearch` chunk loop does.
     ``fault_unit_base`` offsets the fault-injection unit ids so a chunk
     replays the exact per-unit decisions of its serial counterpart.
+
+    ``attempt`` counts pool *re-submissions* after a lost result (worker
+    death, hang heal) — it keys the process-fault draw only, never the
+    corruption stream, so redo accounting is identical however many
+    times a chunk had to be resent.  ``deadline`` (when set) is checked
+    by the worker before scoring starts.
     """
 
     chunk_id: int
@@ -84,6 +99,8 @@ class ChunkTask:
     plan: FaultPlan | None = None
     fault_unit_base: int = 0
     submitted_at: float = 0.0
+    attempt: int = 0
+    deadline: Deadline | None = None
 
 
 @dataclass(frozen=True)
@@ -141,10 +158,10 @@ def ping() -> int:
     return _STATE["pid"]
 
 
-def _engine(cfg: EngineConfig, alphabet) -> InterTaskEngine:
-    """The worker's engine for this configuration (cached per config)."""
+def _engine(cfg: EngineConfig, alphabet, engines: dict) -> InterTaskEngine:
+    """The engine for this configuration (cached per config in ``engines``)."""
     key = (cfg, alphabet.letters)
-    eng = _STATE["engines"].get(key)
+    eng = engines.get(key)
     if eng is None:
         eng = InterTaskEngine(
             alphabet=alphabet,
@@ -153,7 +170,7 @@ def _engine(cfg: EngineConfig, alphabet) -> InterTaskEngine:
             block_cols=cfg.block_cols,
             saturate_bits=cfg.saturate_bits,
         )
-        _STATE["engines"][key] = eng
+        engines[key] = eng
     return eng
 
 
@@ -252,20 +269,30 @@ def _score_stream(task: ChunkTask, engine: InterTaskEngine):
     )
 
 
-def score_chunk(task: ChunkTask) -> ChunkResult:
-    """Execute one :class:`ChunkTask` against the broadcast database."""
+def run_chunk(
+    task: ChunkTask,
+    *,
+    db: PackedDatabase | None,
+    engines: dict,
+    pid: int,
+) -> ChunkResult:
+    """Score one :class:`ChunkTask` — the pure body, no process faults.
+
+    This is the code path shared by pool workers (via
+    :func:`score_chunk`) and the driver's inline reclaim of quarantined
+    poison chunks.  Corruption-guard redo accounting (``task.plan``)
+    runs identically on both; ``worker-kill`` / ``worker-hang`` faults
+    are deliberately *not* applied here.
+    """
     started = time.time()
     t0 = time.perf_counter()
-    if "db" not in _STATE:
-        raise ParallelError("worker was not initialised")
-    db: PackedDatabase | None = _STATE.get("db")
     if db is None and task.kind != "stream":
         raise ParallelError(
             f"worker has no database broadcast (required by "
             f"kind={task.kind!r} tasks)"
         )
     alphabet = task.matrix.alphabet
-    engine = _engine(task.engine, alphabet)
+    engine = _engine(task.engine, alphabet, engines)
     exact = ScanEngine(alphabet)
 
     if task.kind == "stream":
@@ -306,7 +333,58 @@ def score_chunk(task: ChunkTask) -> ChunkResult:
         saturated=saturated,
         redone=redone,
         cells=cells,
-        pid=_STATE["pid"],
+        pid=pid,
         queue_wait_seconds=wait,
         compute_seconds=time.perf_counter() - t0,
     )
+
+
+def _apply_process_faults(task: ChunkTask) -> None:
+    """Fire the chunk's process-level fault, if its plan says so.
+
+    ``worker-kill`` exits the process without cleanup (``os._exit``) —
+    exactly what a segfaulting or OOM-killed worker looks like to the
+    pool.  ``worker-hang`` sleeps through ``plan.worker_hang_seconds``;
+    a driver with a shorter ``chunk_timeout`` declares the worker dead
+    and heals, one without simply sees a straggler.
+    """
+    plan = task.plan
+    if plan is None or not plan.has_process_faults:
+        return
+    decision = FaultInjector(plan).process_decision(
+        task.chunk_id, task.attempt
+    )
+    if decision.kind is FaultKind.WORKER_KILL:
+        os._exit(17)
+    if decision.kind is FaultKind.WORKER_HANG:
+        time.sleep(plan.worker_hang_seconds)
+
+
+def score_chunk(task: ChunkTask) -> ChunkResult:
+    """Pool entry point: deadline check, process faults, then score.
+
+    Non-library exceptions are wrapped into
+    :class:`~repro.exceptions.ParallelError` *in the worker*, with the
+    worker pid and chunk id in the message — ``__cause__`` chains do not
+    survive the result pickle, so the context must ride the message
+    itself.
+    """
+    if "db" not in _STATE:
+        raise ParallelError("worker was not initialised")
+    if task.deadline is not None:
+        task.deadline.check(f"chunk {task.chunk_id}")
+    _apply_process_faults(task)
+    try:
+        return run_chunk(
+            task,
+            db=_STATE.get("db"),
+            engines=_STATE["engines"],
+            pid=_STATE["pid"],
+        )
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ParallelError(
+            f"chunk {task.chunk_id} failed in worker pid {os.getpid()} "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc

@@ -12,7 +12,8 @@ from .api import SearchOptions, SearchOutcome, SearchRequest, unify_options
 from .result import Hit, SearchResult
 from .pipeline import SearchPipeline
 from .gcups import gcups, Stopwatch
-from .streaming import StreamingSearch, StreamingResult
+from .journal import ScanJournal, ScanState
+from .streaming import PartialResult, StreamingSearch, StreamingResult
 from .sharded import ShardedStreamingSearch
 from .multiquery import MultiQueryExecutor, MultiQueryOutcome
 from .hybrid_pipeline import HybridSearchPipeline, HybridSearchResult
@@ -41,7 +42,10 @@ __all__ = [
     "ungapped_lambda",
     "StreamingSearch",
     "StreamingResult",
+    "PartialResult",
     "ShardedStreamingSearch",
+    "ScanJournal",
+    "ScanState",
     "MultiQueryExecutor",
     "MultiQueryOutcome",
     "HybridSearchPipeline",

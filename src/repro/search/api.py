@@ -28,6 +28,7 @@ from ..alphabet import PROTEIN, Alphabet
 from ..devices.openmp import Schedule
 from ..exceptions import PipelineError
 from ..faults.injection import FaultInjector
+from ..faults.policy import Deadline
 from ..scoring.gaps import GapModel, paper_gap_model
 from ..scoring.matrices import SubstitutionMatrix
 
@@ -84,6 +85,13 @@ class SearchOptions:
         Residue alphabet.
     injector:
         Optional fault injector; payloads then cross a checksum guard.
+    deadline:
+        Optional end-to-end :class:`~repro.faults.Deadline`.  The
+        resident pipeline raises
+        :class:`~repro.exceptions.DeadlineExceeded` on expiry; the
+        streaming entry points return a typed
+        :class:`~repro.search.PartialResult` carrying the hits merged
+        so far instead.
     """
 
     matrix: SubstitutionMatrix | None = None
@@ -96,6 +104,7 @@ class SearchOptions:
     chunk_size: int = 512
     alphabet: Alphabet = field(default_factory=lambda: PROTEIN)
     injector: FaultInjector | None = None
+    deadline: Deadline | None = None
 
     def __post_init__(self) -> None:
         if self.lanes is not None and self.lanes < 1:
@@ -149,13 +158,16 @@ class SearchRequest:
     """One query of a service batch.
 
     ``top_k`` overrides the batch-wide :attr:`SearchOptions.top_k` for
-    this request only; ``None`` inherits it.
+    this request only; ``None`` inherits it.  ``deadline`` likewise
+    overrides the batch-wide :attr:`SearchOptions.deadline` for this
+    request.
     """
 
     query: Any  # residue string or encoded uint8 array
     name: str = "query"
     top_k: int | None = None
     traceback: bool = False
+    deadline: Deadline | None = None
 
     def __post_init__(self) -> None:
         if self.top_k is not None and self.top_k < 0:

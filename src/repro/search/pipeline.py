@@ -217,9 +217,13 @@ class SearchPipeline:
         )
         plan = self.injector.plan if self.injector is not None else None
         try:
+            # DeadlineExceeded deliberately propagates: an expired
+            # deadline must never trigger the in-process fallback (it
+            # would just blow the deadline further).
             scores, saturated, redone, results = backend.score_groups(
                 q, self.matrix, self.gaps, cfg,
                 plan=plan, chunk_size=self.parallel_chunk_size,
+                deadline=self.options.deadline,
             )
         except ParallelError as exc:
             self._note_fallback(tracer, exc)
@@ -362,8 +366,12 @@ class SearchPipeline:
                     sat_counts[g] = len(sat)
                     return scores
 
+                deadline = self.options.deadline
+
                 def work(g: int) -> None:
                     nonlocal corrupted_redone
+                    if deadline is not None:
+                        deadline.check(f"group {g}")
                     if self.injector is None:
                         scores = compute_group(g)
                     else:

@@ -24,22 +24,41 @@ Determinism and fault guarantees match the serial scan exactly:
   driver reads and encodes shard *k + 1*; at most two shards (plus the
   heap) are ever resident in the driver, which is what bounds peak
   memory by shard size rather than database size.
+
+Resilience (this is the layer long scans ride on):
+
+* **Self-healing execution** — worker deaths and hangs are absorbed by
+  the pool (:class:`~repro.parallel.ProcessPoolBackend`): it heals,
+  re-submits only the lost chunks, and quarantines poison chunks, so a
+  mid-scan crash costs one heal, not the scan.
+* **Deadlines** — an :attr:`SearchOptions.deadline` bounds the scan
+  end-to-end; on expiry the driver cancels the in-flight shard and
+  returns a typed :class:`~repro.search.PartialResult` whose hits are
+  exactly the scan of the merged prefix (whole shards only).
+* **Resumable scans** — with a ``journal`` path, the merge state is
+  snapshotted after every shard (:class:`~repro.search.ScanJournal`);
+  :meth:`resume` (or ``resume=True``) continues a crashed or
+  deadline-killed scan from the last merged shard, producing output
+  bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 import heapq
+from itertools import islice
+from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..core.engine import as_codes
 from ..db.shards import Shard, ShardSpec, iter_shards
-from ..exceptions import PipelineError
+from ..exceptions import DeadlineExceeded, PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
 from .api import SearchOptions
 from .gcups import Stopwatch
+from .journal import ScanJournal, ScanState
 from .result import Hit
-from .streaming import StreamingResult
+from .streaming import PartialResult, StreamingResult
 
 __all__ = ["DEFAULT_SHARD_RESIDUES", "ShardedStreamingSearch"]
 
@@ -58,16 +77,32 @@ class ShardedStreamingSearch:
         Shared :class:`~repro.search.SearchOptions`; ``chunk_size`` is
         the per-task record batch (identical meaning to the serial
         :class:`~repro.search.StreamingSearch`), ``top_k`` the hits
-        retained (``0`` = scores-only accounting, no hits).
+        retained (``0`` = scores-only accounting, no hits), and
+        ``deadline`` (when set) bounds the scan end-to-end.
     workers:
         Real worker processes scoring chunks concurrently.
     shard_residues, shard_records:
         Bounds of one shard (:class:`~repro.db.shards.ShardSpec`);
         defaults to :data:`DEFAULT_SHARD_RESIDUES` residues when
         neither is given.
+    journal:
+        Path for the scan journal.  When set, the merge state is
+        snapshotted after every shard, a completed scan removes the
+        file, and a :class:`~repro.search.PartialResult` points at it.
+    resume:
+        Continue from a matching journal instead of starting over
+        (also available per-call via :meth:`resume`).  A journal whose
+        fingerprint does not match this scan is ignored.
+    chunk_timeout:
+        Pool hang watchdog (seconds without any chunk completing);
+        forwarded to :class:`~repro.parallel.ProcessPoolBackend`.
+    max_heals, poison_threshold:
+        Pool self-healing budget and poison-chunk quarantine bound;
+        forwarded to the backend.
     metrics:
-        Registry receiving ``streaming.*`` and ``streaming.shard.*``
-        metrics (defaults to the process-wide one).
+        Registry receiving ``streaming.*``, ``streaming.shard.*``,
+        ``resume.*`` and ``deadline.*`` metrics (defaults to the
+        process-wide one).
 
     The pool starts lazily on the first search (or via :meth:`start`)
     and persists across searches; :meth:`close` shuts it down.
@@ -80,6 +115,11 @@ class ShardedStreamingSearch:
         workers: int,
         shard_residues: int | None = None,
         shard_records: int | None = None,
+        journal: str | Path | None = None,
+        resume: bool = False,
+        chunk_timeout: float | None = None,
+        max_heals: int = 8,
+        poison_threshold: int = 3,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if int(workers) < 1:
@@ -100,6 +140,11 @@ class ShardedStreamingSearch:
         self.spec = ShardSpec(
             max_residues=shard_residues, max_records=shard_records
         )
+        self.journal = ScanJournal(journal) if journal is not None else None
+        self.resume_enabled = bool(resume)
+        self.chunk_timeout = chunk_timeout
+        self.max_heals = max_heals
+        self.poison_threshold = poison_threshold
         self.metrics = metrics if metrics is not None else METRICS
         from ..parallel.worker import EngineConfig
 
@@ -123,7 +168,12 @@ class ShardedStreamingSearch:
 
         if self._backend is None or self._backend.closed:
             self._backend = ProcessPoolBackend(
-                None, workers=self.workers, metrics=self.metrics
+                None,
+                workers=self.workers,
+                chunk_timeout=self.chunk_timeout,
+                max_heals=self.max_heals,
+                poison_threshold=self.poison_threshold,
+                metrics=self.metrics,
             )
         return self._backend
 
@@ -167,7 +217,7 @@ class ShardedStreamingSearch:
             self.metrics.observe("streaming.shard.read.seconds", watch.seconds)
             yield shard
 
-    def _submit(self, backend, q, shard: Shard):
+    def _submit(self, backend, q, shard: Shard, deadline):
         """One pool task per serial chunk of ``shard`` (non-blocking)."""
         from ..parallel.worker import ChunkTask
 
@@ -187,14 +237,17 @@ class ShardedStreamingSearch:
                 base_index=base,
                 plan=plan,
                 fault_unit_base=unit,
+                deadline=deadline,
             ))
         return backend.submit_tasks_async(tasks), len(tasks)
 
-    def _merge(self, backend, shard: Shard, futures, heap, tracer) -> tuple:
+    def _merge(
+        self, backend, shard: Shard, futures, heap, tracer, deadline
+    ) -> tuple:
         """Harvest ``shard``'s results and fold them into the heap."""
         watch = Stopwatch()
         with tracer.span("shard.score") as sp, watch:
-            results = backend.collect(futures)
+            results = backend.collect(futures, deadline=deadline)
             if sp:
                 sp.set_attributes(
                     shard=shard.shard_id, chunks=len(results),
@@ -230,6 +283,25 @@ class ShardedStreamingSearch:
         )
         return scanned, cells, redone
 
+    def _load_state(self, fingerprint: str | None) -> ScanState:
+        """The resume snapshot when enabled and matching, else fresh."""
+        if (
+            self.journal is None
+            or not self.resume_enabled
+            or fingerprint is None
+        ):
+            return ScanState()
+        state = self.journal.load(fingerprint)
+        if state is None:
+            return ScanState()
+        self.metrics.increment("resume.loaded")
+        self.metrics.increment("resume.records_skipped", state.records_done)
+        get_tracer().event(
+            "resume.loaded", records_done=state.records_done,
+            shards_merged=state.shards_merged,
+        )
+        return state
+
     def search_records(
         self,
         query,
@@ -238,6 +310,7 @@ class ShardedStreamingSearch:
         query_name: str = "query",
         database_name: str = "<stream>",
         top_k: int | None = None,
+        total_records: int | None = None,
     ) -> StreamingResult:
         """Stream records through the pool; return the serial top-k.
 
@@ -245,17 +318,43 @@ class ShardedStreamingSearch:
         or ``(header, sequence)`` pairs (sequences as residue letters or
         encoded arrays).  Hits, tie order and ``corrupted_redone`` are
         bit-identical to :class:`~repro.search.StreamingSearch` over the
-        same stream.
+        same stream — including when the pool healed worker deaths
+        mid-scan, and including a resumed scan continuing a journal.
+        On deadline expiry a :class:`~repro.search.PartialResult` is
+        returned instead (``total_records``, when known, gives it a
+        completion fraction).
         """
         q = as_codes(query, self.alphabet)
         if top_k is None:
             top_k = self.top_k
+        deadline = self.options.deadline
         backend = self.start()
-        heap: list[tuple[int, int, Hit]] = []
-        scanned = cells = chunks = shards = 0
-        corrupted_redone = 0
+        fingerprint = None
+        if self.journal is not None:
+            fingerprint = ScanJournal.fingerprint(
+                q,
+                database_name=database_name,
+                top_k=top_k,
+                chunk_size=self.chunk_size,
+                max_residues=self.spec.max_residues,
+                max_records=self.spec.max_records,
+            )
+        state = self._load_state(fingerprint)
+        resume_records = state.records_done
+        resume_shards = state.shards_merged
+        heap: list[tuple[int, int, Hit]] = state.heap_entries()
+        records = iter(records)
+        if resume_records:
+            consumed = sum(1 for _ in islice(records, resume_records))
+            if consumed < resume_records:
+                raise PipelineError(
+                    f"scan journal covers {resume_records} records but the "
+                    f"stream only provided {consumed} — wrong stream for "
+                    f"this journal"
+                )
         watch = Stopwatch()
         tracer = get_tracer()
+        expired = False
 
         # Temporarily pin the heap bound for _merge (kept on self to
         # avoid threading it through every helper).
@@ -270,58 +369,122 @@ class ShardedStreamingSearch:
                         workers=self.workers,
                         shard_residues=self.spec.max_residues,
                         shard_records=self.spec.max_records,
+                        resumed_records=resume_records,
                     )
+
+                def fold(done_shard, futures, n_tasks):
+                    s, c, r = self._merge(
+                        backend, done_shard, futures, heap, tracer, deadline
+                    )
+                    state.scanned += s
+                    state.cells += c
+                    state.corrupted_redone += r
+                    state.chunks += n_tasks
+                    state.records_done += done_shard.n_records
+                    state.shards_merged += 1
+                    if self.journal is not None:
+                        state.heap = ScanState.pack_heap(heap)
+                        self.journal.save(fingerprint, state)
+                        self.metrics.increment("resume.saved")
+
                 with watch:
                     pending: tuple | None = None
-                    # Double buffer: while shard k executes on the pool,
-                    # the loop header reads/encodes shard k+1.
-                    for shard in self._read_shards(records, tracer):
-                        shards += 1
-                        if pending is not None:
-                            done_shard, futures = pending
-                            s, c, r = self._merge(
-                                backend, done_shard, futures, heap, tracer
+                    try:
+                        # Double buffer: while shard k executes on the
+                        # pool, the loop header reads/encodes shard k+1.
+                        for shard in self._read_shards(records, tracer):
+                            # Rebase a resumed stream to global
+                            # coordinates: record indices, shard ids and
+                            # fault units must match the uninterrupted
+                            # scan exactly.
+                            shard.shard_id += resume_shards
+                            shard.base_index += resume_records
+                            if pending is not None:
+                                fold(*pending)
+                            if deadline is not None:
+                                deadline.check("shard submission")
+                            futures, n_tasks = self._submit(
+                                backend, q, shard, deadline
                             )
-                            scanned += s
-                            cells += c
-                            corrupted_redone += r
-                        futures, n_tasks = self._submit(backend, q, shard)
-                        chunks += n_tasks
-                        pending = (shard, futures)
-                    if pending is not None:
-                        done_shard, futures = pending
-                        s, c, r = self._merge(
-                            backend, done_shard, futures, heap, tracer
-                        )
-                        scanned += s
-                        cells += c
-                        corrupted_redone += r
+                            pending = (shard, futures, n_tasks)
+                        if pending is not None:
+                            fold(*pending)
+                    except DeadlineExceeded:
+                        expired = True
+                        if pending is not None:
+                            backend.cancel(pending[1])
 
-                if scanned == 0:
+                if state.scanned == 0 and not expired:
                     raise PipelineError("the record stream was empty")
                 if root:
                     root.set_attributes(
-                        chunks=chunks, sequences=scanned, shards=shards
+                        chunks=state.chunks, sequences=state.scanned,
+                        shards=state.shards_merged, partial=expired,
                     )
                 self.metrics.increment("streaming.searches")
-                self.metrics.increment("streaming.chunks", chunks)
+                self.metrics.increment("streaming.chunks", state.chunks)
                 self.metrics.observe(
                     "streaming.search.seconds", watch.seconds
                 )
                 ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
-                return StreamingResult(
+                common = dict(
                     query_name=query_name,
                     query_length=len(q),
                     hits=[h for _, _, h in ranked],
-                    sequences_scanned=scanned,
-                    cells=cells,
-                    chunks=chunks,
+                    sequences_scanned=state.scanned,
+                    cells=state.cells,
+                    chunks=state.chunks,
                     wall_seconds=watch.seconds,
-                    corrupted_redone=corrupted_redone,
+                    corrupted_redone=state.corrupted_redone,
                     database_name=database_name,
                 )
+                if expired:
+                    self.metrics.increment("deadline.partial")
+                    tracer.event(
+                        "deadline.expired", where="streaming.sharded",
+                        scanned=state.scanned,
+                        shards_merged=state.shards_merged,
+                    )
+                    return PartialResult(
+                        **common,
+                        total_records=total_records,
+                        shards_merged=state.shards_merged,
+                        journal_path=(
+                            str(self.journal.path)
+                            if self.journal is not None else None
+                        ),
+                    )
+                if self.journal is not None:
+                    self.journal.clear()
+                return StreamingResult(**common)
         finally:
             self.top_k = saved_top_k
+
+    def resume(
+        self,
+        query,
+        records: Iterable,
+        **kwargs,
+    ) -> StreamingResult:
+        """Continue a journalled scan over the same stream.
+
+        Equivalent to :meth:`search_records` with resume forced on for
+        this one call: the journal's merged prefix is skipped and the
+        scan continues from the last merged shard.  The final result is
+        bit-identical to an uninterrupted run.  Requires a ``journal``
+        path; a missing or mismatching journal simply scans from the
+        start.
+        """
+        if self.journal is None:
+            raise PipelineError(
+                "resume() requires this search to be built with a "
+                "journal path"
+            )
+        saved, self.resume_enabled = self.resume_enabled, True
+        try:
+            return self.search_records(query, records, **kwargs)
+        finally:
+            self.resume_enabled = saved
 
     def search_fasta(
         self, query, path, *, query_name: str = "query",
@@ -353,4 +516,5 @@ class ShardedStreamingSearch:
             query_name=query_name,
             database_name=database.name,
             top_k=top_k,
+            total_records=len(database),
         )

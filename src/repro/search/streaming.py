@@ -24,7 +24,7 @@ from .api import UNSET, SearchOptions, unify_options
 from .gcups import Stopwatch, gcups
 from .result import Hit
 
-__all__ = ["StreamingResult", "StreamingSearch"]
+__all__ = ["StreamingResult", "PartialResult", "StreamingSearch"]
 
 
 @dataclass
@@ -92,6 +92,53 @@ class StreamingResult:
         }
 
 
+@dataclass
+class PartialResult(StreamingResult):
+    """A deadline-truncated streamed search: everything merged in time.
+
+    The contract: :attr:`hits` are the exact top-k of the *prefix* of
+    the stream that was fully merged before the deadline expired — the
+    first :attr:`sequences_scanned` records — identical to what a
+    complete scan over just that prefix would return.  Nothing
+    half-merged ever leaks in: the sharded driver only folds whole
+    shards, the serial driver whole chunks.
+
+    ``total_records`` (when the caller knows the database size) makes
+    :meth:`completion` a real fraction; ``journal_path`` points at the
+    scan journal a resumable scan left behind, so the caller can
+    :meth:`~repro.search.ShardedStreamingSearch.resume` instead of
+    rescanning.
+    """
+
+    total_records: int | None = None
+    shards_merged: int = 0
+    journal_path: str | None = None
+
+    def completion(self) -> float | None:
+        """Fraction of the stream merged, or ``None`` if size unknown."""
+        if not self.total_records:
+            return None
+        return self.sequences_scanned / self.total_records
+
+    @property
+    def provenance(self) -> dict:
+        prov = StreamingResult.provenance.fget(self)  # type: ignore[attr-defined]
+        prov["partial"] = True
+        if self.total_records is not None:
+            prov["total_records"] = self.total_records
+        return prov
+
+    def summary(self) -> str:
+        done = self.completion()
+        frac = f" ({done:.0%} of {self.total_records} records)" \
+            if done is not None else ""
+        return (
+            f"PARTIAL result: deadline expired after "
+            f"{self.sequences_scanned} sequences{frac}\n"
+            + StreamingResult.summary(self)
+        )
+
+
 class StreamingSearch:
     """Chunked scan keeping a bounded top-k heap.
 
@@ -115,6 +162,16 @@ class StreamingSearch:
         :class:`~repro.search.sharded.ShardedStreamingSearch`).  When
         the pool cannot start, the scan falls back to serial and the
         ``streaming.fallback`` counter records it.
+    journal, resume, chunk_timeout:
+        Resilience knobs forwarded to the sharded driver
+        (``workers > 1`` only): a scan-journal path for resumable
+        scans, whether to continue from a matching journal, and the
+        pool's hang watchdog (see
+        :class:`~repro.search.sharded.ShardedStreamingSearch`).
+
+    A :attr:`SearchOptions.deadline` bounds the scan end-to-end; on
+    expiry both the serial and the sharded path return a typed
+    :class:`PartialResult` with everything merged in time.
     """
 
     def __init__(
@@ -126,6 +183,9 @@ class StreamingSearch:
         workers: int = 1,
         shard_residues: int | None = None,
         shard_records: int | None = None,
+        journal=None,
+        resume: bool = False,
+        chunk_timeout: float | None = None,
         matrix=UNSET,
         lanes=UNSET,
         chunk_size=UNSET,
@@ -153,6 +213,9 @@ class StreamingSearch:
         self.workers = int(workers)
         self.shard_residues = shard_residues
         self.shard_records = shard_records
+        self.journal = journal
+        self.resume = bool(resume)
+        self.chunk_timeout = chunk_timeout
         self.metrics = metrics if metrics is not None else METRICS
         self.engine = InterTaskEngine(
             alphabet=opts.alphabet, lanes=opts.resolved_lanes(8)
@@ -170,6 +233,9 @@ class StreamingSearch:
                 workers=self.workers,
                 shard_residues=self.shard_residues,
                 shard_records=self.shard_records,
+                journal=self.journal,
+                resume=self.resume,
+                chunk_timeout=self.chunk_timeout,
                 metrics=self.metrics,
             )
         return self._sharded
@@ -196,13 +262,16 @@ class StreamingSearch:
         query_name: str = "query",
         database_name: str = "<stream>",
         top_k: int | None = None,
+        total_records: int | None = None,
     ) -> StreamingResult:
         """Stream records through the engine; return the top-k.
 
         ``records`` may be :class:`~repro.db.fasta.FastaRecord` objects
         or ``(header, sequence)`` pairs.  ``top_k`` overrides the
         options' value for this one search (``0`` = scores-only
-        accounting, no ranked hits).
+        accounting, no ranked hits).  ``total_records`` (when known)
+        only annotates a deadline-truncated :class:`PartialResult` with
+        its completion fraction.
         """
         if top_k is None:
             top_k = self.top_k
@@ -222,7 +291,9 @@ class StreamingSearch:
                 return driver.search_records(
                     query, records, query_name=query_name,
                     database_name=database_name, top_k=top_k,
+                    total_records=total_records,
                 )
+        deadline = self.options.deadline
         q = as_codes(query, self.alphabet)
         # Min-heap of (score, -index, hit): smallest retained hit on top;
         # on score ties the later record loses.
@@ -242,8 +313,14 @@ class StreamingSearch:
                     database=database_name, chunk_size=self.chunk_size,
                     top_k=top_k,
                 )
+            expired = False
             with watch:
                 for chunk in _chunked(records, self.chunk_size):
+                    if deadline is not None and deadline.expired:
+                        # Whole-chunk truncation: everything merged so
+                        # far is exactly the scan of the stream prefix.
+                        expired = True
+                        break
                     chunks += 1
                     with tracer.span("streaming.chunk") as sp:
                         if sp:
@@ -289,15 +366,17 @@ class StreamingSearch:
                             elif heap and entry > heap[0]:
                                 heapq.heapreplace(heap, entry)
 
-            if scanned == 0:
+            if scanned == 0 and not expired:
                 raise PipelineError("the record stream was empty")
             if root:
-                root.set_attributes(chunks=chunks, sequences=scanned)
+                root.set_attributes(
+                    chunks=chunks, sequences=scanned, partial=expired
+                )
             self.metrics.increment("streaming.searches")
             self.metrics.increment("streaming.chunks", chunks)
             self.metrics.observe("streaming.search.seconds", watch.seconds)
             ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
-            return StreamingResult(
+            common = dict(
                 query_name=query_name,
                 query_length=len(q),
                 hits=[h for _, _, h in ranked],
@@ -308,6 +387,14 @@ class StreamingSearch:
                 corrupted_redone=corrupted_redone,
                 database_name=database_name,
             )
+            if expired:
+                self.metrics.increment("deadline.partial")
+                tracer.event(
+                    "deadline.expired", where="streaming.serial",
+                    scanned=scanned,
+                )
+                return PartialResult(**common, total_records=total_records)
+            return StreamingResult(**common)
 
     def search_fasta(
         self, query, path, *, query_name: str = "query",
@@ -338,6 +425,7 @@ class StreamingSearch:
             query_name=query_name,
             database_name=database.name,
             top_k=top_k,
+            total_records=len(database),
         )
 
 

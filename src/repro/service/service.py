@@ -24,12 +24,12 @@ protocol and is score-identical to the corresponding single-query path.
 from __future__ import annotations
 
 import os
-from contextlib import nullcontext
-from dataclasses import dataclass
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from ..db.database import SequenceDatabase
-from ..exceptions import PipelineError
+from ..exceptions import PipelineError, ServiceOverloaded
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import Tracer, get_tracer, use_tracer
 from ..perfmodel.model import DevicePerformanceModel
@@ -169,6 +169,12 @@ class SearchService:
         :class:`PreprocessCache` size (local scheduler).
     chunks, static_fraction, link:
         Heterogeneous knobs forwarded to the executor.
+    max_queue_depth:
+        Admission cap: a batch larger than this is rejected whole with
+        :class:`~repro.exceptions.ServiceOverloaded` (counted in
+        ``service.load_shed``) before any work starts — shedding load
+        early beats missing every deadline in the batch.  ``None``
+        (default) admits any batch size.
     metrics:
         Registry every layer under this service reports into — the
         cache *and* the pipelines/schedulers it drives.  Pass an
@@ -196,6 +202,7 @@ class SearchService:
         chunks: int = 24,
         static_fraction: float = 0.55,
         shard_residues: int = 1_000_000,
+        max_queue_depth: int | None = None,
         link: PCIeLink = PCIE_GEN2_X16,
         metrics: MetricsRegistry = METRICS,
         tracer: Tracer | None = None,
@@ -218,6 +225,10 @@ class SearchService:
         if shard_residues < 1:
             raise PipelineError(
                 f"shard_residues must be positive, got {shard_residues}"
+            )
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise PipelineError(
+                f"max_queue_depth must be positive, got {max_queue_depth}"
             )
         if executor == "sharded" and scheduler != "local":
             raise PipelineError(
@@ -249,6 +260,9 @@ class SearchService:
         self.host_model = host_model
         self.device_model = device_model
         self.shard_residues = int(shard_residues)
+        self.max_queue_depth = (
+            int(max_queue_depth) if max_queue_depth is not None else None
+        )
         pool_workers = self.workers if executor == "process" else None
         if scheduler == "local":
             self._pipe = SearchPipeline(
@@ -317,12 +331,45 @@ class SearchService:
             else nullcontext()
         )
 
+    @contextmanager
+    def _deadline_scope(self, deadline):
+        """Pin a per-request deadline onto every live executor.
+
+        Executors read :attr:`SearchOptions.deadline` at search time,
+        so swapping their (frozen) options object in and back out is
+        enough to scope the request's deadline to exactly this call.
+        """
+        if deadline is None:
+            yield
+            return
+        stream = getattr(self, "_stream", None)
+        targets = [
+            obj
+            for obj in (
+                getattr(self, "_pipe", None),
+                stream,
+                getattr(stream, "_sharded", None),
+                getattr(self, "_hybrid", None),
+                getattr(self, "_queue", None),
+            )
+            if obj is not None and hasattr(obj, "options")
+        ]
+        saved = [(obj, obj.options) for obj in targets]
+        for obj in targets:
+            obj.options = replace(obj.options, deadline=deadline)
+        try:
+            yield
+        finally:
+            for obj, opts in saved:
+                obj.options = opts
+
     def _run_one(
         self, req: SearchRequest, database: SequenceDatabase
     ) -> SearchOutcome:
         self.metrics.increment("service.requests")
         with get_tracer().span("service.request") as sp, \
-                self.metrics.timer("service.request.seconds").time():
+                self.metrics.timer("service.request.seconds").time(), \
+                self._deadline_scope(req.deadline):
             if sp:
                 sp.set_attributes(
                     request=req.name, scheduler=self.scheduler,
@@ -373,6 +420,20 @@ class SearchService:
         reqs = self._normalize(requests)
         if not reqs:
             raise PipelineError("the request batch is empty")
+        self.metrics.set_gauge("service.queue.depth", float(len(reqs)))
+        if (
+            self.max_queue_depth is not None
+            and len(reqs) > self.max_queue_depth
+        ):
+            self.metrics.increment("service.load_shed")
+            get_tracer().event(
+                "service.load_shed", requests=len(reqs),
+                max_queue_depth=self.max_queue_depth,
+            )
+            raise ServiceOverloaded(
+                f"batch of {len(reqs)} requests exceeds the admission cap "
+                f"of {self.max_queue_depth}; rejected whole (load shed)"
+            )
         with self._trace_scope():
             with get_tracer().span("service.batch") as root:
                 if root:

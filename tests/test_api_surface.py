@@ -56,12 +56,13 @@ PUBLIC_API = {
     "DevicePerformanceModel", "RunConfig", "Workload",
     "HybridExecutor", "PCIE_GEN2_X16",
     # faults / resilience
-    "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout",
+    "FaultPlan", "FaultInjector", "RetryPolicy", "Timeout", "Deadline",
     "CircuitBreaker", "ResilientHybridExecutor", "ResilientResult",
     # search
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
     "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
+    "PartialResult", "ScanJournal", "ScanState",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome",
     # service
@@ -81,7 +82,7 @@ PUBLIC_API = {
 
 OPTION_FIELDS = (
     "matrix", "gaps", "lanes", "profile", "schedule", "threads",
-    "top_k", "chunk_size", "alphabet", "injector",
+    "top_k", "chunk_size", "alphabet", "injector", "deadline",
 )
 
 

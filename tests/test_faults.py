@@ -7,6 +7,7 @@ from repro.db import SyntheticSwissProt
 from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
 from repro.exceptions import (
     CircuitOpen,
+    DeadlineExceeded,
     DeviceTimeout,
     FaultInjected,
     FaultPlanError,
@@ -14,6 +15,7 @@ from repro.exceptions import (
 from repro.faults import (
     BreakerState,
     CircuitBreaker,
+    Deadline,
     FaultInjector,
     FaultKind,
     FaultPlan,
@@ -78,6 +80,91 @@ class TestFaultPlan:
         assert FaultPlan(seed=99).is_null
         assert not FaultPlan(corrupt_rate=0.01).is_null
         assert not FaultPlan(outage_unit=0).is_null
+        assert not FaultPlan(worker_kill_rate=0.01).is_null
+        assert not FaultPlan(worker_hang_units=(3,)).is_null
+
+    def test_parse_process_fault_keys(self):
+        plan = FaultPlan.parse(
+            "seed=5, worker-kill=0.1, worker-hang=0.05, "
+            "worker-hang-seconds=0.2, kill-units=1:4, hang-units=2"
+        )
+        assert plan.worker_kill_rate == 0.1
+        assert plan.worker_hang_rate == 0.05
+        assert plan.worker_hang_seconds == 0.2
+        assert plan.worker_kill_units == (1, 4)
+        assert plan.worker_hang_units == (2,)
+
+    def test_process_rates_do_not_count_against_transmission_budget(self):
+        # Process faults draw from an independent stream; their rates
+        # must not trip the "rates sum to at most 1" transmission check.
+        FaultPlan(transfer_fail_rate=0.5, corrupt_rate=0.5,
+                  worker_kill_rate=0.9)
+        with pytest.raises(FaultPlanError, match="in \\[0, 1\\]"):
+            FaultPlan(worker_kill_rate=1.5)
+
+
+class TestProcessFaultDecisions:
+    def test_explicit_units_fire_every_attempt(self):
+        inj = FaultInjector(FaultPlan(
+            seed=0, worker_kill_units=(2,), worker_hang_units=(5,)
+        ))
+        for attempt in range(4):
+            assert inj.process_decision(2, attempt).kind \
+                is FaultKind.WORKER_KILL
+            assert inj.process_decision(5, attempt).kind \
+                is FaultKind.WORKER_HANG
+        assert inj.process_decision(0, 0).kind is None
+
+    def test_probabilistic_draws_are_deterministic(self):
+        plan = FaultPlan(seed=9, worker_kill_rate=0.3, worker_hang_rate=0.2)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        grid = [(u, t) for u in range(50) for t in range(3)]
+        assert [a.process_decision(u, t).kind for u, t in grid] == [
+            b.process_decision(u, t).kind for u, t in grid
+        ]
+        kinds = {a.process_decision(u, 0).kind for u in range(200)}
+        assert FaultKind.WORKER_KILL in kinds
+        assert FaultKind.WORKER_HANG in kinds
+
+    def test_process_stream_independent_of_corruption_stream(self):
+        # Adding process faults must not perturb which units the
+        # corruption stream hits — redo accounting stays bit-identical.
+        base = FaultInjector(FaultPlan(seed=4, corrupt_rate=0.3))
+        mixed = FaultInjector(FaultPlan(
+            seed=4, corrupt_rate=0.3, worker_kill_rate=0.5
+        ))
+        assert [base.decide(u).kind for u in range(100)] == [
+            mixed.decide(u).kind for u in range(100)
+        ]
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        d = Deadline.after(60.0)
+        assert 0.0 < d.remaining() <= 60.0
+        assert not d.expired
+        d.check("setup")  # plenty of budget: must not raise
+
+    def test_expired_raises_with_context(self):
+        import time
+
+        d = Deadline(expires_at=time.time() - 1.0)
+        assert d.expired
+        assert d.remaining() < 0.0
+        with pytest.raises(DeadlineExceeded, match="shard 3") as exc_info:
+            d.check("shard 3")
+        assert exc_info.value.remaining < 0.0
+
+    def test_validation(self):
+        with pytest.raises(FaultPlanError):
+            Deadline.after(0.0)
+
+    def test_picklable(self):
+        import pickle
+
+        d = Deadline.after(30.0)
+        assert pickle.loads(pickle.dumps(d)) == d
 
 
 class TestInjectorDeterminism:
@@ -129,9 +216,32 @@ class TestInjectorDeterminism:
 class TestRetryPolicy:
     def test_backoff_ladder_caps(self):
         p = RetryPolicy(max_retries=5, base_delay=0.1, multiplier=2.0,
-                        max_delay=0.5)
+                        max_delay=0.5, jitter=0.0)
         assert p.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
         assert p.backoff(0) == 0.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        p = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.5, jitter=0.25, seed=11)
+        q = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.5, jitter=0.25, seed=11)
+        bare = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=2.0,
+                           max_delay=0.5, jitter=0.0)
+        # Same (seed, unit, attempt) -> same delay, every time.
+        assert p.schedule(unit=3) == q.schedule(unit=3)
+        # Different units decorrelate their retry storms.
+        assert p.schedule(unit=3) != p.schedule(unit=4)
+        # Jitter stays within +/- 25% of the undithered ladder.
+        for attempt in range(1, 5):
+            base = bare.backoff(attempt)
+            got = p.backoff(attempt, unit=3)
+            assert abs(got - base) <= 0.25 * base + 1e-12
+
+    def test_jitter_validation(self):
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(FaultPlanError):
+            RetryPolicy(jitter=1.0)
 
     def test_allows_counts_the_first_try(self):
         p = RetryPolicy(max_retries=2)
