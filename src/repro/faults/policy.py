@@ -7,8 +7,9 @@ as its happy path.  :class:`Deadline` is the one wall-clock citizen: it
 bounds *real* end-to-end execution of the process-parallel stack.
 
 * :class:`RetryPolicy` — how many times to re-attempt a failed unit and
-  how long to wait between attempts (capped exponential backoff with
-  seeded, deterministic jitter so concurrent retries de-synchronize).
+  how long to wait between attempts (capped exponential backoff, with
+  opt-in seeded, deterministic jitter so concurrent retries
+  de-synchronize).
 * :class:`Timeout` — the watchdog deadline after which a hung or
   straggling offload is declared dead
   (:class:`~repro.exceptions.DeviceTimeout`).
@@ -47,15 +48,17 @@ class RetryPolicy:
     ``[1 - jitter, 1 + jitter]`` so concurrent retries of many units do
     not synchronize into thundering herds.  The draw is a pure function
     of ``(seed, unit, attempt)`` — deterministic and replayable like
-    every other fault-path decision in this package.  Set
-    ``jitter=0.0`` for the exact undithered ladder.
+    every other fault-path decision in this package.  Dithering is
+    opt-in: the default ``jitter=0.0`` keeps the exact undithered
+    ladder, so existing schedules are unchanged unless a caller asks
+    for spread.
     """
 
     max_retries: int = 3
     base_delay: float = 1e-3
     multiplier: float = 2.0
     max_delay: float = 1.0
-    jitter: float = 0.1
+    jitter: float = 0.0
     seed: int = 0
 
     def __post_init__(self) -> None:

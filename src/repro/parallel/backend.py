@@ -124,9 +124,12 @@ class ProcessPoolBackend:
         backend will absorb over its lifetime before giving up with
         :class:`~repro.exceptions.ParallelError`.
     poison_threshold:
-        After this many lost results, a chunk is declared poison: it is
-        quarantined (recorded in :attr:`quarantined`) and reclaimed
-        inline in the driver instead of being retried forever.
+        After this many lost results *without an intervening
+        completion*, a chunk is declared poison: it is quarantined
+        (recorded in :attr:`quarantined`) and reclaimed inline in the
+        driver instead of being retried forever.  A heal charges every
+        in-flight chunk (the pool cannot tell culprit from bystander),
+        but a chunk's loss counter resets once it completes.
     chunk_timeout:
         Hang watchdog for :meth:`collect`: if no in-flight chunk
         completes within this many seconds, the pool is declared hung
@@ -263,10 +266,27 @@ class ProcessPoolBackend:
             raise
         return pool
 
-    @staticmethod
-    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-        """Tear a pool down without waiting on hung or dead workers."""
-        procs = [p for p in getattr(pool, "_processes", {}).values() if p]
+    def _terminate_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down without waiting on hung or dead workers.
+
+        There is no public API for the executor's worker handles, so
+        termination walks the private ``_processes`` map.  If a future
+        CPython renames it, fall back to a plain non-blocking shutdown
+        and record the degradation (``pool.terminate.opaque`` counter
+        and tracer event) — hung workers may then outlive the pool, but
+        never silently.
+        """
+        proc_map = getattr(pool, "_processes", None)
+        if proc_map is None:
+            if self.metrics is not None:
+                self.metrics.increment("pool.terminate.opaque")
+            get_tracer().event(
+                "pool.terminate.opaque",
+                reason="ProcessPoolExecutor._processes is unavailable",
+            )
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        procs = [p for p in proc_map.values() if p]
         pool.shutdown(wait=False, cancel_futures=True)
         for proc in procs:
             if proc.is_alive():
@@ -331,6 +351,13 @@ class ProcessPoolBackend:
         *inline* in the driver: a poison chunk keeps killing whatever
         worker touches it, so the only safe executor is the one process
         whose fault hooks never fire.
+
+        Attribution caveat: a heal loses *every* in-flight chunk, so a
+        hang or worker death charges innocent chunks that merely shared
+        the pool with the culprit.  The counter is therefore reset the
+        moment a chunk completes (see :meth:`collect`) — only a chunk
+        that keeps failing without ever completing accumulates toward
+        quarantine.
         """
         failures = self._chunk_failures.get(task.chunk_id, 0) + 1
         self._chunk_failures[task.chunk_id] = failures
@@ -501,6 +528,11 @@ class ProcessPoolBackend:
                             absorb(self._redo(task))
                     else:
                         results[res.chunk_id] = res
+                        # A completed chunk is proven innocent: losses
+                        # it was charged while co-resident with a hung
+                        # or crashing chunk no longer count toward
+                        # quarantine.
+                        self._chunk_failures.pop(res.chunk_id, None)
         except DeadlineExceeded:
             self._cancel_pending(pending)
             if self.metrics is not None:

@@ -17,9 +17,19 @@ Correctness rests on two facts:
   run's shard layout, global record indices, and fault-injection units
   exactly — which is what makes a resumed scan bit-identical.
 * **Fingerprint keying** — the snapshot is keyed by a digest of the
-  query codes and the scan parameters that shape the merge.  A journal
-  written by a different query, database, or configuration is treated
-  as absent, never silently merged.
+  query codes and *every* scan parameter that shapes scores or
+  accounting: database name, top-k, chunk size, shard bounds,
+  substitution matrix (name and cell values), gap penalties, alphabet,
+  and the fault plan.  A journal written by a different query,
+  database, or configuration is treated as absent, never silently
+  merged.
+* **Prefix checksum** — the fingerprint cannot see the stream's
+  *content* (two different streams can share the default
+  ``database_name``), so the snapshot also carries a chained digest of
+  every record merged so far.  ``resume`` re-hashes the records it
+  skips and refuses to continue over a stream whose prefix does not
+  match — a wrong stream is an error, never a silently corrupted
+  merge.
 """
 
 from __future__ import annotations
@@ -35,10 +45,33 @@ import numpy as np
 from ..exceptions import PipelineError
 from .result import Hit
 
-__all__ = ["ScanJournal", "ScanState"]
+__all__ = ["ScanJournal", "ScanState", "chain_record_digest"]
 
 #: On-disk format version; bump on incompatible layout changes.
-_VERSION = 1
+#: v2 added the chained ``prefix_digest`` over merged records.
+_VERSION = 2
+
+
+def chain_record_digest(digest: str, header: str, codes) -> str:
+    """Fold one record into a chained stream digest.
+
+    ``digest`` is the hex digest covering every earlier record (``""``
+    for the first).  Each record is framed (length-prefixed header
+    bytes, then length-prefixed encoded residues) so no two distinct
+    streams can collide by shifting bytes between header and sequence,
+    and the chain is independent of shard or chunk boundaries — only
+    record order and content matter.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    if digest:
+        h.update(bytes.fromhex(digest))
+    head = str(header).encode()
+    h.update(len(head).to_bytes(4, "little"))
+    h.update(head)
+    body = np.asarray(codes, dtype=np.uint8).tobytes()
+    h.update(len(body).to_bytes(8, "little"))
+    h.update(body)
+    return h.hexdigest()
 
 
 @dataclass
@@ -51,6 +84,9 @@ class ScanState:
     cells: int = 0
     chunks: int = 0
     corrupted_redone: int = 0
+    #: Chained :func:`chain_record_digest` over the merged prefix —
+    #: lets ``resume`` verify it was handed the *same* stream.
+    prefix_digest: str = ""
     #: Serialized top-k heap entries ``(score, -index, hit)`` in heap
     #: order — a list that *is* a valid heap can be reloaded verbatim.
     heap: list = field(default_factory=list)
@@ -105,14 +141,46 @@ class ScanJournal:
         chunk_size: int,
         max_residues: int | None,
         max_records: int | None,
+        matrix=None,
+        gaps=None,
+        alphabet=None,
+        plan=None,
     ) -> str:
-        """Digest of everything that shapes the merge state."""
+        """Digest of everything that shapes the merge state.
+
+        Beyond the stream layout parameters, the digest covers the
+        scoring configuration — substitution ``matrix`` (name *and*
+        cell values), ``gaps``, ``alphabet`` — and the fault ``plan``,
+        because all of them shape scores and ``corrupted_redone``
+        accounting: resuming a journal written under any different
+        value would silently merge incompatible heap state.
+        """
         digest = hashlib.blake2b(digest_size=16)
         digest.update(np.asarray(query_codes, dtype=np.uint8).tobytes())
         digest.update(
             f"|{database_name}|{top_k}|{chunk_size}"
             f"|{max_residues}|{max_records}".encode()
         )
+        if matrix is None:
+            digest.update(b"|matrix:none")
+        else:
+            digest.update(f"|matrix:{matrix.name}".encode())
+            digest.update(
+                np.ascontiguousarray(matrix.data, dtype=np.int32).tobytes()
+            )
+        if gaps is None:
+            digest.update(b"|gaps:none")
+        else:
+            digest.update(f"|gaps:{gaps.open},{gaps.extend}".encode())
+        if alphabet is None:
+            digest.update(b"|alphabet:none")
+        else:
+            digest.update(
+                f"|alphabet:{alphabet.letters}:{alphabet.wildcard}".encode()
+            )
+        # FaultPlan is a frozen dataclass of scalars/tuples: its repr is
+        # a stable, total serialization of the plan.
+        digest.update(f"|plan:{plan!r}".encode())
         return digest.hexdigest()
 
     @property
@@ -131,6 +199,7 @@ class ScanJournal:
             "cells": state.cells,
             "chunks": state.chunks,
             "corrupted_redone": state.corrupted_redone,
+            "prefix_digest": state.prefix_digest,
             "heap": state.heap,
         }
         tmp = self.path.with_name(self.path.name + ".tmp")
@@ -163,6 +232,7 @@ class ScanJournal:
                 cells=int(payload["cells"]),
                 chunks=int(payload["chunks"]),
                 corrupted_redone=int(payload["corrupted_redone"]),
+                prefix_digest=str(payload["prefix_digest"]),
                 heap=list(payload["heap"]),
             )
         except (KeyError, TypeError, ValueError):

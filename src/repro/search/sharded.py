@@ -50,13 +50,13 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..core.engine import as_codes
-from ..db.shards import Shard, ShardSpec, iter_shards
+from ..db.shards import Shard, ShardSpec, encode_record, iter_shards
 from ..exceptions import DeadlineExceeded, PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
 from .api import SearchOptions
 from .gcups import Stopwatch
-from .journal import ScanJournal, ScanState
+from .journal import ScanJournal, ScanState, chain_record_digest
 from .result import Hit
 from .streaming import PartialResult, StreamingResult
 
@@ -338,6 +338,12 @@ class ShardedStreamingSearch:
                 chunk_size=self.chunk_size,
                 max_residues=self.spec.max_residues,
                 max_records=self.spec.max_records,
+                matrix=self.matrix,
+                gaps=self.gaps,
+                alphabet=self.alphabet,
+                plan=(
+                    self.injector.plan if self.injector is not None else None
+                ),
             )
         state = self._load_state(fingerprint)
         resume_records = state.records_done
@@ -345,12 +351,27 @@ class ShardedStreamingSearch:
         heap: list[tuple[int, int, Hit]] = state.heap_entries()
         records = iter(records)
         if resume_records:
-            consumed = sum(1 for _ in islice(records, resume_records))
+            # Skip the journalled prefix, re-hashing it on the way: the
+            # fingerprint keys the scan *parameters* but cannot see the
+            # stream's content, so the chained record digest is what
+            # proves this is the same stream the journal came from.
+            consumed = 0
+            digest = ""
+            for item in islice(records, resume_records):
+                header, codes = encode_record(item, self.alphabet)
+                digest = chain_record_digest(digest, header, codes)
+                consumed += 1
             if consumed < resume_records:
                 raise PipelineError(
                     f"scan journal covers {resume_records} records but the "
                     f"stream only provided {consumed} — wrong stream for "
                     f"this journal"
+                )
+            if digest != state.prefix_digest:
+                raise PipelineError(
+                    f"scan journal prefix checksum does not match the "
+                    f"first {resume_records} records of this stream — "
+                    f"wrong stream for this journal"
                 )
         watch = Stopwatch()
         tracer = get_tracer()
@@ -383,6 +404,14 @@ class ShardedStreamingSearch:
                     state.records_done += done_shard.n_records
                     state.shards_merged += 1
                     if self.journal is not None:
+                        digest = state.prefix_digest
+                        for header, codes in zip(
+                            done_shard.headers, done_shard.sequences
+                        ):
+                            digest = chain_record_digest(
+                                digest, header, codes
+                            )
+                        state.prefix_digest = digest
                         state.heap = ScanState.pack_heap(heap)
                         self.journal.save(fingerprint, state)
                         self.metrics.increment("resume.saved")

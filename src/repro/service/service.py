@@ -331,19 +331,10 @@ class SearchService:
             else nullcontext()
         )
 
-    @contextmanager
-    def _deadline_scope(self, deadline):
-        """Pin a per-request deadline onto every live executor.
-
-        Executors read :attr:`SearchOptions.deadline` at search time,
-        so swapping their (frozen) options object in and back out is
-        enough to scope the request's deadline to exactly this call.
-        """
-        if deadline is None:
-            yield
-            return
+    def _deadline_targets(self) -> list:
+        """Every live executor whose options can carry a deadline."""
         stream = getattr(self, "_stream", None)
-        targets = [
+        return [
             obj
             for obj in (
                 getattr(self, "_pipe", None),
@@ -354,14 +345,41 @@ class SearchService:
             )
             if obj is not None and hasattr(obj, "options")
         ]
+
+    @contextmanager
+    def _deadline_scope(self, deadline):
+        """Pin a per-request deadline onto every live executor.
+
+        Executors read :attr:`SearchOptions.deadline` at search time,
+        so swapping their (frozen) options object in and back out is
+        enough to scope the request's deadline to exactly this call.
+
+        An executor built lazily *during* the scoped call — the sharded
+        driver on its first request — is constructed from the
+        deadline-bearing options and is not in the entry snapshot, so
+        the exit path re-enumerates the executors and strips the scoped
+        deadline from any it did not see on entry.  Without that, the
+        first deadline-carrying request would pin its (soon expired)
+        deadline onto every later request through that executor.
+        """
+        if deadline is None:
+            yield
+            return
+        targets = self._deadline_targets()
         saved = [(obj, obj.options) for obj in targets]
         for obj in targets:
             obj.options = replace(obj.options, deadline=deadline)
         try:
             yield
         finally:
+            entered = {id(obj) for obj, _ in saved}
             for obj, opts in saved:
                 obj.options = opts
+            for obj in self._deadline_targets():
+                if id(obj) not in entered:
+                    obj.options = replace(
+                        obj.options, deadline=self.options.deadline
+                    )
 
     def _run_one(
         self, req: SearchRequest, database: SequenceDatabase

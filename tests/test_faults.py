@@ -220,6 +220,14 @@ class TestRetryPolicy:
         assert p.schedule() == [0.1, 0.2, 0.4, 0.5, 0.5]
         assert p.backoff(0) == 0.0
 
+    def test_jitter_defaults_off(self):
+        # Dithering is opt-in: the default policy keeps the exact
+        # undithered ladder existing callers rely on.
+        assert RetryPolicy().jitter == 0.0
+        p = RetryPolicy(max_retries=3, base_delay=0.1, multiplier=2.0,
+                        max_delay=0.5)
+        assert p.schedule() == [0.1, 0.2, 0.4]
+
     def test_jitter_is_deterministic_and_bounded(self):
         p = RetryPolicy(max_retries=4, base_delay=0.1, multiplier=2.0,
                         max_delay=0.5, jitter=0.25, seed=11)

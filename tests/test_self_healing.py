@@ -399,6 +399,35 @@ class TestResumableScans:
                     database_name=db.name,
                 )
 
+    def test_wrong_content_stream_rejected_on_resume(self, db, tmp_path):
+        # Same record count, same database_name, same parameters — but
+        # different content.  The fingerprint cannot see the stream's
+        # bytes, so the chained prefix checksum must catch it.
+        journal = tmp_path / "content.journal"
+        opts = SearchOptions(chunk_size=16, top_k=5)
+        crash_after = min(200, len(db) - 30)
+        with ShardedStreamingSearch(
+            opts, workers=2, shard_records=64, journal=journal,
+        ) as sharded:
+            with pytest.raises(CrashedStream):
+                sharded.search_records(
+                    QUERY, crashing_stream(db, crash_after),
+                    database_name=db.name,
+                )
+            assert journal.exists()
+
+            def tampered_stream():
+                for i, item in enumerate(zip(db.headers, db.sequences)):
+                    if i == 0:
+                        yield (item[0] + "-tampered", item[1])
+                    else:
+                        yield item
+
+            with pytest.raises(PipelineError, match="prefix checksum"):
+                sharded.resume(
+                    QUERY, tampered_stream(), database_name=db.name,
+                )
+
     def test_resume_requires_journal(self):
         search = ShardedStreamingSearch(SearchOptions(), workers=2)
         with pytest.raises(PipelineError, match="journal"):
@@ -411,6 +440,7 @@ class TestScanJournal:
         state = ScanState(
             records_done=128, shards_merged=2, scanned=128,
             cells=999, chunks=8, corrupted_redone=3,
+            prefix_digest="ab" * 16,
             heap=[[17, -5, {
                 "index": 5, "header": "sp|X|Y", "length": 40, "score": 17,
             }]],
@@ -420,6 +450,7 @@ class TestScanJournal:
         assert loaded is not None
         assert loaded.records_done == 128
         assert loaded.corrupted_redone == 3
+        assert loaded.prefix_digest == "ab" * 16
         (score, neg_idx, hit), = loaded.heap_entries()
         assert (score, neg_idx) == (17, -5)
         assert hit.index == 5 and hit.score == 17
@@ -471,6 +502,52 @@ class TestScanJournal:
         ]:
             assert fp != ScanJournal.fingerprint(q, **{**base, key: other})
 
+    def test_fingerprint_keys_scoring_config_and_fault_plan(self):
+        # Matrix, gap model, alphabet and fault plan all shape scores
+        # and redo accounting — each must change the fingerprint.
+        from repro.alphabet import DNA, PROTEIN
+        from repro.scoring import GapModel, get_matrix
+
+        q = np.arange(8, dtype=np.uint8)
+        base = dict(
+            database_name="db", top_k=5, chunk_size=16,
+            max_residues=1000, max_records=None,
+            matrix=get_matrix("BLOSUM62"), gaps=GapModel(10, 2),
+            alphabet=PROTEIN, plan=None,
+        )
+        fp = ScanJournal.fingerprint(q, **base)
+        assert fp == ScanJournal.fingerprint(q, **base)
+        for key, other in [
+            ("matrix", get_matrix("BLOSUM50")),
+            ("matrix", None),
+            ("gaps", GapModel(11, 1)),
+            ("gaps", None),
+            ("alphabet", DNA),
+            ("alphabet", None),
+            ("plan", FaultPlan(seed=3, corrupt_rate=0.5)),
+        ]:
+            assert fp != ScanJournal.fingerprint(q, **{**base, key: other})
+        # Two different plans differ from each other, not just from None.
+        a = ScanJournal.fingerprint(
+            q, **{**base, "plan": FaultPlan(seed=3, corrupt_rate=0.5)}
+        )
+        b = ScanJournal.fingerprint(
+            q, **{**base, "plan": FaultPlan(seed=4, corrupt_rate=0.5)}
+        )
+        assert a != b
+
+    def test_chain_record_digest_is_order_and_framing_sensitive(self):
+        from repro.search.journal import chain_record_digest
+
+        a = np.array([1, 2, 3], dtype=np.uint8)
+        b = np.array([4, 5], dtype=np.uint8)
+        d1 = chain_record_digest(chain_record_digest("", "h1", a), "h2", b)
+        d2 = chain_record_digest(chain_record_digest("", "h2", b), "h1", a)
+        assert d1 != d2  # order matters
+        # Moving bytes between header and sequence cannot collide.
+        assert chain_record_digest("", "ab", a) != \
+            chain_record_digest("", "a", np.insert(a, 0, ord("b")))
+
 
 # ---------------------------------------------------------------------------
 # service: per-request deadlines and admission control
@@ -513,3 +590,70 @@ class TestServiceResilience:
             # The expired deadline must not leak into later requests.
             outcome = service.search(SearchRequest(query=QUERY), small)
         assert outcome.best_score() >= 0
+
+    def test_deadline_does_not_leak_into_lazy_sharded_driver(self, db):
+        # The sharded driver is created lazily on the first sharded
+        # request; when that request carries a deadline, the driver is
+        # built from deadline-bearing options.  The scope exit must
+        # strip it, or every later deadline-free request through the
+        # driver would see a stale, eventually-expired deadline and
+        # silently truncate.
+        with SearchService(
+            SearchOptions(top_k=3, chunk_size=16),
+            executor="sharded", workers=2, shard_residues=1000,
+        ) as service:
+            first = service.search(
+                SearchRequest(query=QUERY, deadline=Deadline.after(600.0)),
+                db,
+            )
+            assert first.best_score() >= 0
+            sharded = service._stream._sharded
+            assert sharded is not None, "request did not take the sharded route"
+            assert sharded.options.deadline is None
+            # A later deadline-free request scans the whole database.
+            full = service.search(SearchRequest(query=QUERY), db)
+        assert not isinstance(full, PartialResult)
+        assert full.sequences_scanned == len(db)
+
+
+class TestPoisonAttribution:
+    def test_completion_resets_chunk_failure_counter(self):
+        # Losses charged while co-resident with a culprit chunk must
+        # not accumulate across heals: once a chunk completes, its
+        # failure counter is wiped and it cannot drift into quarantine.
+        from repro.parallel import ProcessPoolBackend
+        from repro.parallel.worker import ChunkTask, EngineConfig
+        from repro.scoring import GapModel, get_matrix
+
+        with ProcessPoolBackend(None, workers=1) as backend:
+            backend._chunk_failures[0] = 2  # two prior charged losses
+            task = ChunkTask(
+                chunk_id=0,
+                kind="stream",
+                query=np.zeros(4, dtype=np.uint8),
+                matrix=get_matrix("BLOSUM62"),
+                gaps=GapModel(10, 2),
+                engine=EngineConfig(lanes=4),
+                seqs=(np.zeros(8, dtype=np.uint8),),
+            )
+            backend.submit_tasks([task])
+            assert 0 not in backend._chunk_failures
+            assert backend.quarantined == []
+
+    def test_terminate_pool_degrades_without_process_handles(self):
+        # If CPython ever renames ProcessPoolExecutor._processes, the
+        # teardown must fall back to a plain non-blocking shutdown and
+        # record the degradation instead of silently doing nothing.
+        from repro.parallel import ProcessPoolBackend
+
+        calls = {}
+
+        class OpaquePool:
+            def shutdown(self, wait=True, cancel_futures=False):
+                calls["shutdown"] = (wait, cancel_futures)
+
+        registry = MetricsRegistry()
+        with ProcessPoolBackend(None, workers=1, metrics=registry) as backend:
+            backend._terminate_pool(OpaquePool())
+        assert calls["shutdown"] == (False, True)
+        assert registry.snapshot()["pool.terminate.opaque"] == 1
