@@ -14,7 +14,7 @@ from repro.db import SyntheticSwissProt
 from repro.devices import XEON_E5_2670_DUAL, XEON_PHI_57XX
 from repro.heuristic import MiniBlast
 from repro.perfmodel import DevicePerformanceModel
-from repro.search import SearchPipeline
+from repro.search import SearchOptions, SearchPipeline
 from repro.search.hybrid_pipeline import HybridSearchPipeline
 
 DB = SyntheticSwissProt().generate(scale=0.0002)
@@ -26,7 +26,7 @@ CELLS = len(QUERY) * DB.total_residues
 @pytest.mark.benchmark(group="pipeline")
 @pytest.mark.parametrize("profile", ["sequence", "query"])
 def test_search_pipeline(benchmark, profile):
-    pipe = SearchPipeline(profile=profile)
+    pipe = SearchPipeline(SearchOptions(profile=profile))
     result = benchmark(lambda: pipe.search(QUERY, DB, top_k=5))
     assert result.cells == CELLS
     benchmark.extra_info["wall_gcups"] = result.wall_gcups

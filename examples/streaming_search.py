@@ -20,7 +20,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import SearchPipeline, StreamingSearch, SyntheticSwissProt
+from repro import (
+    SearchOptions,
+    SearchPipeline,
+    StreamingSearch,
+    SyntheticSwissProt,
+)
 from repro.db import write_fasta
 from repro.db.fasta import FastaRecord
 from repro.db.io_npz import load_npz, save_npz
@@ -66,7 +71,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     # 2. Stream the FASTA through a bounded-memory scan.
     # ------------------------------------------------------------------
-    streamer = StreamingSearch(chunk_size=64, top_k=5)
+    streamer = StreamingSearch(SearchOptions(chunk_size=64, top_k=5))
     t0 = time.perf_counter()
     streamed = streamer.search_fasta(query, fasta_path, query_name="demo")
     t_stream = time.perf_counter() - t0

@@ -122,6 +122,12 @@ from .scoring import (
     get_matrix,
     paper_gap_model,
 )
+from .serve import (
+    WIRE_SCHEMA_VERSION,
+    RemoteSearchResult,
+    SearchClient,
+    SearchServer,
+)
 from .search import (
     HybridSearchPipeline,
     HybridSearchResult,
@@ -187,6 +193,9 @@ __all__ = [
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # serving layer
+    "SearchServer", "SearchClient", "RemoteSearchResult",
+    "WIRE_SCHEMA_VERSION",
     # parallel execution
     "ProcessPoolBackend", "PackedDatabase",
     # observability

@@ -5,6 +5,11 @@ Subcommands
 ``search``
     Run a Smith-Waterman database search (Algorithm 1) against a FASTA
     file or a synthetic Swiss-Prot sample and print the ranked hits.
+    With ``--server URL`` the query goes to a running ``repro serve``
+    instance instead and the hits come back bit-identical.
+``serve``
+    Serve a database over HTTP (:mod:`repro.serve`): versioned JSON
+    wire protocol, admission control, typed errors.
 ``batch``
     Serve many queries through :class:`repro.SearchService` — shared
     pre-processing cache, selectable scheduler (``local``/``static``/
@@ -81,6 +86,41 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--workers", type=int, default=1,
                    help="score on a pool of real worker processes "
                         "(scores identical to --workers 1)")
+    s.add_argument("--server", metavar="URL",
+                   help="query a running 'repro serve' instance instead "
+                        "of searching locally (hits are bit-identical); "
+                        "the scoring flags above are sent for "
+                        "verification and a mismatch is rejected")
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve a database over HTTP (the repro.serve wire protocol)",
+    )
+    sv.add_argument("--db-fasta", help="database FASTA file")
+    sv.add_argument(
+        "--synthetic-scale", type=float, default=None,
+        help="use a synthetic Swiss-Prot at this scale (e.g. 0.0005)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=0,
+                    help="bind port (0 = ephemeral; the bound URL is "
+                         "printed on startup)")
+    sv.add_argument("--matrix", default="BLOSUM62")
+    sv.add_argument("--gap-open", type=int, default=10)
+    sv.add_argument("--gap-extend", type=int, default=2)
+    sv.add_argument("--lanes", type=int, default=8)
+    sv.add_argument("--profile", choices=("query", "sequence"),
+                    default="sequence")
+    sv.add_argument("--top", type=int, default=10)
+    sv.add_argument("--max-inflight", type=int, default=None,
+                    help="admission cap: concurrent requests admitted "
+                         "before shedding with HTTP 429 (0 sheds "
+                         "everything — a load-shed drill)")
+    sv.add_argument("--max-requests", type=int, default=None,
+                    help="shut down cleanly after this many API requests "
+                         "(CI smoke; default: serve forever)")
+    sv.add_argument("--workers", type=int, default=1,
+                    help="score on a pool of real worker processes")
 
     bt = sub.add_parser("batch", help="serve a batch of queries")
     bt.add_argument("--queries", type=int, default=4,
@@ -252,6 +292,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print("error: provide --query or --query-fasta", file=sys.stderr)
         return 2
 
+    if args.server:
+        return _search_remote(args, query, qname)
+
     if args.db_fasta:
         db = SequenceDatabase.from_fasta(args.db_fasta)
     elif args.synthetic_scale:
@@ -321,6 +364,107 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if registry is not None:
         print("\nmetrics:")
         print(registry.render())
+    return 0
+
+
+def _search_remote(args: argparse.Namespace, query: str, qname: str) -> int:
+    """The ``search --server URL`` path: same flags, remote execution."""
+    from .scoring import GapModel, get_matrix
+    from .search import SearchOptions, SearchRequest
+    from .serve import SearchClient
+
+    unsupported = [
+        (args.fault_plan, "--fault-plan (fault injection is server-side)"),
+        (args.workers > 1, "--workers (scoring happens on the server)"),
+        (args.db_fasta or args.synthetic_scale,
+         "--db-fasta/--synthetic-scale (the server owns its database)"),
+        (args.evalues, "--evalues (needs the full score distribution, "
+                       "which stays server-side)"),
+        (args.tsv, "--tsv"),
+    ]
+    for flagged, what in unsupported:
+        if flagged:
+            print(f"error: {what} cannot be combined with --server",
+                  file=sys.stderr)
+            return 2
+
+    client = SearchClient(args.server, options=SearchOptions(
+        matrix=get_matrix(args.matrix),
+        gaps=GapModel(args.gap_open, args.gap_extend),
+        lanes=args.lanes,
+        profile=args.profile,
+        top_k=args.top,
+    ))
+    result = client.search(SearchRequest(
+        query=query, name=qname, traceback=args.traceback,
+    ))
+    print(result.summary())
+    if args.traceback:
+        for hit in result.top(args.top):
+            if hit.alignment and hit.alignment.score > 0:
+                print(f"\n>{hit.header}")
+                print(hit.alignment.pretty())
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from .db import SequenceDatabase, SyntheticSwissProt
+    from .scoring import GapModel, get_matrix
+    from .search import SearchOptions
+    from .serve import SearchServer
+
+    if args.db_fasta:
+        db = SequenceDatabase.from_fasta(args.db_fasta)
+    elif args.synthetic_scale:
+        db = SyntheticSwissProt().generate(scale=args.synthetic_scale)
+    else:
+        print("error: provide --db-fasta or --synthetic-scale", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be positive", file=sys.stderr)
+        return 2
+
+    server = SearchServer(
+        db,
+        SearchOptions(
+            matrix=get_matrix(args.matrix),
+            gaps=GapModel(args.gap_open, args.gap_extend),
+            lanes=args.lanes,
+            profile=args.profile,
+            top_k=args.top,
+        ),
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        max_requests=args.max_requests,
+        workers=args.workers if args.workers > 1 else None,
+    )
+    # SIGTERM (docker stop, CI kill) shuts down as cleanly as Ctrl-C.
+    def _graceful(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server._bind()
+        limits = []
+        if args.max_inflight is not None:
+            limits.append(f"max_inflight={args.max_inflight}")
+        if args.max_requests is not None:
+            limits.append(f"max_requests={args.max_requests}")
+        print(
+            f"serving {db.name} ({len(db)} sequences) at {server.url}"
+            + (f" [{', '.join(limits)}]" if limits else ""),
+            flush=True,
+        )
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.close()
+    print("server stopped")
     return 0
 
 
@@ -799,6 +943,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "search": _cmd_search,
+        "serve": _cmd_serve,
         "batch": _cmd_batch,
         "stream": _cmd_stream,
         "trace": _cmd_trace,

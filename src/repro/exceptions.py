@@ -4,6 +4,12 @@ Every error raised deliberately by this library derives from
 :class:`ReproError`, so callers can catch library failures with a single
 ``except`` clause while letting genuine programming errors (``TypeError``
 from misuse of numpy, etc.) propagate.
+
+The taxonomy is also the *wire* error model of the serving layer
+(:mod:`repro.serve`): every public exception class maps to one canonical
+HTTP status code (:data:`ERROR_STATUS` / :func:`status_for`), and the
+class is recoverable from its name (:func:`error_class`), so a remote
+call raises exactly the same typed exception an in-process call would.
 """
 
 from __future__ import annotations
@@ -29,6 +35,10 @@ __all__ = [
     "CircuitOpen",
     "DeadlineExceeded",
     "ServiceOverloaded",
+    "WireError",
+    "ERROR_STATUS",
+    "status_for",
+    "error_class",
 ]
 
 
@@ -158,5 +168,91 @@ class ServiceOverloaded(ReproError):
 
     Raised by :class:`repro.service.SearchService` when a batch is
     larger than ``max_queue_depth``; the rejected batch is counted in
-    the ``service.load_shed`` metric and nothing is executed.
+    the ``service.load_shed`` metric and nothing is executed.  The
+    HTTP server sheds with the same exception (status 429) when its
+    in-flight cap is exceeded.
     """
+
+
+class WireError(ReproError):
+    """A serving-layer message violated the wire protocol.
+
+    Raised on both ends of :mod:`repro.serve`: by the server for
+    malformed request envelopes and by the client/server for a
+    ``schema_version`` mismatch or an undecodable payload.  Maps to
+    HTTP 400 — the peer sent something this protocol version cannot
+    honour.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy <-> HTTP status codes (the serving layer's wire model)
+# ---------------------------------------------------------------------------
+
+#: Canonical HTTP status for every public exception class.  Subclasses
+#: inherit their nearest ancestor's entry (see :func:`status_for`);
+#: :class:`ReproError` itself is the 500 fallback.  The table is the
+#: single source of truth for :mod:`repro.serve` — the server picks the
+#: response status from it, the client inverts it back into the same
+#: typed exception.
+ERROR_STATUS: dict[type, int] = {
+    # Caller mistakes: bad input, bad configuration -> 400.
+    AlphabetError: 400,
+    ScoringError: 400,
+    GapModelError: 400,
+    SequenceError: 400,
+    FastaError: 400,
+    DatabaseError: 400,
+    EngineError: 400,
+    DeviceError: 400,
+    ScheduleError: 400,
+    ModelError: 400,
+    PipelineError: 400,
+    FaultPlanError: 400,
+    WireError: 400,
+    # Admission control -> 429 (back off and retry).
+    ServiceOverloaded: 429,
+    # Upstream refusing work -> 503 (transient, retry after cooldown).
+    CircuitOpen: 503,
+    # Budget expiry -> 504 (the work ran, the clock won).
+    DeadlineExceeded: 504,
+    DeviceTimeout: 504,
+    # Internal execution failures -> 500.
+    OffloadError: 500,
+    ParallelError: 500,
+    FaultInjected: 500,
+    ReproError: 500,
+}
+
+
+def status_for(exc: BaseException | type) -> int:
+    """The canonical HTTP status of an exception (instance or class).
+
+    Walks the MRO so subclasses — including ones defined outside this
+    module — inherit the mapping of their nearest :class:`ReproError`
+    ancestor; anything that is not a :class:`ReproError` at all is an
+    internal error (500).
+    """
+    cls = exc if isinstance(exc, type) else type(exc)
+    for base in cls.__mro__:
+        if base in ERROR_STATUS:
+            return ERROR_STATUS[base]
+    return 500
+
+
+def error_class(name: str) -> type[ReproError]:
+    """The public exception class called ``name``.
+
+    The inverse of serialising an error by class name over the wire.
+    Unknown names degrade to :class:`ReproError` rather than raising —
+    a newer server may grow error types an older client has no class
+    for, and a typed-but-generic error beats a protocol failure.
+    """
+    cls = globals().get(name)
+    if (
+        isinstance(cls, type)
+        and issubclass(cls, ReproError)
+        and name in __all__
+    ):
+        return cls
+    return ReproError

@@ -8,9 +8,11 @@ keyword surface.  This module is the single vocabulary they all share:
 
 * :class:`SearchOptions` — every search-semantic knob (scoring scheme,
   lane width, schedule, fault injector, ...) in one frozen dataclass.
-  All four entrypoints accept it as their ``options`` argument; the old
-  per-class keywords still work through a shim that emits
-  :class:`DeprecationWarning` (see :func:`unify_options`).
+  All four entrypoints accept it as their ``options`` argument — the
+  *only* spelling of search semantics; the old per-class keywords are
+  rejected with a ``TypeError`` naming the migration (see
+  :func:`unify_options`), because the wire schema of
+  :mod:`repro.serve` requires exactly one spelling of every option.
 * :class:`SearchRequest` — one query of a batch, as consumed by
   :class:`repro.service.SearchService`.
 * :class:`SearchOutcome` — the structural protocol every result type
@@ -20,7 +22,6 @@ keyword surface.  This module is the single vocabulary they all share:
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping, Protocol, Sequence, runtime_checkable
 
@@ -50,8 +51,8 @@ class _Unset:
         return "UNSET"
 
 
-#: Default for deprecated shim keywords — only values the caller really
-#: passed are merged into the options object (and warned about).
+#: "Not passed" marker for :meth:`SearchOptions.merged` overrides —
+#: UNSET entries are dropped instead of overwriting the field.
 UNSET = _Unset()
 
 
@@ -200,40 +201,44 @@ class SearchOutcome(Protocol):
 
 def unify_options(
     options: Any,
-    legacy: Mapping[str, Any],
+    legacy: Mapping[str, Any] | None = None,
     *,
     owner: str,
-    stacklevel: int = 3,
 ) -> SearchOptions:
-    """Resolve an entrypoint's ``(options, **legacy)`` surface.
+    """Resolve an entrypoint's ``options`` argument — one spelling only.
 
-    ``options`` is the new-style :class:`SearchOptions` (or ``None``);
-    ``legacy`` maps old per-class keyword names to their passed values,
-    with :data:`UNSET` marking "not passed".  Any present legacy value —
-    including a legacy positional matrix that landed in the ``options``
-    slot — emits one :class:`DeprecationWarning` naming the keywords,
-    attributed to the caller via ``stacklevel``, and is merged over the
-    options object.  Old code therefore keeps working with identical
-    behaviour; new code never warns.
+    ``options`` must be a :class:`SearchOptions` or ``None`` (library
+    defaults).  ``legacy`` carries an entrypoint's ``**legacy``
+    catch-all: any old per-class keyword (``SearchPipeline(lanes=16)``,
+    ``StreamingSearch(chunk_size=32)``) raises a hard ``TypeError``
+    naming the one-line migration.  The deprecation shim that used to
+    merge-and-warn is gone — the versioned wire schema of
+    :mod:`repro.serve` requires exactly one spelling of every option,
+    so the in-process API has exactly one too.
     """
-    present = {k: v for k, v in legacy.items() if v is not UNSET}
-    if options is not None and not isinstance(options, SearchOptions):
-        if not isinstance(options, SubstitutionMatrix):
-            raise PipelineError(
-                f"{owner}: expected SearchOptions (or a legacy substitution "
-                f"matrix), got {type(options).__name__}"
+    if legacy:
+        names = sorted(legacy)
+        known = [k for k in names if k in SearchOptions.field_names()]
+        if known:
+            spelled = ", ".join(f"{k}=..." for k in known)
+            raise TypeError(
+                f"{owner}({spelled}) per-class keyword arguments were "
+                f"removed; pass repro.SearchOptions({spelled}) as the "
+                f"'options' argument instead"
             )
-        # Legacy positional call: SearchPipeline(BLOSUM62, gaps).
-        present.setdefault("matrix", options)
-        options = None
-    if present:
-        names = ", ".join(sorted(present))
-        warnings.warn(
-            f"{owner}({names}=...) per-class keyword arguments are "
-            f"deprecated; pass repro.SearchOptions({names}=...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+        raise TypeError(
+            f"{owner}() got an unexpected keyword argument {names[0]!r}"
         )
-        options = replace(options if options is not None else SearchOptions(),
-                          **present)
-    return options if options is not None else SearchOptions()
+    if options is None:
+        return SearchOptions()
+    if isinstance(options, SearchOptions):
+        return options
+    if isinstance(options, SubstitutionMatrix):
+        # The pre-unification positional call: SearchPipeline(BLOSUM62).
+        raise TypeError(
+            f"{owner}(matrix) positional substitution matrices were "
+            f"removed; pass repro.SearchOptions(matrix=...) instead"
+        )
+    raise PipelineError(
+        f"{owner}: expected SearchOptions, got {type(options).__name__}"
+    )

@@ -26,7 +26,7 @@ from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
 from ..runtime.offload import OffloadRegion
 from ..runtime.pcie import PCIE_GEN2_X16, PCIeLink
-from .api import UNSET, SearchOptions, unify_options
+from .api import SearchOptions, unify_options
 from .pipeline import SearchPipeline
 from .result import Hit, SearchResult
 
@@ -104,15 +104,9 @@ class HybridSearchPipeline:
         scheduler: str = "static",
         chunks: int = 24,
         metrics: MetricsRegistry | None = None,
-        matrix=UNSET,
-        gaps=UNSET,
-        alphabet=UNSET,
+        **legacy,
     ) -> None:
-        opts = unify_options(
-            options,
-            dict(matrix=matrix, gaps=gaps, alphabet=alphabet),
-            owner="HybridSearchPipeline",
-        )
+        opts = unify_options(options, legacy, owner="HybridSearchPipeline")
         if scheduler not in ("static", "queue"):
             raise PipelineError(
                 f"scheduler must be 'static' or 'queue', got {scheduler!r}"

@@ -19,7 +19,7 @@ from ..db.database import SequenceDatabase
 from ..exceptions import PipelineError
 from ..perfmodel.model import DevicePerformanceModel, RunConfig
 from ..runtime.query_distribution import QueryDistributionPlan, QueryDistributor
-from .api import UNSET, SearchOptions, unify_options
+from .api import SearchOptions, unify_options
 from .pipeline import SearchPipeline
 from .result import Hit, SearchResult
 
@@ -95,15 +95,9 @@ class MultiQueryExecutor:
         options: SearchOptions | None = None,
         *,
         config: RunConfig | None = None,
-        matrix=UNSET,
-        gaps=UNSET,
-        alphabet=UNSET,
+        **legacy,
     ) -> None:
-        opts = unify_options(
-            options,
-            dict(matrix=matrix, gaps=gaps, alphabet=alphabet),
-            owner="MultiQueryExecutor",
-        )
+        opts = unify_options(options, legacy, owner="MultiQueryExecutor")
         self.options = opts
         self.distributor = QueryDistributor(
             host_model, device_model, config=config

@@ -25,7 +25,7 @@ from ..faults.injection import FaultInjector, payload_checksum
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
 from ..perfmodel.model import DevicePerformanceModel, RunConfig, Workload
-from .api import UNSET, SearchOptions, unify_options
+from .api import SearchOptions, unify_options
 from .gcups import Stopwatch
 from .result import Hit, SearchResult
 
@@ -75,9 +75,10 @@ class SearchPipeline:
     options:
         A :class:`~repro.search.SearchOptions` carrying the search
         semantics (scoring scheme, lanes, profile, schedule, threads,
-        alphabet, fault injector).  The old per-class keywords
-        (``matrix``, ``gaps``, ``lanes``, ...) still work but emit a
-        :class:`DeprecationWarning`.
+        alphabet, fault injector) — the only spelling of search
+        semantics.  The removed per-class keywords (``matrix``,
+        ``gaps``, ``lanes``, ...) raise a ``TypeError`` naming the
+        migration.
     device_model:
         Optional :class:`DevicePerformanceModel`; adds modelled GCUPS.
     block_cols:
@@ -110,7 +111,6 @@ class SearchPipeline:
     def __init__(
         self,
         options: SearchOptions | None = None,
-        gaps=UNSET,
         *,
         device_model: DevicePerformanceModel | None = None,
         block_cols: int | None = None,
@@ -119,21 +119,9 @@ class SearchPipeline:
         workers: int | None = None,
         parallel_chunk_size: int | None = None,
         parallel_broadcast: str = "auto",
-        matrix=UNSET,
-        lanes=UNSET,
-        profile=UNSET,
-        schedule=UNSET,
-        threads=UNSET,
-        alphabet=UNSET,
-        injector=UNSET,
+        **legacy,
     ) -> None:
-        opts = unify_options(
-            options,
-            dict(matrix=matrix, gaps=gaps, lanes=lanes, profile=profile,
-                 schedule=schedule, threads=threads, alphabet=alphabet,
-                 injector=injector),
-            owner="SearchPipeline",
-        )
+        opts = unify_options(options, legacy, owner="SearchPipeline")
         self.options = opts
         self.matrix = opts.resolved_matrix()
         self.gaps = opts.resolved_gaps()

@@ -20,7 +20,7 @@ from ..db.shards import encode_record
 from ..exceptions import ParallelError, PipelineError
 from ..metrics.counters import METRICS, MetricsRegistry
 from ..obs.tracer import get_tracer
-from .api import UNSET, SearchOptions, unify_options
+from .api import SearchOptions, unify_options
 from .gcups import Stopwatch, gcups
 from .result import Hit
 
@@ -151,8 +151,9 @@ class StreamingSearch:
         toward the earlier database record (deterministic).  With a
         fault injector set, each chunk's score payload crosses a
         checksum guard; corrupted chunks are recomputed, so the top-k
-        matches the fault-free scan.  The old per-class keywords still
-        work but emit a :class:`DeprecationWarning`.
+        matches the fault-free scan.  The removed per-class keywords
+        (``chunk_size``, ``top_k``, ...) raise a ``TypeError`` naming
+        the migration.
     workers:
         ``1`` (default) scans serially in-process.  ``> 1`` routes
         every chunk through a persistent worker-process pool, reading
@@ -177,7 +178,6 @@ class StreamingSearch:
     def __init__(
         self,
         options: SearchOptions | None = None,
-        gaps=UNSET,
         *,
         metrics: MetricsRegistry | None = None,
         workers: int = 1,
@@ -186,19 +186,9 @@ class StreamingSearch:
         journal=None,
         resume: bool = False,
         chunk_timeout: float | None = None,
-        matrix=UNSET,
-        lanes=UNSET,
-        chunk_size=UNSET,
-        top_k=UNSET,
-        alphabet=UNSET,
-        injector=UNSET,
+        **legacy,
     ) -> None:
-        opts = unify_options(
-            options,
-            dict(matrix=matrix, gaps=gaps, lanes=lanes, chunk_size=chunk_size,
-                 top_k=top_k, alphabet=alphabet, injector=injector),
-            owner="StreamingSearch",
-        )
+        opts = unify_options(options, legacy, owner="StreamingSearch")
         if int(workers) < 1:
             raise PipelineError(
                 f"worker count must be positive, got {workers}"

@@ -1,0 +1,348 @@
+"""The typed HTTP client: ``SearchService``'s remote twin.
+
+:class:`SearchClient` mirrors the in-process service call-for-call —
+the same :class:`~repro.search.SearchOptions` /
+:class:`~repro.search.SearchRequest` inputs, the same typed outcomes
+(:class:`~repro.search.Hit` lists are bit-identical to the server's,
+:class:`~repro.search.PartialResult` round-trips exactly), and the same
+exceptions: the server serialises its error by class name + canonical
+status (:data:`repro.exceptions.ERROR_STATUS`) and the client re-raises
+the *same* :class:`~repro.exceptions.ReproError` subclass an in-process
+call would have raised.  Code written against ``SearchService`` swaps
+to ``SearchClient`` without changes::
+
+    service = SearchService(options)                 # in-process
+    service = SearchClient(url, options=options)     # remote, same calls
+    batch = service.run(requests)
+
+Transient failures are handled with the fault-policy substrate from
+:mod:`repro.faults`: a :class:`~repro.faults.RetryPolicy` drives capped
+exponential backoff (wall-clock sleeps here — the client lives in real
+time) over retryable statuses (connection errors, 429 shed, 503
+circuit-open), and a client-side
+:class:`~repro.faults.CircuitBreaker` stops hammering a server that
+keeps failing.  Everything is instrumented through
+:mod:`repro.metrics` (``serve.client.request.seconds`` histogram,
+``serve.client.retries`` / ``serve.client.errors`` counters).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..db.database import SequenceDatabase
+from ..exceptions import PipelineError, ReproError, WireError
+from ..faults.policy import CircuitBreaker, RetryPolicy
+from ..metrics.counters import METRICS, MetricsRegistry
+from ..search.api import SearchOptions, SearchRequest
+from ..search.result import Hit
+from ..service.service import ServiceBatchResult
+from . import wire
+
+__all__ = ["SearchClient"]
+
+#: Statuses worth retrying: the server shed load (429) or its circuit
+#: is open (503) — both are explicit "come back later" signals.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class SearchClient:
+    """Talk to a :class:`~repro.serve.SearchServer` like a local service.
+
+    Parameters
+    ----------
+    url:
+        Server base URL, e.g. ``"http://127.0.0.1:8742"``.
+    options:
+        Optional :class:`~repro.search.SearchOptions` this client
+        *believes* the server is configured with.  When given, they are
+        sent with every call and the server rejects a mismatch (HTTP
+        400 -> :class:`~repro.exceptions.PipelineError`) — a loud
+        failure instead of silently-different scoring.
+    retry:
+        :class:`~repro.faults.RetryPolicy` for retryable failures
+        (connection refused/reset, 429, 503).  The backoff ladder is
+        slept in wall-clock seconds.  ``None`` disables retries.
+    breaker:
+        Client-side :class:`~repro.faults.CircuitBreaker`; after enough
+        consecutive failures the client fails fast with
+        :class:`~repro.exceptions.CircuitOpen` instead of waiting on a
+        dead server.  ``None`` disables the breaker.
+    timeout:
+        Per-HTTP-request socket timeout in seconds.
+    page_size:
+        Default hits-per-page for :meth:`stream`.
+    metrics:
+        Registry for the ``serve.client.*`` instruments.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        options: SearchOptions | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        timeout: float = 30.0,
+        page_size: int = 256,
+        metrics: MetricsRegistry = METRICS,
+    ) -> None:
+        if page_size < 1:
+            raise PipelineError(
+                f"page_size must be positive, got {page_size}"
+            )
+        self.url = url.rstrip("/")
+        self.options = options
+        self.retry = retry
+        self.breaker = breaker
+        self.timeout = timeout
+        self.page_size = page_size
+        self.metrics = metrics
+        self._options_wire = (
+            None if options is None else wire.encode_options(options)
+        )
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _post_once(self, path: str, body: Mapping[str, Any]) -> dict:
+        """One HTTP exchange; typed errors come back as exceptions."""
+        data = json.dumps(body).encode("utf-8")
+        req = urllib.request.Request(
+            f"{self.url}{path}",
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                doc = json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            # The server answered with a taxonomy status: re-raise the
+            # same typed exception an in-process call would have raised.
+            raw = exc.read()
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+                wire.check_schema_version(doc, side="client")
+                raise wire.decode_error(doc) from None
+            except (ValueError, UnicodeDecodeError):
+                raise WireError(
+                    f"server answered HTTP {exc.code} with a non-wire "
+                    f"body: {raw[:200]!r}"
+                ) from exc
+        wire.check_schema_version(doc, side="client")
+        if doc.get("kind") == "error":
+            raise wire.decode_error(doc)
+        return doc
+
+    def _post(self, path: str, body: Mapping[str, Any]) -> dict:
+        """POST with breaker admission and the retry backoff ladder."""
+        retry = self.retry
+        attempt = 0
+        while True:
+            if self.breaker is not None:
+                self.breaker.check(time.monotonic())
+            try:
+                with self.metrics.timer(
+                    "serve.client.request.seconds"
+                ).time():
+                    doc = self._post_once(path, body)
+            except ReproError as exc:
+                self.metrics.increment("serve.client.errors")
+                if self.breaker is not None:
+                    self.breaker.record_failure(time.monotonic())
+                status = wire.status_for(exc)
+                retryable = status in RETRYABLE_STATUSES
+                if (
+                    retryable
+                    and retry is not None
+                    and retry.allows(attempt + 1)
+                ):
+                    attempt += 1
+                    self.metrics.increment("serve.client.retries")
+                    time.sleep(retry.backoff(attempt))
+                    continue
+                raise
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                # No HTTP answer at all: connection refused, reset,
+                # socket timeout.  Same ladder as a shed response.
+                self.metrics.increment("serve.client.errors")
+                if self.breaker is not None:
+                    self.breaker.record_failure(time.monotonic())
+                if retry is not None and retry.allows(attempt + 1):
+                    attempt += 1
+                    self.metrics.increment("serve.client.retries")
+                    time.sleep(retry.backoff(attempt))
+                    continue
+                raise PipelineError(
+                    f"server at {self.url} unreachable after "
+                    f"{attempt + 1} attempt(s): {exc}"
+                ) from exc
+            if self.breaker is not None:
+                self.breaker.record_success(time.monotonic())
+            return doc
+
+    def _get(self, path: str) -> dict:
+        try:
+            with urllib.request.urlopen(
+                f"{self.url}{path}", timeout=self.timeout
+            ) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            raise PipelineError(
+                f"server at {self.url} unreachable: {exc}"
+            ) from exc
+
+    def _body(self, extra: Mapping[str, Any]) -> dict:
+        body = dict(extra)
+        if self._options_wire is not None:
+            body["options"] = self._options_wire
+        return wire.envelope("request", body)
+
+    @staticmethod
+    def _check_database(database: SequenceDatabase | None) -> None:
+        """`database` is accepted for drop-in signature parity only.
+
+        The server owns its database; shipping one per call would be a
+        different protocol.  Passing one is allowed (so in-process call
+        sites keep working verbatim) — the *server's* database answers.
+        """
+        if database is not None and not isinstance(
+            database, SequenceDatabase
+        ):
+            raise PipelineError(
+                "database must be a SequenceDatabase or None; the server "
+                "searches its own database"
+            )
+
+    # ------------------------------------------------------------------
+    # the SearchService surface
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        request: SearchRequest | str,
+        database: SequenceDatabase | None = None,
+    ):
+        """One query -> one typed outcome (mirrors ``SearchService.search``).
+
+        A bare string is promoted to a :class:`SearchRequest`, exactly
+        as the in-process service does.
+        """
+        self._check_database(database)
+        if isinstance(request, str):
+            request = SearchRequest(query=request)
+        doc = self._post(
+            "/v1/submit",
+            self._body({"request": wire.encode_request(request)}),
+        )
+        try:
+            return wire.decode_outcome(doc["outcome"])
+        except KeyError as exc:
+            raise WireError(f"submit response missing {exc}") from exc
+
+    def run(
+        self,
+        requests: Sequence[SearchRequest | str],
+        database: SequenceDatabase | None = None,
+    ) -> ServiceBatchResult:
+        """A batch -> :class:`~repro.service.ServiceBatchResult`.
+
+        The same result type as in-process: outcomes in request order,
+        the server's scheduler/cache stats, the merged-hits view.
+        """
+        self._check_database(database)
+        reqs = tuple(
+            SearchRequest(query=r) if isinstance(r, str) else r
+            for r in requests
+        )
+        doc = self._post(
+            "/v1/batch",
+            self._body(
+                {"requests": [wire.encode_request(r) for r in reqs]}
+            ),
+        )
+        try:
+            outcomes = tuple(
+                wire.decode_outcome(o) for o in doc["outcomes"]
+            )
+            return ServiceBatchResult(
+                requests=reqs,
+                outcomes=outcomes,
+                scheduler=doc["scheduler"],
+                database_name=doc["database_name"],
+                cache_stats=dict(doc["cache_stats"]),
+            )
+        except KeyError as exc:
+            raise WireError(f"batch response missing {exc}") from exc
+
+    def stream(
+        self,
+        request: SearchRequest | str,
+        *,
+        page_size: int | None = None,
+    ) -> Iterator[Hit]:
+        """Yield a query's ranked hits page by page.
+
+        The server runs the search once, parks the hit list, and the
+        client walks it in ``page_size`` slices — constant client
+        memory for an arbitrarily large ``top_k``.
+        """
+        if isinstance(request, str):
+            request = SearchRequest(query=request)
+        size = self.page_size if page_size is None else page_size
+        if size < 1:
+            raise PipelineError(f"page_size must be positive, got {size}")
+        doc = self._post(
+            "/v1/stream",
+            self._body({
+                "request": wire.encode_request(request),
+                "page_size": size,
+            }),
+        )
+        while True:
+            try:
+                for hit_doc in doc["hits"]:
+                    yield wire.decode_hit(hit_doc)
+                if doc["done"]:
+                    return
+                stream_id = doc["stream_id"]
+                offset = doc["next_offset"]
+            except KeyError as exc:
+                raise WireError(f"stream page missing {exc}") from exc
+            doc = self._post(
+                "/v1/stream",
+                wire.envelope("request", {
+                    "stream_id": stream_id,
+                    "offset": offset,
+                    "page_size": size,
+                }),
+            )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The server's ``/v1/healthz`` document (schema-checked)."""
+        doc = self._get("/v1/healthz")
+        wire.check_schema_version(doc, side="client")
+        return doc
+
+    def server_metrics(self) -> dict:
+        """The server registry's snapshot (statsd-style name -> value)."""
+        doc = self._get("/v1/metrics")
+        wire.check_schema_version(doc, side="client")
+        return doc.get("metrics", {})
+
+    def close(self) -> None:
+        """Signature parity with ``SearchService`` (nothing to release)."""
+
+    def __enter__(self) -> "SearchClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

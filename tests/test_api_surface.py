@@ -1,4 +1,4 @@
-"""The unified public API: surface snapshot, options, shims, protocol."""
+"""The unified public API: surface snapshot, options, kwargs, protocol."""
 
 from __future__ import annotations
 
@@ -68,6 +68,9 @@ PUBLIC_API = {
     # service
     "SearchService", "ServiceBatchResult",
     "WorkQueueScheduler", "QueueSearchOutcome", "PreprocessCache",
+    # serving layer
+    "SearchServer", "SearchClient", "RemoteSearchResult",
+    "WIRE_SCHEMA_VERSION",
     # parallel execution
     "ProcessPoolBackend", "PackedDatabase",
     # observability
@@ -174,76 +177,44 @@ class TestSearchOptions:
 
 
 # ---------------------------------------------------------------------------
-# deprecation shims: old kwargs warn but behave identically
+# legacy kwargs are gone: one spelling of every option, enforced hard
 # ---------------------------------------------------------------------------
-class TestDeprecationShims:
-    def test_pipeline_legacy_kwargs_warn_and_match(self, rng):
-        db = tiny_db(rng)
-        query = random_protein(rng, 60)
-        new = SearchPipeline(
-            SearchOptions(matrix=BLOSUM62, gaps=GapModel(10, 2), lanes=4)
-        ).search(query, db)
-        with pytest.warns(DeprecationWarning, match="SearchPipeline"):
-            legacy_pipe = SearchPipeline(
-                matrix=BLOSUM62, gaps=GapModel(10, 2), lanes=4
-            )
-        old = legacy_pipe.search(query, db)
-        assert np.array_equal(old.scores, new.scores)
-        assert [h.score for h in old.hits] == [h.score for h in new.hits]
+class TestLegacyKwargsRemoved:
+    def test_pipeline_legacy_kwargs_raise_with_migration(self):
+        with pytest.raises(TypeError, match=r"SearchOptions\(lanes=\.\.\.\)"):
+            SearchPipeline(lanes=4)
+        with pytest.raises(TypeError, match="removed"):
+            SearchPipeline(matrix=BLOSUM62, gaps=GapModel(10, 2))
 
-    def test_pipeline_legacy_positional_matrix(self, rng):
-        db = tiny_db(rng)
-        query = random_protein(rng, 50)
-        with pytest.warns(DeprecationWarning, match="matrix"):
-            legacy_pipe = SearchPipeline(BLOSUM62, GapModel(12, 3))
-        assert legacy_pipe.matrix is BLOSUM62
-        assert legacy_pipe.gaps == GapModel(12, 3)
-        new = SearchPipeline(
-            SearchOptions(matrix=BLOSUM62, gaps=GapModel(12, 3))
-        ).search(query, db)
-        assert np.array_equal(legacy_pipe.search(query, db).scores, new.scores)
+    def test_pipeline_legacy_positional_matrix_raises(self):
+        with pytest.raises(TypeError, match=r"SearchOptions\(matrix=\.\.\.\)"):
+            SearchPipeline(BLOSUM62)
 
-    def test_streaming_legacy_kwargs_warn_and_match(self, rng):
-        records = [
-            FastaRecord(f"R{k}", random_protein(rng, 40)) for k in range(9)
-        ]
-        query = random_protein(rng, 45)
-        new = StreamingSearch(
-            SearchOptions(chunk_size=4, top_k=3)
-        ).search_records(query, iter(records))
-        with pytest.warns(DeprecationWarning, match="StreamingSearch"):
-            legacy = StreamingSearch(chunk_size=4, top_k=3)
-        old = legacy.search_records(query, iter(records))
-        assert [h.score for h in old.hits] == [h.score for h in new.hits]
-        assert old.best_score() == new.best_score()
+    def test_streaming_legacy_kwargs_raise_with_migration(self):
+        with pytest.raises(
+            TypeError, match=r"SearchOptions\(chunk_size=\.\.\., top_k=\.\.\.\)"
+        ):
+            StreamingSearch(chunk_size=4, top_k=3)
 
-    def test_hybrid_legacy_kwargs_warn_and_match(self, rng):
-        db = tiny_db(rng)
-        query = random_protein(rng, 40)
+    def test_hybrid_legacy_kwargs_raise(self):
         host = DevicePerformanceModel(XEON_E5_2670_DUAL)
         phi = DevicePerformanceModel(XEON_PHI_57XX)
-        new = HybridSearchPipeline(
-            host, phi, SearchOptions(matrix=BLOSUM62)
-        ).search(query, db, top_k=4)
-        with pytest.warns(DeprecationWarning, match="HybridSearchPipeline"):
-            legacy = HybridSearchPipeline(host, phi, matrix=BLOSUM62)
-        old = legacy.search(query, db, top_k=4)
-        assert np.array_equal(old.result.scores, new.result.scores)
+        with pytest.raises(TypeError, match="HybridSearchPipeline"):
+            HybridSearchPipeline(host, phi, matrix=BLOSUM62)
 
-    def test_multiquery_legacy_kwargs_warn_and_match(self, rng):
-        db = tiny_db(rng)
-        queries = {"a": random_protein(rng, 30), "b": random_protein(rng, 70)}
+    def test_multiquery_legacy_kwargs_raise(self):
         host = DevicePerformanceModel(XEON_E5_2670_DUAL)
         phi = DevicePerformanceModel(XEON_PHI_57XX)
-        new = MultiQueryExecutor(host, phi, SearchOptions(matrix=BLOSUM62))
-        with pytest.warns(DeprecationWarning, match="MultiQueryExecutor"):
-            legacy = MultiQueryExecutor(host, phi, matrix=BLOSUM62)
-        new_out = new.run(queries, db, top_k=3)
-        old_out = legacy.run(queries, db, top_k=3)
-        for name in queries:
-            assert np.array_equal(
-                old_out.results[name].scores, new_out.results[name].scores
-            )
+        with pytest.raises(TypeError, match="MultiQueryExecutor"):
+            MultiQueryExecutor(host, phi, matrix=BLOSUM62)
+
+    def test_unknown_kwarg_still_reads_like_python(self):
+        # Non-option junk keywords get the standard unexpected-keyword
+        # message, not migration advice for a field that never existed.
+        with pytest.raises(
+            TypeError, match="unexpected keyword argument 'bogus'"
+        ):
+            SearchPipeline(bogus=1)
 
     def test_new_style_never_warns(self, rng):
         db = tiny_db(rng)

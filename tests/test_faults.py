@@ -30,7 +30,7 @@ from repro.runtime import (
     OffloadRegion,
     ResilientHybridExecutor,
 )
-from repro.search import SearchPipeline, StreamingSearch
+from repro.search import SearchOptions, SearchPipeline, StreamingSearch
 
 
 @pytest.fixture(scope="module")
@@ -451,7 +451,7 @@ class TestResilientSearchCorrectness:
         self, db, reference_scores
     ):
         inj = FaultInjector(FaultPlan(seed=11, corrupt_rate=0.5))
-        faulted = SearchPipeline(injector=inj).search(self.QUERY, db)
+        faulted = SearchPipeline(SearchOptions(injector=inj)).search(self.QUERY, db)
         assert np.array_equal(faulted.scores, reference_scores)
         assert faulted.corrupted_redone > 0
 
@@ -462,17 +462,17 @@ class TestResilientSearchCorrectness:
             FastaRecord(header=h, sequence=db.alphabet.decode(s))
             for h, s in zip(db.headers, db.sequences)
         ]
-        clean = StreamingSearch(chunk_size=32).search_records(
+        clean = StreamingSearch(SearchOptions(chunk_size=32)).search_records(
             self.QUERY, records
         )
-        faulted = StreamingSearch(
+        faulted = StreamingSearch(SearchOptions(
             chunk_size=32,
             injector=FaultInjector(FaultPlan(seed=11, corrupt_rate=0.5)),
-        ).search_records(self.QUERY, records)
+        )).search_records(self.QUERY, records)
         assert [h.score for h in faulted.hits] == [h.score for h in clean.hits]
         assert faulted.corrupted_redone > 0
 
     def test_persistent_corruption_finally_raises(self, db):
         inj = FaultInjector(FaultPlan(seed=1, corrupt_rate=1.0))
         with pytest.raises(FaultInjected, match="still corrupted"):
-            SearchPipeline(injector=inj).search(self.QUERY, db)
+            SearchPipeline(SearchOptions(injector=inj)).search(self.QUERY, db)

@@ -10,6 +10,7 @@ from repro.db import SequenceDatabase
 from repro.db.fasta import FastaRecord
 from repro.db.io_npz import load_npz, save_npz
 from repro.scoring import BLOSUM62, GapModel
+from repro.search import SearchOptions
 from repro.search.streaming import StreamingSearch
 
 SETTINGS = settings(
@@ -79,7 +80,7 @@ class TestStreamingProperties:
     def test_streamed_topk_equals_global_sort(self, seqs, query, chunk, top_k):
         records = [FastaRecord(f"r{i}", s) for i, s in enumerate(seqs)]
         result = StreamingSearch(
-            chunk_size=chunk, top_k=top_k
+            SearchOptions(chunk_size=chunk, top_k=top_k)
         ).search_records(query, iter(records))
         oracle = get_engine("scalar")
         from repro.scoring import paper_gap_model

@@ -9,7 +9,14 @@ from repro.devices import XEON_E5_2670_DUAL
 from repro.exceptions import PipelineError
 from repro.perfmodel import DevicePerformanceModel
 from repro.scoring import BLOSUM62, paper_gap_model
-from repro.search import Hit, SearchPipeline, SearchResult, Stopwatch, gcups
+from repro.search import (
+    Hit,
+    SearchOptions,
+    SearchPipeline,
+    SearchResult,
+    Stopwatch,
+    gcups,
+)
 from tests.conftest import random_protein
 
 
@@ -110,14 +117,14 @@ class TestSearchCorrectness:
 
     def test_qp_and_sp_pipelines_agree(self, db, rng):
         q = random_protein(rng, 25)
-        sp = SearchPipeline(profile="sequence").search(q, db)
-        qp = SearchPipeline(profile="query").search(q, db)
+        sp = SearchPipeline(SearchOptions(profile="sequence")).search(q, db)
+        qp = SearchPipeline(SearchOptions(profile="query")).search(q, db)
         assert np.array_equal(sp.scores, qp.scores)
 
     def test_schedules_do_not_change_scores(self, db, rng):
         q = random_protein(rng, 25)
         results = [
-            SearchPipeline(schedule=s).search(q, db).scores
+            SearchPipeline(SearchOptions(schedule=s)).search(q, db).scores
             for s in ("static", "dynamic", "guided")
         ]
         assert np.array_equal(results[0], results[1])
@@ -142,7 +149,7 @@ class TestSearchCorrectness:
 class TestModeledTiming:
     def test_device_model_attaches_gcups(self, db, rng):
         model = DevicePerformanceModel(XEON_E5_2670_DUAL)
-        pipe = SearchPipeline(device_model=model, threads=32)
+        pipe = SearchPipeline(SearchOptions(threads=32), device_model=model)
         result = pipe.search(random_protein(rng, 30), db)
         assert result.modeled_seconds is not None
         # On a tiny database the fixed per-run overhead dominates, so

@@ -5,7 +5,7 @@ import pytest
 from repro.db import SyntheticSwissProt, write_fasta
 from repro.db.fasta import FastaRecord
 from repro.exceptions import PipelineError
-from repro.search import SearchPipeline
+from repro.search import SearchOptions, SearchPipeline
 from repro.search.streaming import StreamingSearch
 from tests.conftest import random_protein
 
@@ -26,7 +26,7 @@ def records(db):
 class TestStreamEqualsBatch:
     def test_top_hits_match_pipeline(self, db, records, rng):
         q = random_protein(rng, 35)
-        streamed = StreamingSearch(chunk_size=37, top_k=10).search_records(
+        streamed = StreamingSearch(SearchOptions(chunk_size=37, top_k=10)).search_records(
             q, iter(records)
         )
         batch = SearchPipeline().search(q, db, top_k=10)
@@ -41,9 +41,9 @@ class TestStreamEqualsBatch:
     def test_chunk_size_invisible(self, db, records, rng, chunk_size):
         q = random_protein(rng, 20)
         result = StreamingSearch(
-            chunk_size=chunk_size, top_k=5
+            SearchOptions(chunk_size=chunk_size, top_k=5)
         ).search_records(q, iter(records))
-        expect = StreamingSearch(chunk_size=64, top_k=5).search_records(
+        expect = StreamingSearch(SearchOptions(chunk_size=64, top_k=5)).search_records(
             q, iter(records)
         )
         assert [h.score for h in result.hits] == [h.score for h in expect.hits]
@@ -51,7 +51,7 @@ class TestStreamEqualsBatch:
 
     def test_accounting(self, db, records, rng):
         q = random_protein(rng, 25)
-        result = StreamingSearch(chunk_size=50).search_records(q, iter(records))
+        result = StreamingSearch(SearchOptions(chunk_size=50)).search_records(q, iter(records))
         assert result.sequences_scanned == len(records)
         assert result.cells == 25 * db.total_residues
         assert result.wall_gcups > 0
@@ -61,7 +61,7 @@ class TestStreamBehaviour:
     def test_generator_consumed_lazily(self, records, rng):
         # Feeding a generator (no len(), no indexing) must work.
         q = random_protein(rng, 15)
-        result = StreamingSearch(chunk_size=16, top_k=3).search_records(
+        result = StreamingSearch(SearchOptions(chunk_size=16, top_k=3)).search_records(
             q, (r for r in records[:40])
         )
         assert result.sequences_scanned == 40
@@ -70,13 +70,13 @@ class TestStreamBehaviour:
         path = tmp_path / "stream.fasta"
         write_fasta(records[:60], path)
         q = random_protein(rng, 15)
-        result = StreamingSearch(top_k=4).search_fasta(q, path)
+        result = StreamingSearch(SearchOptions(top_k=4)).search_fasta(q, path)
         assert result.sequences_scanned == 60
         assert len(result.hits) == 4
 
     def test_top_k_larger_than_database(self, records, rng):
         q = random_protein(rng, 10)
-        result = StreamingSearch(top_k=10_000).search_records(
+        result = StreamingSearch(SearchOptions(top_k=10_000)).search_records(
             q, iter(records[:25])
         )
         assert len(result.hits) == 25
@@ -84,7 +84,7 @@ class TestStreamBehaviour:
     def test_score_ties_resolve_to_earlier_record(self, rng):
         q = "WCHK"
         recs = [FastaRecord(f"r{i}", "WCHK") for i in range(5)]
-        result = StreamingSearch(top_k=2).search_records(q, iter(recs))
+        result = StreamingSearch(SearchOptions(top_k=2)).search_records(q, iter(recs))
         assert [h.header for h in result.hits] == ["r0", "r1"]
 
     def test_empty_stream_rejected(self, rng):
@@ -93,16 +93,16 @@ class TestStreamBehaviour:
 
     def test_invalid_parameters(self):
         with pytest.raises(PipelineError):
-            StreamingSearch(chunk_size=0)
+            StreamingSearch(SearchOptions(chunk_size=0))
         with pytest.raises(PipelineError):
-            StreamingSearch(top_k=-1)
+            StreamingSearch(SearchOptions(top_k=-1))
         with pytest.raises(PipelineError):
             StreamingSearch(workers=0)
 
     def test_top_k_zero_scores_only(self, records, rng):
         # 0 = scores-only accounting: the scan runs, keeps no hits.
         q = random_protein(rng, 15)
-        result = StreamingSearch(top_k=0).search_records(
+        result = StreamingSearch(SearchOptions(top_k=0)).search_records(
             q, iter(records[:30])
         )
         assert result.hits == []
