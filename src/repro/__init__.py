@@ -86,12 +86,23 @@ from .faults import (
     RetryPolicy,
     Timeout,
 )
-from .metrics import METRICS, MetricsRegistry
+from .metrics import (
+    METRICS,
+    MetricsRegistry,
+    StatsdEmitter,
+    append_jsonl_snapshot,
+    read_jsonl_snapshots,
+    to_prometheus,
+)
 from .obs import (
+    TRACE_HEADER,
     NullTracer,
     Span,
     TraceCollector,
+    TraceContext,
     Tracer,
+    adopt_spans,
+    current_context,
     get_tracer,
     set_tracer,
     to_chrome_trace,
@@ -202,7 +213,10 @@ __all__ = [
     "Tracer", "NullTracer", "Span", "TraceCollector",
     "get_tracer", "set_tracer", "use_tracer",
     "to_chrome_trace", "write_chrome_trace", "to_jsonl", "write_jsonl",
+    "TraceContext", "TRACE_HEADER", "current_context", "adopt_spans",
     "MetricsRegistry", "METRICS",
+    "to_prometheus", "StatsdEmitter",
+    "append_jsonl_snapshot", "read_jsonl_snapshots",
     # errors
     "ReproError",
     "__version__",

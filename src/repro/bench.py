@@ -1,0 +1,574 @@
+"""``repro bench``: the curated perf suite, trajectory, and gate.
+
+Every perf-sensitive layer of this reproduction has a benchmark, but
+until now they were read by humans.  This module makes the trajectory
+machine-checkable:
+
+* :func:`run_suite` executes a small curated, *tagged* suite — engine
+  GCUPS (the paper's own unit), real process-parallel speedup, the
+  sharded-streaming driver's peak heap, and serving-layer latency
+  percentiles/throughput — mixing in-process measurements with the
+  checked-in benchmark scripts (ingested via their ``--json`` flag,
+  never by scraping stdout).
+* :func:`build_snapshot` / :func:`write_snapshot` persist one dated,
+  schema-versioned ``BENCH_<date>.json`` document (validated by
+  ``tools/validate_bench.py`` against
+  ``schemas/bench_trajectory.schema.json``).
+* :func:`compare_snapshots` is the regression gate: each metric carries
+  its own direction (``higher_is_better``) and a generous per-metric
+  relative tolerance — these are cross-machine Python timings, so the
+  gate is tuned to catch collapses (an engine losing half its
+  throughput), not noise.  ``repro bench --compare`` exits non-zero on
+  any regression beyond tolerance.
+
+Metrics that cannot run on a host (single-core runners cannot show real
+parallel speedup) are recorded as *skipped* with a reason and excluded
+from comparison — a skip is visible, never a silently absent number.
+
+Quick mode (``--quick``) shrinks workloads so the whole suite finishes
+in CI-smoke time; snapshots record their mode and the gate refuses to
+compare across modes (quick and full numbers are different workloads,
+not different qualities of the same one).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from datetime import date, datetime, timezone
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from .exceptions import PipelineError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "MetricSpec",
+    "BenchSkip",
+    "build_suite",
+    "run_suite",
+    "build_snapshot",
+    "write_snapshot",
+    "load_snapshot",
+    "latest_snapshot",
+    "compare_snapshots",
+    "run_bench",
+]
+
+#: Version of the snapshot schema; bump on any change to the document
+#: vocabulary and regenerate ``schemas/bench_trajectory.schema.json``.
+BENCH_SCHEMA_VERSION = 1
+
+#: Snapshot files are named ``BENCH_<date>.json`` (the committed CI
+#: baseline is ``BENCH_seed.json``).
+SNAPSHOT_PREFIX = "BENCH_"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One tracked metric: identity, direction, and gate tolerance."""
+
+    name: str
+    unit: str
+    higher_is_better: bool
+    tolerance: float  # relative; 0.6 == "worse by >60% is a regression"
+    tags: tuple[str, ...]
+
+
+class BenchSkip(Exception):
+    """A bench case that cannot run on this host (reason in ``str``)."""
+
+
+# ---------------------------------------------------------------------------
+# the cases
+# ---------------------------------------------------------------------------
+def _best_of(reps: int, fn: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_engines(quick: bool, benchmarks_dir: Path | None) -> dict:
+    """In-process GCUPS of the two headline engines (paper's unit)."""
+    from .core import InterTaskEngine, get_engine
+    from .scoring import BLOSUM62, paper_gap_model
+
+    gaps = paper_gap_model()
+    rng = np.random.default_rng(42)
+    qlen = 128 if quick else 256
+    query = rng.integers(0, 20, qlen).astype(np.uint8)
+    batch = [
+        rng.integers(0, 20, int(n)).astype(np.uint8)
+        for n in rng.integers(50, 300, 24 if quick else 64)
+    ]
+    cells = qlen * sum(len(s) for s in batch)
+    reps = 1 if quick else 3
+
+    inter = InterTaskEngine(lanes=8)
+    inter.score_batch(query, batch, BLOSUM62, gaps)  # warm-up
+    inter_best = _best_of(
+        reps, lambda: inter.score_batch(query, batch, BLOSUM62, gaps)
+    )
+
+    striped = get_engine("striped")
+    target = rng.integers(0, 20, 200 if quick else 400).astype(np.uint8)
+    striped.score_pair(query, target, BLOSUM62, gaps)  # warm-up
+    striped_best = _best_of(
+        reps, lambda: striped.score_pair(query, target, BLOSUM62, gaps)
+    )
+
+    return {
+        "engine.intertask.gcups": cells / inter_best / 1e9,
+        "engine.striped.gcups": qlen * len(target) / striped_best / 1e9,
+    }
+
+
+def _bench_sharded(quick: bool, benchmarks_dir: Path | None) -> dict:
+    """Driver-side peak heap of a sharded out-of-core scan (MB)."""
+    import tracemalloc
+
+    from .alphabet import PROTEIN
+    from .db import SyntheticSwissProt, write_fasta
+    from .db.fasta import FastaRecord
+    from .search import SearchOptions, StreamingSearch
+
+    query = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQMTPSRHADSLVKQ"
+    db = SyntheticSwissProt(seed=23).generate(
+        scale=0.002 if quick else 0.005
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as td:
+        path = Path(td) / "db.fasta"
+        write_fasta(
+            [
+                FastaRecord(h, PROTEIN.decode(s))
+                for h, s in zip(db.headers, db.sequences)
+            ],
+            path,
+        )
+        opts = SearchOptions(chunk_size=128, top_k=10)
+        with StreamingSearch(
+            opts, workers=2, shard_residues=50_000
+        ) as sharded:
+            sharded.search_fasta(query, path)  # warm-up: pool start
+            tracemalloc.start()
+            sharded.search_fasta(query, path)
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+    return {"sharded.driver_peak_mb": peak / 1e6}
+
+
+def _locate_benchmarks(benchmarks_dir: Path | None) -> Path:
+    if benchmarks_dir is not None:
+        directory = Path(benchmarks_dir)
+        if not directory.is_dir():
+            raise PipelineError(
+                f"--benchmarks-dir {directory} is not a directory"
+            )
+        # Absolute: the path doubles as the subprocess cwd, so a
+        # relative spelling must not re-resolve against itself.
+        return directory.resolve()
+    for candidate in (
+        Path.cwd() / "benchmarks",
+        Path(__file__).resolve().parents[2] / "benchmarks",
+    ):
+        if candidate.is_dir():
+            return candidate.resolve()
+    raise BenchSkip(
+        "benchmarks/ directory not found (run from the repo root or "
+        "pass --benchmarks-dir)"
+    )
+
+
+def _run_bench_script(
+    script_name: str,
+    extra_args: list[str],
+    benchmarks_dir: Path | None,
+    *,
+    timeout: float = 900.0,
+) -> dict:
+    """Run a benchmark script with ``--json`` and load its stats dict."""
+    directory = _locate_benchmarks(benchmarks_dir)
+    script = directory / script_name
+    if not script.is_file():
+        raise BenchSkip(f"benchmark script {script} not found")
+    env = os.environ.copy()
+    src = str(Path(__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as td:
+        out = Path(td) / "stats.json"
+        proc = subprocess.run(
+            [sys.executable, str(script), "--json", str(out), *extra_args],
+            cwd=str(directory),
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+        )
+        if proc.returncode != 0:
+            raise PipelineError(
+                f"{script_name} exited {proc.returncode}: "
+                f"{proc.stderr.strip()[-500:]}"
+            )
+        return json.loads(out.read_text(encoding="utf-8"))
+
+
+def _bench_parallel(quick: bool, benchmarks_dir: Path | None) -> dict:
+    """Real 2-worker speedup via ``bench_parallel_speedup.py --json``."""
+    args = ["--workers", "1", "2"]
+    if quick:
+        args += ["--scale", "0.001", "--query-len", "300"]
+    stats = _run_bench_script(
+        "bench_parallel_speedup.py", args, benchmarks_dir
+    )
+    if stats.get("skipped"):
+        raise BenchSkip(stats.get("reason", "benchmark skipped"))
+    return {"parallel.speedup_2w": float(stats["speedups"]["2"])}
+
+
+def _bench_serve(quick: bool, benchmarks_dir: Path | None) -> dict:
+    """Serving-layer tails and throughput via ``bench_serve_load.py``."""
+    args = ["--threads", "4", "--per-client", "4"] if quick else []
+    stats = _run_bench_script("bench_serve_load.py", args, benchmarks_dir)
+    return {
+        "serve.p50_ms": float(stats["p50"]) * 1e3,
+        "serve.p95_ms": float(stats["p95"]) * 1e3,
+        "serve.p99_ms": float(stats["p99"]) * 1e3,
+        "serve.rps": float(stats["rps"]),
+    }
+
+
+def build_suite() -> list[tuple[tuple[MetricSpec, ...], Callable]]:
+    """The curated suite: (metric specs, runner) per bench case.
+
+    One runner can produce several metrics (one serve load run yields
+    all three percentiles plus throughput).  Tolerances are generous by
+    design — pure-Python timings on shared CI runners jitter by tens of
+    percent; the gate exists to catch structural collapses.
+    """
+    return [
+        (
+            (
+                MetricSpec("engine.intertask.gcups", "gcups", True, 0.6,
+                           ("engine",)),
+                MetricSpec("engine.striped.gcups", "gcups", True, 0.6,
+                           ("engine",)),
+            ),
+            _bench_engines,
+        ),
+        (
+            (
+                MetricSpec("parallel.speedup_2w", "x", True, 0.35,
+                           ("parallel",)),
+            ),
+            _bench_parallel,
+        ),
+        (
+            (
+                MetricSpec("sharded.driver_peak_mb", "mb", False, 1.0,
+                           ("memory", "sharded")),
+            ),
+            _bench_sharded,
+        ),
+        (
+            (
+                MetricSpec("serve.p50_ms", "ms", False, 3.0, ("serve",)),
+                MetricSpec("serve.p95_ms", "ms", False, 3.0, ("serve",)),
+                MetricSpec("serve.p99_ms", "ms", False, 3.0, ("serve",)),
+                MetricSpec("serve.rps", "req/s", True, 0.7, ("serve",)),
+            ),
+            _bench_serve,
+        ),
+    ]
+
+
+def _entry(
+    spec: MetricSpec,
+    value: float | None,
+    *,
+    skipped: bool = False,
+    reason: str | None = None,
+) -> dict:
+    entry: dict[str, Any] = {
+        "value": None if skipped else value,
+        "unit": spec.unit,
+        "higher_is_better": spec.higher_is_better,
+        "tolerance": spec.tolerance,
+        "tags": list(spec.tags),
+        "skipped": skipped,
+    }
+    if skipped:
+        entry["skip_reason"] = reason or ""
+    return entry
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    tags: set[str] | None = None,
+    benchmarks_dir: Path | None = None,
+) -> dict:
+    """Run the (tag-filtered) suite; returns ``{name: metric entry}``.
+
+    A case whose runner raises :class:`BenchSkip` records every one of
+    its metrics as skipped with the reason; any other failure is a hard
+    error — a broken benchmark must not masquerade as a slow one.
+    """
+    metrics: dict[str, dict] = {}
+    for specs, runner in build_suite():
+        wanted = [
+            s for s in specs if tags is None or set(s.tags) & tags
+        ]
+        if not wanted:
+            continue
+        try:
+            values = runner(quick, benchmarks_dir)
+        except BenchSkip as skip:
+            for spec in wanted:
+                metrics[spec.name] = _entry(
+                    spec, None, skipped=True, reason=str(skip)
+                )
+            continue
+        for spec in wanted:
+            metrics[spec.name] = _entry(spec, float(values[spec.name]))
+    return dict(sorted(metrics.items()))
+
+
+# ---------------------------------------------------------------------------
+# snapshots
+# ---------------------------------------------------------------------------
+def build_snapshot(metrics: Mapping[str, dict], *, mode: str) -> dict:
+    """Wrap a metrics dict in the versioned, dated snapshot document."""
+    if mode not in ("quick", "full"):
+        raise PipelineError(f"mode must be 'quick' or 'full', got {mode!r}")
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "created": datetime.now(timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "mode": mode,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
+        },
+        "metrics": dict(sorted(metrics.items())),
+    }
+
+
+def default_snapshot_path(directory: Path | str) -> Path:
+    """``<directory>/BENCH_<today>.json``."""
+    return Path(directory) / (
+        f"{SNAPSHOT_PREFIX}{date.today().isoformat()}.json"
+    )
+
+
+def write_snapshot(doc: Mapping[str, Any], path: Path | str) -> Path:
+    """Write one snapshot document (sorted keys, trailing newline)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_snapshot(path: Path | str) -> dict:
+    """Load + structurally check one snapshot; typed errors on garbage."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise PipelineError(f"cannot read snapshot {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise PipelineError(
+            f"snapshot {path} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(doc, dict):
+        raise PipelineError(f"snapshot {path} must be a JSON object")
+    got = doc.get("schema_version")
+    if got != BENCH_SCHEMA_VERSION:
+        raise PipelineError(
+            f"snapshot {path} has schema_version {got!r}; this build "
+            f"speaks {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(doc.get("metrics"), dict):
+        raise PipelineError(f"snapshot {path} is missing 'metrics'")
+    return doc
+
+
+def latest_snapshot(
+    directory: Path | str, *, exclude: Path | str | None = None
+) -> Path | None:
+    """Newest ``BENCH_*.json`` in ``directory`` (by name), if any."""
+    d = Path(directory)
+    if not d.is_dir():
+        return None
+    skip = None if exclude is None else Path(exclude).resolve()
+    candidates = sorted(
+        p for p in d.glob(f"{SNAPSHOT_PREFIX}*.json")
+        if skip is None or p.resolve() != skip
+    )
+    return candidates[-1] if candidates else None
+
+
+# ---------------------------------------------------------------------------
+# the regression gate
+# ---------------------------------------------------------------------------
+def compare_snapshots(
+    baseline: Mapping[str, Any], candidate: Mapping[str, Any]
+) -> tuple[list[dict], list[str]]:
+    """Diff ``candidate`` against ``baseline``.
+
+    Returns ``(regressions, report_lines)``.  A metric regresses when
+    it moves beyond its own tolerance in its *bad* direction (below
+    ``baseline * (1 - tol)`` when higher is better, above
+    ``baseline * (1 + tol)`` when lower is).  Skipped metrics — on
+    either side — and metrics new to the candidate are reported but
+    never gate.  Comparing a quick run against a full baseline is a
+    hard error: different workloads, not comparable numbers.
+    """
+    if baseline.get("mode") != candidate.get("mode"):
+        raise PipelineError(
+            f"cannot compare a {candidate.get('mode')!r} run against a "
+            f"{baseline.get('mode')!r} baseline; rerun with matching mode"
+        )
+    regressions: list[dict] = []
+    lines: list[str] = []
+    base_metrics = baseline["metrics"]
+    for name, cur in sorted(candidate["metrics"].items()):
+        if cur.get("skipped"):
+            lines.append(
+                f"skip {name}: {cur.get('skip_reason', 'skipped')}"
+            )
+            continue
+        base = base_metrics.get(name)
+        if base is None:
+            lines.append(
+                f"new  {name}: {cur['value']:.4g} {cur['unit']} "
+                "(no baseline)"
+            )
+            continue
+        if base.get("skipped"):
+            lines.append(
+                f"new  {name}: {cur['value']:.4g} {cur['unit']} "
+                "(baseline skipped)"
+            )
+            continue
+        b, v = float(base["value"]), float(cur["value"])
+        tol = float(cur["tolerance"])
+        hib = bool(cur["higher_is_better"])
+        limit = b * (1.0 - tol) if hib else b * (1.0 + tol)
+        regressed = (v < limit) if hib else (v > limit)
+        change = (v - b) / b if b else 0.0
+        status = "REGR" if regressed else "ok  "
+        lines.append(
+            f"{status} {name}: {b:.4g} -> {v:.4g} {cur['unit']} "
+            f"({change:+.1%}, tol {tol:.0%}, "
+            f"{'higher' if hib else 'lower'} is better)"
+        )
+        if regressed:
+            regressions.append({
+                "name": name,
+                "baseline": b,
+                "value": v,
+                "tolerance": tol,
+                "higher_is_better": hib,
+            })
+    return regressions, lines
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface (wired under ``repro bench`` by repro.cli)
+# ---------------------------------------------------------------------------
+#: Sentinel: ``--compare`` absent (vs present without a baseline path).
+_NO_COMPARE = object()
+
+
+def _render_metrics(doc: Mapping[str, Any]) -> str:
+    from .metrics import format_table
+
+    rows = []
+    for name, entry in doc["metrics"].items():
+        if entry.get("skipped"):
+            rows.append((
+                name, "skipped", entry["unit"],
+                entry.get("skip_reason", ""),
+            ))
+        else:
+            rows.append((
+                name, f"{entry['value']:.4g}", entry["unit"],
+                ",".join(entry["tags"]),
+            ))
+    return format_table(
+        ["metric", "value", "unit", "tags"],
+        rows,
+        title=f"repro bench ({doc['mode']} mode, {doc['created']})",
+    )
+
+
+def run_bench(args: Any) -> int:
+    """The ``repro bench`` handler (argparse namespace in, exit code out)."""
+    directory = Path(args.dir)
+    tags = set(args.tags) if args.tags else None
+    benchmarks_dir = (
+        Path(args.benchmarks_dir) if args.benchmarks_dir else None
+    )
+
+    if args.candidate:
+        candidate_path: Path | None = Path(args.candidate)
+        doc = load_snapshot(candidate_path)
+    else:
+        metrics = run_suite(
+            quick=args.quick, tags=tags, benchmarks_dir=benchmarks_dir
+        )
+        doc = build_snapshot(
+            metrics, mode="quick" if args.quick else "full"
+        )
+        candidate_path = (
+            Path(args.out) if args.out else default_snapshot_path(directory)
+        )
+        write_snapshot(doc, candidate_path)
+        print(f"wrote {candidate_path}")
+    print(_render_metrics(doc))
+
+    if args.compare is _NO_COMPARE:
+        return 0
+    baseline_path = args.compare
+    if baseline_path is None:
+        found = latest_snapshot(directory, exclude=candidate_path)
+        if found is None:
+            print(
+                f"error: no baseline {SNAPSHOT_PREFIX}*.json snapshot in "
+                f"{directory} to compare against",
+                file=sys.stderr,
+            )
+            return 1
+        baseline_path = found
+    baseline = load_snapshot(baseline_path)
+    regressions, lines = compare_snapshots(baseline, doc)
+    print(f"\ncompare vs {baseline_path}:")
+    for line in lines:
+        print(f"  {line}")
+    if regressions:
+        print(
+            f"error: {len(regressions)} metric(s) regressed beyond "
+            "tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print("no regressions beyond tolerance")
+    return 0

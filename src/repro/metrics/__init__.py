@@ -5,6 +5,12 @@ from .report import generate_report
 from .quality import average_precision, rank_indices, recall_at_k
 from .counters import METRICS, MetricsRegistry
 from .instruments import DEFAULT_TIME_BUCKETS, Gauge, Histogram, Timer
+from .export import (
+    StatsdEmitter,
+    append_jsonl_snapshot,
+    read_jsonl_snapshots,
+    to_prometheus,
+)
 
 __all__ = [
     "format_table",
@@ -20,4 +26,8 @@ __all__ = [
     "Histogram",
     "Timer",
     "DEFAULT_TIME_BUCKETS",
+    "to_prometheus",
+    "StatsdEmitter",
+    "append_jsonl_snapshot",
+    "read_jsonl_snapshots",
 ]

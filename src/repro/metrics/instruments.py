@@ -162,21 +162,26 @@ class Histogram:
         return self._max  # pragma: no cover - unreachable
 
     def snapshot(self) -> dict:
-        """Count, sum, mean and the p50/p95/p99 estimates."""
+        """Count, sum, mean and the p50/p95/p99 estimates.
+
+        Keys are emitted in sorted order so renderings, exporter output
+        and snapshot diffs are byte-stable across runs and creation
+        orders (counters and instruments are already sorted at the
+        registry level; this keeps the nested dicts deterministic too).
+        """
         with self._lock:
             if self._count == 0:
-                return {"count": 0, "sum": 0.0, "mean": 0.0,
-                        "min": 0.0, "max": 0.0,
-                        "p50": 0.0, "p95": 0.0, "p99": 0.0}
+                return {"count": 0, "max": 0.0, "mean": 0.0, "min": 0.0,
+                        "p50": 0.0, "p95": 0.0, "p99": 0.0, "sum": 0.0}
             return {
                 "count": self._count,
-                "sum": self._sum,
+                "max": self._max,
                 "mean": self._sum / self._count,
                 "min": self._min,
-                "max": self._max,
                 "p50": self._percentile_locked(0.50),
                 "p95": self._percentile_locked(0.95),
                 "p99": self._percentile_locked(0.99),
+                "sum": self._sum,
             }
 
 

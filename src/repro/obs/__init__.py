@@ -39,6 +39,12 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .context import (
+    TRACE_HEADER,
+    TraceContext,
+    adopt_spans,
+    current_context,
+)
 
 __all__ = [
     "Span",
@@ -54,4 +60,8 @@ __all__ = [
     "to_jsonl",
     "write_chrome_trace",
     "write_jsonl",
+    "TRACE_HEADER",
+    "TraceContext",
+    "adopt_spans",
+    "current_context",
 ]

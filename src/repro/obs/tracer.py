@@ -38,6 +38,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -306,12 +307,26 @@ class Tracer:
     automatically — the service layer's request span contains the
     pipeline's spans contains the offload spans, with no explicit
     parent plumbing.
+
+    Every tracer carries a ``trace_id`` — a short hex string naming the
+    whole trace.  It is what crosses process boundaries: a client ships
+    it in the ``X-Repro-Trace`` header, the server adopts it for the
+    spans it produces on that request, and the two span sets stitch
+    into one trace (:mod:`repro.obs.context`).  Pass an explicit
+    ``trace_id`` to join an existing trace; the default is a fresh
+    random id.
     """
 
     enabled = True
 
-    def __init__(self, collector: TraceCollector | None = None) -> None:
+    def __init__(
+        self,
+        collector: TraceCollector | None = None,
+        *,
+        trace_id: str | None = None,
+    ) -> None:
         self.collector = collector if collector is not None else TraceCollector()
+        self.trace_id = trace_id if trace_id else uuid.uuid4().hex[:16]
         self._local = threading.local()
         self._ids = itertools.count(1)  # next() is atomic in CPython
 
@@ -320,6 +335,10 @@ class Tracer:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def allocate_span_id(self) -> int:
+        """Reserve the next span id (used when adopting foreign spans)."""
+        return next(self._ids)
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> _ActiveSpan:
@@ -379,6 +398,7 @@ class NullTracer:
 
     enabled = False
     collector = None
+    trace_id = None
 
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN

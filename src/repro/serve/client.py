@@ -32,12 +32,15 @@ import json
 import time
 import urllib.error
 import urllib.request
+from dataclasses import replace
 from typing import Any, Iterator, Mapping, Sequence
 
 from ..db.database import SequenceDatabase
 from ..exceptions import PipelineError, ReproError, WireError
 from ..faults.policy import CircuitBreaker, RetryPolicy
 from ..metrics.counters import METRICS, MetricsRegistry
+from ..obs.context import TRACE_HEADER, TraceContext, adopt_spans
+from ..obs.tracer import get_tracer
 from ..search.api import SearchOptions, SearchRequest
 from ..search.result import Hit
 from ..service.service import ServiceBatchResult
@@ -109,13 +112,21 @@ class SearchClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def _post_once(self, path: str, body: Mapping[str, Any]) -> dict:
+    def _post_once(
+        self,
+        path: str,
+        body: Mapping[str, Any],
+        trace_header: str | None = None,
+    ) -> dict:
         """One HTTP exchange; typed errors come back as exceptions."""
         data = json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if trace_header is not None:
+            headers[TRACE_HEADER] = trace_header
         req = urllib.request.Request(
             f"{self.url}{path}",
             data=data,
-            headers={"Content-Type": "application/json"},
+            headers=headers,
             method="POST",
         )
         try:
@@ -139,6 +150,40 @@ class SearchClient:
             raise wire.decode_error(doc)
         return doc
 
+    def _traced_post_once(
+        self, path: str, body: Mapping[str, Any], attempt: int
+    ) -> dict:
+        """One exchange under a client span, stitching the reply's trace.
+
+        With tracing enabled, the request rides out with an
+        ``X-Repro-Trace`` header naming this span as the parent; the
+        server's spans come back on the response and are grafted under
+        this span (rebased into its wall-clock window), so one Chrome
+        trace shows the RPC *and* the work it caused.  With tracing off
+        the span is the shared null singleton and nothing is injected.
+        """
+        tracer = get_tracer()
+        with tracer.span("serve.client.request") as sp:
+            header = None
+            if sp:
+                sp.set_attributes(path=path, url=self.url, attempt=attempt)
+                header = TraceContext(
+                    tracer.trace_id, sp.span_id
+                ).to_header()
+            doc = self._post_once(path, body, trace_header=header)
+            trace = doc.get("trace")
+            if sp and isinstance(trace, Mapping):
+                adopt_spans(
+                    tracer,
+                    trace.get("spans") or (),
+                    parent=sp,
+                    window=(sp.start_wall, time.perf_counter()),
+                )
+                sp.set_attribute(
+                    "server_root_span_id", trace.get("root_span_id")
+                )
+            return doc
+
     def _post(self, path: str, body: Mapping[str, Any]) -> dict:
         """POST with breaker admission and the retry backoff ladder."""
         retry = self.retry
@@ -150,7 +195,7 @@ class SearchClient:
                 with self.metrics.timer(
                     "serve.client.request.seconds"
                 ).time():
-                    doc = self._post_once(path, body)
+                    doc = self._traced_post_once(path, body, attempt)
             except ReproError as exc:
                 self.metrics.increment("serve.client.errors")
                 if self.breaker is not None:
@@ -240,9 +285,26 @@ class SearchClient:
             self._body({"request": wire.encode_request(request)}),
         )
         try:
-            return wire.decode_outcome(doc["outcome"])
+            outcome = wire.decode_outcome(doc["outcome"])
         except KeyError as exc:
             raise WireError(f"submit response missing {exc}") from exc
+        trace = doc.get("trace")
+        if isinstance(trace, Mapping) and isinstance(
+            outcome, wire.RemoteSearchResult
+        ):
+            # Surface the server-side span identity through provenance
+            # so a caller can correlate this result with the stitched
+            # trace without holding the raw response.
+            prov = dict(outcome.remote_provenance)
+            prov["trace"] = {
+                "trace_id": trace.get("trace_id"),
+                "server_root_span_id": trace.get("root_span_id"),
+                "server_span_ids": [
+                    s.get("span_id") for s in trace.get("spans") or ()
+                ],
+            }
+            outcome = replace(outcome, remote_provenance=prov)
+        return outcome
 
     def run(
         self,

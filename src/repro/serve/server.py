@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import uuid
 from collections import OrderedDict
 from socketserver import ThreadingMixIn
@@ -57,7 +58,9 @@ from ..exceptions import (
     status_for,
 )
 from ..metrics.counters import METRICS, MetricsRegistry
-from ..obs.tracer import Tracer, get_tracer
+from ..metrics.export import to_prometheus
+from ..obs.context import TRACE_HEADER, TraceContext
+from ..obs.tracer import Tracer, get_tracer, use_tracer
 from ..search.api import SearchOptions, SearchRequest
 from ..service.service import SearchService
 from . import wire
@@ -184,6 +187,7 @@ class SearchServer:
         self._streams_cap = stream_cache
         self._streams_lock = threading.Lock()
         self._served = 0
+        self._started = time.monotonic()
         self._httpd: WSGIServer | None = None
         self._thread: threading.Thread | None = None
         self._closed = False
@@ -299,6 +303,12 @@ class SearchServer:
             if method == "GET" and path == "/v1/healthz":
                 return self._respond(start_response, 200, self._healthz())
             if method == "GET" and path == "/v1/metrics":
+                # Content negotiation: Prometheus scrapers ask for
+                # text/plain, everything else gets the JSON envelope.
+                if "text/plain" in environ.get("HTTP_ACCEPT", ""):
+                    return self._respond_text(
+                        start_response, 200, to_prometheus(self.metrics)
+                    )
                 return self._respond(
                     start_response, 200,
                     wire.envelope(
@@ -319,6 +329,11 @@ class SearchServer:
                         WireError(f"{path} only accepts POST")
                     )),
                 )
+            trace_header = environ.get("HTTP_X_REPRO_TRACE")
+            trace_ctx = (
+                None if trace_header is None
+                else TraceContext.from_header(trace_header)
+            )
             body = self._read_body(environ)
             wire.check_schema_version(body, side="server")
             self.metrics.increment("serve.requests")
@@ -331,7 +346,7 @@ class SearchServer:
                         f"(max_inflight={self.max_inflight}); retry later"
                     ) from None
                 try:
-                    payload = handlers[path](body)
+                    payload = handlers[path](body, trace_ctx)
                 finally:
                     self._release()
             self._count_served()
@@ -382,10 +397,27 @@ class SearchServer:
         )
         return [data]
 
+    def _respond_text(
+        self, start_response: Callable, status: int, text: str
+    ) -> Iterable[bytes]:
+        """Plain-text response (the Prometheus exposition path)."""
+        data = text.encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        start_response(
+            f"{status} {reason}",
+            [
+                ("Content-Type", "text/plain; version=0.0.4; charset=utf-8"),
+                ("Content-Length", str(len(data))),
+            ],
+        )
+        return [data]
+
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
     def _healthz(self) -> dict:
+        with self._admission:
+            inflight = self._inflight
         return wire.envelope("healthz", {
             "status": "ok",
             "database": self.database.name,
@@ -393,6 +425,8 @@ class SearchServer:
             "residues": int(self.database.total_residues),
             "scheduler": self.service.scheduler,
             "executor": self.service.executor,
+            "uptime_seconds": time.monotonic() - self._started,
+            "inflight": inflight,
         })
 
     def _verify_options(self, body: Mapping[str, Any]) -> None:
@@ -421,25 +455,66 @@ class SearchServer:
                 "with matching SearchOptions or none at all"
             )
 
-    def _run_requests(
-        self, reqs: list[SearchRequest]
-    ) -> list:
-        with self._service_lock:
-            return [
-                self.service.search(req, self.database) for req in reqs
-            ]
+    def _run_traced(
+        self,
+        ctx: TraceContext | None,
+        endpoint: str,
+        fn: Callable[[], Any],
+    ) -> tuple[Any, dict | None]:
+        """Run ``fn`` under the service lock, traced when ``ctx`` asks.
 
-    def _handle_submit(self, body: Mapping[str, Any]) -> dict:
+        When the request carried an ``X-Repro-Trace`` header, the work
+        runs inside a fresh per-request :class:`Tracer` that *joins* the
+        caller's trace id, under a ``serve.request`` root span.  The
+        tracer is installed via :func:`use_tracer` — a process-global
+        swap, safe here only because ``_service_lock`` already
+        serialises all service execution.  Returns ``(result, trace)``
+        where ``trace`` is the wire-encoded span set (or ``None`` when
+        untraced).
+        """
+        with self._service_lock:
+            if ctx is None:
+                return fn(), None
+            tracer = Tracer(trace_id=ctx.trace_id)
+            with use_tracer(tracer):
+                with tracer.span(
+                    "serve.request",
+                    endpoint=endpoint,
+                    remote_parent_span_id=ctx.parent_span_id,
+                ) as root:
+                    result = fn()
+            self.metrics.increment("serve.traced")
+            return result, wire.encode_trace(
+                tracer, root_span_id=root.span_id
+            )
+
+    def _run_requests(
+        self,
+        reqs: list[SearchRequest],
+        ctx: TraceContext | None = None,
+        endpoint: str = "/v1/submit",
+    ) -> tuple[list, dict | None]:
+        return self._run_traced(
+            ctx, endpoint,
+            lambda: [self.service.search(req, self.database) for req in reqs],
+        )
+
+    def _handle_submit(
+        self, body: Mapping[str, Any], ctx: TraceContext | None = None
+    ) -> dict:
         self._verify_options(body)
         if "request" not in body:
             raise WireError("submit body is missing 'request'")
         req = wire.decode_request(body["request"])
-        (outcome,) = self._run_requests([req])
-        return wire.envelope(
-            "outcome", {"outcome": wire.encode_outcome(outcome)}
-        )
+        (outcome,), trace = self._run_requests([req], ctx, "/v1/submit")
+        doc: dict[str, Any] = {"outcome": wire.encode_outcome(outcome)}
+        if trace is not None:
+            doc["trace"] = trace
+        return wire.envelope("outcome", doc)
 
-    def _handle_batch(self, body: Mapping[str, Any]) -> dict:
+    def _handle_batch(
+        self, body: Mapping[str, Any], ctx: TraceContext | None = None
+    ) -> dict:
         self._verify_options(body)
         reqs_doc = body.get("requests")
         if not isinstance(reqs_doc, list) or not reqs_doc:
@@ -447,16 +522,22 @@ class SearchServer:
         reqs = [wire.decode_request(d) for d in reqs_doc]
         # One service-level batch, so the admission cap, the cache and
         # the batch metrics behave exactly as in-process.
-        with self._service_lock:
-            batch = self.service.run(reqs, self.database)
-        return wire.envelope("batch", {
+        batch, trace = self._run_traced(
+            ctx, "/v1/batch", lambda: self.service.run(reqs, self.database)
+        )
+        doc: dict[str, Any] = {
             "outcomes": [wire.encode_outcome(o) for o in batch.outcomes],
             "scheduler": batch.scheduler,
             "database_name": batch.database_name,
             "cache_stats": wire._plain_json(dict(batch.cache_stats)),
-        })
+        }
+        if trace is not None:
+            doc["trace"] = trace
+        return wire.envelope("batch", doc)
 
-    def _handle_stream(self, body: Mapping[str, Any]) -> dict:
+    def _handle_stream(
+        self, body: Mapping[str, Any], ctx: TraceContext | None = None
+    ) -> dict:
         page_size = body.get("page_size", DEFAULT_PAGE_SIZE)
         if not isinstance(page_size, int) or page_size < 1:
             raise WireError(f"page_size must be a positive int, got "
@@ -472,7 +553,7 @@ class SearchServer:
                 "(to continue)"
             )
         req = wire.decode_request(body["request"])
-        (outcome,) = self._run_requests([req])
+        (outcome,), trace = self._run_requests([req], ctx, "/v1/stream")
         stream_id = uuid.uuid4().hex
         with self._streams_lock:
             self._streams[stream_id] = {
@@ -482,7 +563,10 @@ class SearchServer:
             while len(self._streams) > self._streams_cap:
                 self._streams.popitem(last=False)
         self.metrics.increment("serve.streams")
-        return self._stream_page(stream_id, 0, page_size)
+        page = self._stream_page(stream_id, 0, page_size)
+        if trace is not None:
+            page["trace"] = trace
+        return page
 
     def _stream_page(
         self, stream_id: str, offset: Any, page_size: int

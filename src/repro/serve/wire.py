@@ -59,6 +59,7 @@ __all__ = [
     "decode_outcome",
     "encode_error",
     "decode_error",
+    "encode_trace",
 ]
 
 #: Version of the wire schema this module speaks.  Bump on any change
@@ -434,6 +435,27 @@ def decode_outcome(
     except (KeyError, TypeError) as exc:
         raise WireError(f"malformed wire outcome: {exc!r}") from exc
     raise WireError(f"unknown wire outcome_kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# traces
+# ---------------------------------------------------------------------------
+def encode_trace(tracer: Any, *, root_span_id: int | None = None) -> dict:
+    """A tracer's collected spans -> wire trace body (no envelope).
+
+    The body carries the trace id, the id of the request's root span,
+    and every collected span as its :meth:`~repro.obs.Span.to_dict`
+    record — exactly what :func:`repro.obs.adopt_spans` grafts back
+    into the caller's tracer.  Span ids are only meaningful within this
+    body; the adopting side re-issues them.
+    """
+    return {
+        "trace_id": tracer.trace_id,
+        "root_span_id": root_span_id,
+        "spans": [
+            _plain_json(span.to_dict()) for span in tracer.collector.spans()
+        ],
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -77,7 +77,10 @@ PUBLIC_API = {
     "Tracer", "NullTracer", "Span", "TraceCollector",
     "get_tracer", "set_tracer", "use_tracer",
     "to_chrome_trace", "write_chrome_trace", "to_jsonl", "write_jsonl",
+    "TraceContext", "TRACE_HEADER", "current_context", "adopt_spans",
     "MetricsRegistry", "METRICS",
+    "to_prometheus", "StatsdEmitter",
+    "append_jsonl_snapshot", "read_jsonl_snapshots",
     # errors
     "ReproError",
     "__version__",

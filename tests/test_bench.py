@@ -1,0 +1,263 @@
+"""The perf-trajectory gate: snapshots, comparison maths, CLI exit codes.
+
+No real benchmarks run here (those are the slow lane / CI smoke); these
+tests pin the *gating semantics* — direction-aware tolerance, skip and
+mode handling, schema conformance of synthetic snapshots, and the
+``repro bench --compare`` contract of exiting non-zero on a doctored
+regression.
+"""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    MetricSpec,
+    _entry,
+    build_snapshot,
+    build_suite,
+    compare_snapshots,
+    default_snapshot_path,
+    latest_snapshot,
+    load_snapshot,
+    write_snapshot,
+)
+from repro.exceptions import PipelineError
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _spec(name, *, hib, tol=0.5, unit="GCUPS", tags=("engine",)):
+    return MetricSpec(
+        name=name, unit=unit, higher_is_better=hib, tolerance=tol, tags=tags
+    )
+
+
+def _snapshot(metrics, mode="quick"):
+    return build_snapshot(metrics, mode=mode)
+
+
+@pytest.fixture()
+def baseline():
+    return _snapshot({
+        "engine.gcups": _entry(_spec("engine.gcups", hib=True), 10.0),
+        "serve.p95_ms": _entry(
+            _spec("serve.p95_ms", hib=False, unit="ms", tags=("serve",)),
+            20.0,
+        ),
+        "parallel.speedup_2w": _entry(
+            _spec("parallel.speedup_2w", hib=True, tags=("parallel",)),
+            None, skipped=True, reason="single-core runner",
+        ),
+    })
+
+
+class TestCompare:
+    def test_within_tolerance_passes_both_directions(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["engine.gcups"]["value"] = 6.0   # -40%, tol 50%
+        candidate["metrics"]["serve.p95_ms"]["value"] = 29.0  # +45%, tol 50%
+        regressions, lines = compare_snapshots(baseline, candidate)
+        assert regressions == []
+        assert sum(line.startswith("ok") for line in lines) == 2
+
+    def test_higher_is_better_regression_detected(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["engine.gcups"]["value"] = 4.0  # -60% > 50% tol
+        regressions, _ = compare_snapshots(baseline, candidate)
+        assert [r["name"] for r in regressions] == ["engine.gcups"]
+
+    def test_lower_is_better_regression_detected(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["serve.p95_ms"]["value"] = 31.0  # +55% > 50%
+        regressions, lines = compare_snapshots(baseline, candidate)
+        assert [r["name"] for r in regressions] == ["serve.p95_ms"]
+        assert any(line.startswith("REGR serve.p95_ms") for line in lines)
+
+    def test_improvement_never_gates(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["engine.gcups"]["value"] = 100.0
+        candidate["metrics"]["serve.p95_ms"]["value"] = 0.1
+        regressions, _ = compare_snapshots(baseline, candidate)
+        assert regressions == []
+
+    def test_skipped_metrics_report_but_never_gate(self, baseline):
+        regressions, lines = compare_snapshots(baseline, baseline)
+        assert regressions == []
+        assert any(line.startswith("skip parallel.speedup_2w") for line in lines)
+
+    def test_metric_new_to_candidate_never_gates(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["sharded.peak_mb"] = _entry(
+            _spec("sharded.peak_mb", hib=False, unit="MB", tags=("memory",)),
+            50.0,
+        )
+        regressions, lines = compare_snapshots(baseline, candidate)
+        assert regressions == []
+        assert any("no baseline" in line for line in lines)
+
+    def test_baseline_skip_becomes_new_not_gate(self, baseline):
+        candidate = copy.deepcopy(baseline)
+        candidate["metrics"]["parallel.speedup_2w"].update(
+            value=1.7, skipped=False
+        )
+        regressions, lines = compare_snapshots(baseline, candidate)
+        assert regressions == []
+        assert any("baseline skipped" in line for line in lines)
+
+    def test_mode_mismatch_is_hard_error(self, baseline):
+        candidate = _snapshot(copy.deepcopy(baseline["metrics"]), mode="full")
+        with pytest.raises(PipelineError, match="matching mode"):
+            compare_snapshots(baseline, candidate)
+
+
+class TestSnapshots:
+    def test_round_trip_and_sorted_keys(self, baseline, tmp_path):
+        path = write_snapshot(baseline, tmp_path / "BENCH_x.json")
+        assert load_snapshot(path) == baseline
+        raw = path.read_text(encoding="utf-8")
+        assert raw.endswith("\n")
+        assert raw == json.dumps(baseline, indent=2, sort_keys=True) + "\n"
+
+    def test_load_rejects_garbage_and_wrong_version(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        with pytest.raises(PipelineError, match="cannot read"):
+            load_snapshot(bad)
+        bad.write_text("not json{", encoding="utf-8")
+        with pytest.raises(PipelineError, match="not valid JSON"):
+            load_snapshot(bad)
+        bad.write_text(
+            json.dumps({"schema_version": BENCH_SCHEMA_VERSION + 1}),
+            encoding="utf-8",
+        )
+        with pytest.raises(PipelineError, match="schema_version"):
+            load_snapshot(bad)
+
+    def test_latest_snapshot_picks_newest_and_honours_exclude(
+        self, baseline, tmp_path
+    ):
+        assert latest_snapshot(tmp_path) is None
+        older = write_snapshot(baseline, tmp_path / "BENCH_2026-01-01.json")
+        newer = write_snapshot(baseline, tmp_path / "BENCH_2026-02-01.json")
+        assert latest_snapshot(tmp_path) == newer
+        assert latest_snapshot(tmp_path, exclude=newer) == older
+
+    def test_default_snapshot_path_shape(self, tmp_path):
+        path = default_snapshot_path(tmp_path)
+        assert path.name.startswith("BENCH_")
+        assert path.suffix == ".json"
+
+    def test_synthetic_snapshot_validates_against_schema(
+        self, baseline, tmp_path
+    ):
+        sys.path.insert(0, str(REPO / "tools"))
+        try:
+            from validate_bench import validate_snapshot
+        finally:
+            sys.path.pop(0)
+        schema = json.loads(
+            (REPO / "schemas" / "bench_trajectory.schema.json").read_text()
+        )
+        assert validate_snapshot(baseline, schema) == []
+        doctored = copy.deepcopy(baseline)
+        doctored["metrics"]["engine.gcups"]["value"] = "fast"
+        assert validate_snapshot(doctored, schema)
+        lying_skip = copy.deepcopy(baseline)
+        lying_skip["metrics"]["parallel.speedup_2w"]["value"] = 3.0
+        assert any(
+            "value null" in err
+            for err in validate_snapshot(lying_skip, schema)
+        )
+
+    def test_suite_metric_names_are_unique(self):
+        names = [
+            s.name for specs, _ in build_suite() for s in specs
+        ]
+        assert len(names) == len(set(names))
+
+
+class TestCli:
+    def _bench(self, *argv, cwd=REPO):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "bench", *argv],
+            capture_output=True, text=True, cwd=cwd,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=120,
+        )
+
+    def test_compare_doctored_regression_exits_nonzero(
+        self, baseline, tmp_path
+    ):
+        base_path = write_snapshot(baseline, tmp_path / "BENCH_base.json")
+        doctored = copy.deepcopy(baseline)
+        doctored["metrics"]["engine.gcups"]["value"] = 1.0  # -90%
+        cand_path = write_snapshot(doctored, tmp_path / "BENCH_cand.json")
+        proc = self._bench(
+            "--compare", str(base_path), "--candidate", str(cand_path),
+        )
+        assert proc.returncode == 1, proc.stderr
+        assert "REGR engine.gcups" in proc.stdout
+        assert "regressed beyond tolerance" in proc.stderr
+
+    def test_compare_identical_exits_zero(self, baseline, tmp_path):
+        base_path = write_snapshot(baseline, tmp_path / "BENCH_base.json")
+        cand_path = write_snapshot(baseline, tmp_path / "BENCH_cand.json")
+        proc = self._bench(
+            "--compare", str(base_path), "--candidate", str(cand_path),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "no regressions beyond tolerance" in proc.stdout
+
+    def test_compare_without_baseline_is_a_clean_error(
+        self, baseline, tmp_path
+    ):
+        cand_path = write_snapshot(baseline, tmp_path / "BENCH_cand.json")
+        proc = self._bench(
+            "--compare", "--candidate", str(cand_path),
+            "--dir", str(tmp_path / "empty"),
+        )
+        assert proc.returncode == 1
+        assert "no baseline" in proc.stderr
+
+    def test_candidate_only_renders_table_and_exits_zero(
+        self, baseline, tmp_path
+    ):
+        cand_path = write_snapshot(baseline, tmp_path / "BENCH_cand.json")
+        proc = self._bench("--candidate", str(cand_path))
+        assert proc.returncode == 0, proc.stderr
+        assert "engine.gcups" in proc.stdout
+        assert "skipped" in proc.stdout  # the skip row is visible
+
+
+@pytest.mark.slow
+def test_quick_engine_suite_end_to_end(tmp_path):
+    """One real (tiny) suite run through the CLI, schema-validated."""
+    out = tmp_path / "BENCH_live.json"
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "bench", "--quick",
+            "--tags", "engine", "--out", str(out),
+            "--benchmarks-dir", str(REPO / "benchmarks"),
+        ],
+        capture_output=True, text=True, cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = load_snapshot(out)
+    assert doc["mode"] == "quick"
+    assert doc["metrics"]["engine.intertask.gcups"]["value"] > 0
+    sys.path.insert(0, str(REPO / "tools"))
+    try:
+        from validate_bench import validate_snapshot
+    finally:
+        sys.path.pop(0)
+    schema = json.loads(
+        (REPO / "schemas" / "bench_trajectory.schema.json").read_text()
+    )
+    assert validate_snapshot(doc, schema) == []

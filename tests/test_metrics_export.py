@@ -1,0 +1,214 @@
+"""Exporter tests: Prometheus text, statsd UDP deltas, JSONL round-trip.
+
+The exporters are pure functions of ``MetricsRegistry.snapshot()`` (plus
+the delta state a statsd push needs), so these tests pin the *wire
+formats* exactly: golden Prometheus exposition lines, real datagrams
+captured off a loopback UDP socket, and byte-stable JSONL records.
+"""
+
+import json
+import math
+import socket
+
+import pytest
+
+from repro.metrics import (
+    MetricsRegistry,
+    StatsdEmitter,
+    append_jsonl_snapshot,
+    read_jsonl_snapshots,
+    to_prometheus,
+)
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.increment("serve.requests", 3)
+    reg.set_gauge("pool.workers", 2.0)
+    timer = reg.timer("serve.request.seconds")
+    for ms in (10, 20, 30, 40):
+        timer.observe(ms / 1000.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_counter_golden_lines(self, registry):
+        text = to_prometheus(registry)
+        assert "# HELP repro_serve_requests_total serve.requests (counter)" \
+            in text
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text.splitlines()
+
+    def test_gauge_golden_lines(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        assert "# TYPE repro_pool_workers gauge" in lines
+        assert "repro_pool_workers 2.0" in lines
+
+    def test_summary_has_quantiles_sum_and_count(self, registry):
+        lines = to_prometheus(registry).splitlines()
+        assert "# TYPE repro_serve_request_seconds summary" in lines
+        for q in ("0.5", "0.95", "0.99"):
+            assert any(
+                line.startswith(f'repro_serve_request_seconds{{quantile="{q}"}} ')
+                for line in lines
+            ), f"missing quantile {q}"
+        assert "repro_serve_request_seconds_count 4" in lines
+        total = next(
+            line for line in lines
+            if line.startswith("repro_serve_request_seconds_sum ")
+        )
+        assert math.isclose(float(total.split()[-1]), 0.1)
+
+    def test_families_sorted_and_newline_terminated(self, registry):
+        text = to_prometheus(registry)
+        assert text.endswith("\n")
+        samples = [
+            line.split()[0].split("{")[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        # pool.workers < serve.request.seconds < serve.requests
+        assert samples == sorted(samples, key=samples.index)
+        first = [s for s in samples if s.startswith("repro_pool")]
+        assert samples.index(first[0]) == 0
+
+    def test_name_mangling_and_digit_guard(self):
+        text = to_prometheus({"weird-name/x": 1}, namespace="")
+        assert "weird_name_x_total 1" in text
+        assert to_prometheus({"9lives": 2}, namespace="").startswith(
+            "# HELP _9lives_total"
+        )
+
+    def test_empty_registry_renders_empty_string(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+    def test_live_server_content_negotiation(self):
+        import urllib.request
+
+        from repro.db import SyntheticSwissProt
+        from repro.serve import SearchClient, SearchServer
+
+        db = SyntheticSwissProt().generate(scale=0.0001)
+        with SearchServer(db, metrics=MetricsRegistry()) as srv:
+            SearchClient(srv.url, metrics=MetricsRegistry()).search(
+                "MKVLILACLVALALA"
+            )
+            req = urllib.request.Request(
+                f"{srv.url}/v1/metrics", headers={"Accept": "text/plain"}
+            )
+            with urllib.request.urlopen(req, timeout=10.0) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4"
+                )
+                body = resp.read().decode("utf-8")
+            assert "repro_serve_requests_total" in body
+            # Without the Accept header the JSON envelope is unchanged.
+            with urllib.request.urlopen(
+                f"{srv.url}/v1/metrics", timeout=10.0
+            ) as resp:
+                assert resp.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                doc = json.loads(resp.read())
+            assert doc["kind"] == "metrics"
+
+
+def _capture_socket():
+    sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sock.bind(("127.0.0.1", 0))
+    sock.settimeout(2.0)
+    return sock
+
+
+class TestStatsd:
+    def test_counters_are_deltas_across_flushes(self, registry):
+        with _capture_socket() as sink:
+            port = sink.getsockname()[1]
+            emitter = StatsdEmitter(registry, port=port, interval=60.0)
+            assert emitter.flush() >= 1
+            first = sink.recv(65535).decode("utf-8").splitlines()
+            assert "repro.serve.requests:3|c" in first
+            assert "repro.pool.workers:2|g" in first
+            assert "repro.serve.request.seconds.count:4|c" in first
+            assert any(
+                line.startswith("repro.serve.request.seconds.p95:")
+                for line in first
+            )
+
+            # Second flush: counters unchanged -> no counter line at all,
+            # gauges re-sent every time.
+            registry.increment("serve.requests", 2)
+            emitter.flush()
+            second = sink.recv(65535).decode("utf-8").splitlines()
+            assert "repro.serve.requests:2|c" in second
+            assert "repro.serve.request.seconds.count" not in "\n".join(second)
+            assert "repro.pool.workers:2|g" in second
+            emitter.stop()
+
+    def test_datagram_packing_respects_budget(self, registry):
+        for i in range(200):
+            registry.increment(f"bulk.counter.{i:03d}")
+        with _capture_socket() as sink:
+            emitter = StatsdEmitter(
+                registry, port=sink.getsockname()[1], max_datagram=256,
+            )
+            sent = emitter.flush()
+            assert sent > 1
+            for _ in range(sent):
+                datagram = sink.recv(65535)
+                assert len(datagram) <= 256
+                for line in datagram.decode("utf-8").splitlines():
+                    assert line.count(":") == 1 and "|" in line
+            emitter.stop()
+
+    def test_dead_endpoint_never_raises(self, registry):
+        # Closed port: sends either vanish or surface as OSError -> counted.
+        emitter = StatsdEmitter(registry, port=1)  # restricted port
+        emitter.flush()
+        emitter.stop()
+
+    def test_periodic_thread_flushes(self, registry):
+        with _capture_socket() as sink:
+            with StatsdEmitter(
+                registry, port=sink.getsockname()[1], interval=0.05,
+            ) as emitter:
+                datagram = sink.recv(65535)
+                assert b"repro.serve.requests:3|c" in datagram
+            assert emitter.flushes >= 1
+
+    def test_invalid_parameters_rejected(self, registry):
+        with pytest.raises(ValueError, match="interval"):
+            StatsdEmitter(registry, interval=0)
+        with pytest.raises(ValueError, match="max_datagram"):
+            StatsdEmitter(registry, max_datagram=10)
+
+
+class TestJsonl:
+    def test_append_and_read_round_trip(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        first = append_jsonl_snapshot(registry, path, timestamp=100.0)
+        registry.increment("serve.requests")
+        second = append_jsonl_snapshot(registry, path, timestamp=200.0)
+        records = read_jsonl_snapshots(path)
+        assert records == [first, second]
+        assert records[0]["ts"] == 100.0
+        assert records[0]["metrics"]["serve.requests"] == 3
+        assert records[1]["metrics"]["serve.requests"] == 4
+
+    def test_records_have_sorted_keys(self, registry, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        append_jsonl_snapshot(registry, path, timestamp=1.0)
+        raw = path.read_text(encoding="utf-8").strip()
+        assert raw == json.dumps(json.loads(raw), sort_keys=True)
+        names = list(json.loads(raw)["metrics"])
+        assert names == sorted(names)
+
+    def test_prefix_filter(self, registry, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        record = append_jsonl_snapshot(
+            registry, path, prefix="serve", timestamp=1.0
+        )
+        assert set(record["metrics"]) == {
+            "serve.requests", "serve.request.seconds",
+        }

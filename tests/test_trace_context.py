@@ -1,0 +1,202 @@
+"""Cross-wire trace propagation: one stitched trace across the socket.
+
+Header round-trips and ``adopt_spans`` grafting are unit-tested first;
+then a live ``SearchServer``/``SearchClient`` pair proves the real
+contract — with tracing enabled on the client, the server's spans come
+back on the wire, land in the *client's* collector under the RPC span,
+and the search result itself stays bit-identical to the untraced path.
+"""
+
+import pytest
+
+from repro.db import SyntheticSwissProt
+from repro.exceptions import WireError
+from repro.metrics import MetricsRegistry
+from repro.obs import (
+    TRACE_HEADER,
+    TraceContext,
+    Tracer,
+    adopt_spans,
+    current_context,
+    to_chrome_trace,
+    use_tracer,
+)
+from repro.serve import SearchClient, SearchServer
+
+QUERY = "MKVLILACLVALALA"
+
+
+@pytest.fixture(scope="module")
+def db():
+    return SyntheticSwissProt().generate(scale=0.0001)
+
+
+@pytest.fixture(scope="module")
+def server(db):
+    with SearchServer(db, metrics=MetricsRegistry()) as srv:
+        yield srv
+
+
+class TestTraceContext:
+    def test_header_round_trip(self):
+        ctx = TraceContext(trace_id="a3f9c2d1b4e8f701", parent_span_id=17)
+        assert ctx.to_header() == "a3f9c2d1b4e8f701/17"
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    @pytest.mark.parametrize("value", [
+        "", "justtraceid", "abc/", "/12", "XYZ/1", "abc/notanumber",
+        "abc/1/2x",
+    ])
+    def test_malformed_header_is_wire_error(self, value):
+        with pytest.raises(WireError, match="trace"):
+            TraceContext.from_header(value)
+
+    def test_non_string_header_is_wire_error(self):
+        with pytest.raises(WireError, match="string"):
+            TraceContext.from_header(12345)
+
+    def test_current_context_requires_enabled_tracer_and_open_span(self):
+        assert current_context() is None  # default NullTracer
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_context() is None  # no open span
+            with tracer.span("rpc") as sp:
+                ctx = current_context()
+                assert ctx == TraceContext(tracer.trace_id, sp.span_id)
+
+    def test_header_name_constant(self):
+        assert TRACE_HEADER == "X-Repro-Trace"
+
+
+class TestAdoptSpans:
+    def _foreign_docs(self):
+        remote = Tracer(trace_id="feedface00000000")
+        with remote.span("serve.request") as root:
+            with remote.span("pipeline.search"):
+                pass
+            root.add_event("checkpoint", detail=1)
+        return [s.to_dict() for s in remote.collector.spans()]
+
+    def test_grafted_under_local_parent_with_fresh_ids(self):
+        docs = self._foreign_docs()
+        local = Tracer()
+        with local.span("serve.client.request") as rpc:
+            adopted = adopt_spans(local, docs, parent=rpc)
+        by_name = {s.name: s for s in adopted}
+        root = by_name["serve.request"]
+        child = by_name["pipeline.search"]
+        assert root.parent_id == rpc.span_id
+        assert child.parent_id == root.span_id
+        local_ids = {s.span_id for s in local.collector.spans()}
+        assert len(local_ids) == 3  # rpc + two grafted, no collisions
+        assert root.attributes["origin"] == "server"
+        assert "remote_span_id" in root.attributes  # original id preserved
+        assert child.thread_id < 0  # foreign threads get their own track
+
+    def test_window_rebases_foreign_timeline(self):
+        docs = self._foreign_docs()
+        local = Tracer()
+        with local.span("serve.client.request") as rpc:
+            pass
+        # A window comfortably wider than the foreign interval: every
+        # grafted span must land strictly inside it (centred).
+        window = (rpc.start_wall, rpc.start_wall + 60.0)
+        adopted = adopt_spans(local, docs, parent=rpc, window=window)
+        for span in adopted:
+            assert span.start_wall >= window[0] - 1e-9
+            assert span.end_wall <= window[1] + 1e-9
+
+
+class TestLiveStitching:
+    def test_client_and_server_spans_share_one_trace(self, server):
+        client = SearchClient(server.url, metrics=MetricsRegistry())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            traced = client.search(QUERY)
+        names = {s.name for s in tracer.collector.spans()}
+        assert "serve.client.request" in names
+        assert "serve.request" in names  # the server's root, grafted
+        origins = {
+            s.attributes.get("origin") for s in tracer.collector.spans()
+        }
+        assert "server" in origins
+
+        rpc = tracer.collector.find("serve.client.request")[0]
+        remote_root = tracer.collector.find("serve.request")[0]
+        assert remote_root.parent_id == rpc.span_id
+        assert remote_root.attributes["endpoint"] == "/v1/submit"
+        # Every grafted span sits inside the RPC span's wall window.
+        for span in tracer.collector.descendants(rpc):
+            assert span.start_wall >= rpc.start_wall - 1e-9
+
+        prov = traced.provenance["trace"]
+        assert prov["trace_id"] == tracer.trace_id
+        assert prov["server_root_span_id"] in prov["server_span_ids"]
+        assert len(prov["server_span_ids"]) >= 2
+
+    def test_traced_search_bit_identical_to_untraced(self, server):
+        client = SearchClient(server.url, metrics=MetricsRegistry())
+        plain = client.search(QUERY)
+        with use_tracer(Tracer()):
+            traced = client.search(QUERY)
+        assert list(traced.hits) == list(plain.hits)
+        assert traced.best_score() == plain.best_score()
+        assert traced.cells == plain.cells
+        assert "trace" not in plain.provenance
+
+    def test_chrome_export_holds_both_halves(self, server):
+        client = SearchClient(server.url, metrics=MetricsRegistry())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            client.search(QUERY)
+        doc = to_chrome_trace(tracer.collector)
+        names = {
+            ev["name"] for ev in doc["traceEvents"] if ev["ph"] == "X"
+        }
+        assert {"serve.client.request", "serve.request"} <= names
+
+    def test_untraced_request_sends_no_header_and_no_trace(self, server):
+        client = SearchClient(server.url, metrics=MetricsRegistry())
+        result = client.search(QUERY)
+        assert "trace" not in result.provenance
+
+    def test_malformed_wire_header_rejected_as_wire_error(self, server):
+        import json
+        import urllib.error
+        import urllib.request
+
+        from repro.serve.wire import WIRE_SCHEMA_VERSION
+
+        req = urllib.request.Request(
+            f"{server.url}/v1/submit",
+            data=json.dumps({
+                "schema_version": WIRE_SCHEMA_VERSION, "kind": "request",
+                "request": {"query": QUERY},
+            }).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                TRACE_HEADER: "not hex!/x",
+            },
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"] == "WireError"
+
+    def test_batch_and_stream_carry_traces_too(self, server):
+        client = SearchClient(server.url, metrics=MetricsRegistry())
+        tracer = Tracer()
+        with use_tracer(tracer):
+            client.run([QUERY, QUERY[::-1]])
+            list(client.stream(QUERY, page_size=3))
+        grafted = [
+            s for s in tracer.collector.spans()
+            if s.attributes.get("origin") == "server"
+        ]
+        endpoints = {
+            s.attributes.get("endpoint") for s in grafted
+            if s.name == "serve.request"
+        }
+        assert "/v1/batch" in endpoints
+        assert "/v1/stream" in endpoints

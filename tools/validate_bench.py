@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validate ``repro bench`` snapshots against the checked-in schema.
+
+Reuses the dependency-free mini JSON-Schema validator from
+``tools/validate_wire.py`` for the structural checks against
+``schemas/bench_trajectory.schema.json``, then adds the two cross-field
+rules the subset cannot express:
+
+* a metric with ``skipped: false`` must carry a numeric ``value``;
+* a metric with ``skipped: true`` must carry ``value: null`` (a skip is
+  visible, never a fabricated number).
+
+Usage::
+
+    python tools/validate_bench.py BENCH_2026-08-08.json [more.json ...] \
+        [--schema schemas/bench_trajectory.schema.json]
+
+Exit status 0 when every document conforms, 1 with one error per line
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from validate_wire import validate  # noqa: E402
+
+
+def validate_snapshot(document, schema: dict) -> list[str]:
+    """All violations of one snapshot document (empty list == valid)."""
+    errors = validate(document, schema, schema)
+    if errors:
+        return errors
+    metric_schema = schema["$defs"]["metric"]
+    for name, entry in sorted(document["metrics"].items()):
+        path = f"$.metrics.{name}"
+        errors.extend(validate(entry, metric_schema, schema, path))
+        if not isinstance(entry, dict):
+            continue
+        skipped, value = entry.get("skipped"), entry.get("value")
+        if skipped is False and not isinstance(value, (int, float)):
+            errors.append(
+                f"{path}: non-skipped metric must have a numeric value, "
+                f"got {value!r}"
+            )
+        if skipped is True and value is not None:
+            errors.append(
+                f"{path}: skipped metric must have value null, "
+                f"got {value!r}"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate repro bench trajectory snapshots."
+    )
+    parser.add_argument(
+        "snapshots", type=Path, nargs="+",
+        help="BENCH_*.json snapshot file(s) to check",
+    )
+    parser.add_argument(
+        "--schema",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent
+        / "schemas" / "bench_trajectory.schema.json",
+        help="JSON schema to validate against",
+    )
+    args = parser.parse_args(argv)
+
+    schema = json.loads(args.schema.read_text(encoding="utf-8"))
+    status = 0
+    for path in args.snapshots:
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            print(f"{path}: not valid JSON: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        errors = validate_snapshot(document, schema)
+        if errors:
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            print(f"{path}: INVALID ({len(errors)} error(s))",
+                  file=sys.stderr)
+            status = 1
+        else:
+            metrics = document.get("metrics", {})
+            skipped = sum(1 for m in metrics.values()
+                          if isinstance(m, dict) and m.get("skipped"))
+            print(
+                f"{path}: OK (mode={document.get('mode', '?')}, "
+                f"{len(metrics)} metric(s), {skipped} skipped)"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
