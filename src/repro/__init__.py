@@ -47,6 +47,7 @@ from .core import (
     ScalarEngine,
     ScanEngine,
     StripedEngine,
+    VectorizedEngine,
     Traceback,
     align_pair,
     available_engines,
@@ -173,7 +174,8 @@ __all__ = [
     # engines
     "AlignmentEngine", "AlignmentResult", "BatchResult", "Traceback",
     "ScalarEngine", "ScanEngine", "DiagonalEngine", "StripedEngine",
-    "InterTaskEngine", "BandedEngine", "AdaptivePrecisionEngine",
+    "InterTaskEngine", "VectorizedEngine", "BandedEngine",
+    "AdaptivePrecisionEngine",
     "LaneGroup", "build_lane_groups",
     "global_align", "semiglobal_align", "MiniBlast",
     "available_engines", "get_engine", "sw_score", "align_pair",

@@ -134,6 +134,56 @@ def _bench_engines(quick: bool, benchmarks_dir: Path | None) -> dict:
     }
 
 
+def _bench_kernels(quick: bool, benchmarks_dir: Path | None) -> dict:
+    """Python vs numpy inter-task kernel GCUPS, plus their ratio.
+
+    The workload is the paper's inter-task sweet spot — many short
+    database sequences against a mid-length query — where lane-parallel
+    scoring amortises best.  Both kernels score the identical batch and
+    the scores are asserted equal before any timing is reported: a fast
+    wrong kernel must fail the bench, not win it.  The ``speedup`` ratio
+    is the headline metric; as a ratio of two timings from the same
+    process it largely cancels machine-speed noise, so its gate is
+    tighter than the absolute GCUPS gates.
+    """
+    from .core import DEFAULT_LANES, make_intertask_engine
+    from .scoring import BLOSUM62, paper_gap_model
+
+    gaps = paper_gap_model()
+    rng = np.random.default_rng(7)
+    qlen = 128
+    query = rng.integers(0, 20, qlen).astype(np.uint8)
+    batch = [
+        rng.integers(0, 20, int(n)).astype(np.uint8)
+        for n in rng.integers(30, 81, 256 if quick else 384)
+    ]
+    cells = qlen * sum(len(s) for s in batch)
+    reps = 3 if quick else 5
+
+    values: dict[str, float] = {}
+    scores: dict[str, np.ndarray] = {}
+    for kernel in ("python", "numpy"):
+        engine = make_intertask_engine(kernel, lanes=DEFAULT_LANES[kernel])
+        scores[kernel] = engine.score_batch(
+            query, batch, BLOSUM62, gaps
+        ).scores  # warm-up
+        best = _best_of(
+            reps,
+            lambda e=engine: e.score_batch(query, batch, BLOSUM62, gaps),
+        )
+        values[f"engine.kernel.{kernel}.gcups"] = cells / best / 1e9
+    if not np.array_equal(scores["python"], scores["numpy"]):
+        raise PipelineError(
+            "kernel bench aborted: python and numpy kernels disagree on "
+            "the benchmark batch"
+        )
+    values["engine.kernel.speedup"] = (
+        values["engine.kernel.numpy.gcups"]
+        / values["engine.kernel.python.gcups"]
+    )
+    return values
+
+
 def _bench_sharded(quick: bool, benchmarks_dir: Path | None) -> dict:
     """Driver-side peak heap of a sharded out-of-core scan (MB)."""
     import tracemalloc
@@ -268,6 +318,17 @@ def build_suite() -> list[tuple[tuple[MetricSpec, ...], Callable]]:
                            ("engine",)),
             ),
             _bench_engines,
+        ),
+        (
+            (
+                MetricSpec("engine.kernel.python.gcups", "gcups", True, 0.6,
+                           ("engine",)),
+                MetricSpec("engine.kernel.numpy.gcups", "gcups", True, 0.6,
+                           ("engine",)),
+                MetricSpec("engine.kernel.speedup", "x", True, 0.4,
+                           ("engine",)),
+            ),
+            _bench_kernels,
         ),
         (
             (

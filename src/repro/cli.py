@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--gap-open", type=int, default=10)
     s.add_argument("--gap-extend", type=int, default=2)
     s.add_argument("--lanes", type=int, default=8)
+    s.add_argument("--kernel", choices=("python", "numpy"), default=None,
+                   help="inter-task scoring kernel (default: "
+                        "$REPRO_KERNEL or python; scores are identical)")
     s.add_argument("--profile", choices=("query", "sequence"), default="sequence")
     s.add_argument("--top", type=int, default=10)
     s.add_argument("--traceback", action="store_true",
@@ -114,6 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--gap-open", type=int, default=10)
     sv.add_argument("--gap-extend", type=int, default=2)
     sv.add_argument("--lanes", type=int, default=8)
+    sv.add_argument("--kernel", choices=("python", "numpy"), default=None,
+                    help="inter-task scoring kernel (default: "
+                         "$REPRO_KERNEL or python; scores are identical)")
     sv.add_argument("--profile", choices=("query", "sequence"),
                     default="sequence")
     sv.add_argument("--top", type=int, default=10)
@@ -146,6 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--gap-extend", type=int, default=2)
     bt.add_argument("--lanes", type=int, default=None,
                     help="SIMD lanes (default: each device's native width)")
+    bt.add_argument("--kernel", choices=("python", "numpy"), default=None,
+                    help="inter-task scoring kernel (default: "
+                         "$REPRO_KERNEL or python; scores are identical)")
     bt.add_argument("--top", type=int, default=5)
     bt.add_argument("--chunks", type=int, default=24,
                     help="work-queue granularity (queue scheduler)")
@@ -171,6 +180,9 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--gap-open", type=int, default=10)
     st.add_argument("--gap-extend", type=int, default=2)
     st.add_argument("--lanes", type=int, default=8)
+    st.add_argument("--kernel", choices=("python", "numpy"), default=None,
+                    help="inter-task scoring kernel (default: "
+                         "$REPRO_KERNEL or python; scores are identical)")
     st.add_argument("--chunk-size", type=int, default=512,
                     help="records scored per batch")
     st.add_argument("--top", type=int, default=10,
@@ -356,6 +368,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
         lanes=args.lanes,
+        kernel=args.kernel,
         profile=args.profile,
         top_k=args.top,
         injector=injector,
@@ -426,6 +439,7 @@ def _search_remote(args: argparse.Namespace, query: str, qname: str) -> int:
         matrix=get_matrix(args.matrix),
         gaps=GapModel(args.gap_open, args.gap_extend),
         lanes=args.lanes,
+        kernel=args.kernel,
         profile=args.profile,
         top_k=args.top,
     ))
@@ -466,6 +480,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             matrix=get_matrix(args.matrix),
             gaps=GapModel(args.gap_open, args.gap_extend),
             lanes=args.lanes,
+            kernel=args.kernel,
             profile=args.profile,
             top_k=args.top,
         ),
@@ -564,6 +579,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             matrix=get_matrix(args.matrix),
             gaps=GapModel(args.gap_open, args.gap_extend),
             lanes=args.lanes,
+            kernel=args.kernel,
             top_k=args.top,
         ),
         scheduler=args.scheduler,
@@ -653,6 +669,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             matrix=get_matrix(args.matrix),
             gaps=GapModel(args.gap_open, args.gap_extend),
             lanes=args.lanes,
+            kernel=args.kernel,
             chunk_size=args.chunk_size,
             top_k=args.top,
             injector=injector,

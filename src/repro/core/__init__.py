@@ -20,6 +20,10 @@ Engine            Role
                   align L *different* database sequences against the same
                   query simultaneously; supports query-profile and
                   sequence-profile addressing and cache blocking.
+``vectorized``    The array-parallel realisation of ``intertask``: packed
+                  numpy lane matrices, one vector op per DP anti-step,
+                  narrow int16/int8 scoring with full-width redo of
+                  saturated lanes (the ``kernel="numpy"`` search kernel).
 ================  ====================================================
 
 All engines return identical scores (a property-test invariant).
@@ -32,6 +36,13 @@ from .diagonal import DiagonalEngine
 from .scan import ScanEngine
 from .striped import StripedEngine
 from .intertask import InterTaskEngine, LaneGroup, build_lane_groups
+from .vectorized import (
+    DEFAULT_LANES,
+    KERNEL_NAMES,
+    KernelStats,
+    VectorizedEngine,
+    make_intertask_engine,
+)
 from .profiles import QueryProfile, SequenceProfile, ProfileKind
 from .traceback import align_pair
 from .banded import BandedEngine
@@ -54,6 +65,11 @@ __all__ = [
     "ScanEngine",
     "StripedEngine",
     "InterTaskEngine",
+    "VectorizedEngine",
+    "KernelStats",
+    "make_intertask_engine",
+    "KERNEL_NAMES",
+    "DEFAULT_LANES",
     "LaneGroup",
     "build_lane_groups",
     "QueryProfile",

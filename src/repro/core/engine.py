@@ -152,7 +152,7 @@ def get_engine(name: str, alphabet: Alphabet = PROTEIN, **kwargs) -> AlignmentEn
     """
     # Importing the engine modules registers them; done lazily to avoid
     # circular imports at package init.
-    from . import diagonal, intertask, scalar, scan, striped  # noqa: F401
+    from . import diagonal, intertask, scalar, scan, striped, vectorized  # noqa: F401
 
     try:
         cls = _ENGINES[name]
@@ -165,7 +165,7 @@ def get_engine(name: str, alphabet: Alphabet = PROTEIN, **kwargs) -> AlignmentEn
 
 def available_engines() -> list[str]:
     """Names of all registered engines."""
-    from . import diagonal, intertask, scalar, scan, striped  # noqa: F401
+    from . import diagonal, intertask, scalar, scan, striped, vectorized  # noqa: F401
 
     return sorted(_ENGINES)
 

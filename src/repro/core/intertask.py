@@ -167,6 +167,10 @@ class InterTaskEngine(AlignmentEngine):
     """
 
     name = "intertask"
+    #: Kernel family for ``SearchOptions.kernel`` selection: this is the
+    #: instruction-faithful Python-loop kernel ("python"); the
+    #: array-parallel sibling in ``repro.core.vectorized`` is "numpy".
+    kernel = "python"
 
     def __init__(
         self,

@@ -35,6 +35,7 @@ import numpy as np
 
 from ..core.intertask import InterTaskEngine, LaneGroup, build_lane_groups
 from ..core.scan import ScanEngine
+from ..core.vectorized import make_intertask_engine
 from ..exceptions import ParallelError, ReproError
 from ..faults.injection import FaultInjector, FaultKind, FaultPlan
 from ..faults.policy import Deadline
@@ -55,12 +56,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """Inter-task engine construction parameters, picklable."""
+    """Inter-task engine construction parameters, picklable.
+
+    ``kernel`` selects the scoring implementation ("python" for the
+    SIMD-emulating :class:`InterTaskEngine`, "numpy" for the
+    array-vectorised :class:`~repro.core.vectorized.VectorizedEngine`);
+    scores are bit-identical either way.
+    """
 
     lanes: int
     profile: str = "sequence"
     block_cols: int | None = None
     saturate_bits: int | None = None
+    kernel: str = "python"
 
 
 @dataclass(frozen=True)
@@ -163,7 +171,8 @@ def _engine(cfg: EngineConfig, alphabet, engines: dict) -> InterTaskEngine:
     key = (cfg, alphabet.letters)
     eng = engines.get(key)
     if eng is None:
-        eng = InterTaskEngine(
+        eng = make_intertask_engine(
+            cfg.kernel,
             alphabet=alphabet,
             lanes=cfg.lanes,
             profile=cfg.profile,

@@ -69,7 +69,15 @@ class SearchOptions:
     matrix, gaps:
         Scoring scheme.
     lanes:
-        Inter-task vector width; ``None`` lets each consumer pick.
+        Inter-task vector width; ``None`` lets each consumer pick (the
+        chosen kernel's default width).
+    kernel:
+        Scoring kernel for the inter-task engine: ``"python"`` (the
+        instruction-faithful SIMD emulation), ``"numpy"`` (the
+        array-vectorised kernel of :mod:`repro.core.vectorized`), or
+        ``None`` to follow the ``REPRO_KERNEL`` environment variable
+        (default ``"python"``).  Scores, hit order and cell accounting
+        are bit-identical across kernels.
     profile:
         ``"sequence"`` (SP) or ``"query"`` (QP) score addressing.
     schedule:
@@ -98,6 +106,7 @@ class SearchOptions:
     matrix: SubstitutionMatrix | None = None
     gaps: GapModel | None = None
     lanes: int | None = None
+    kernel: str | None = None
     profile: str = "sequence"
     schedule: Schedule | str = Schedule.DYNAMIC
     threads: int = 4
@@ -124,6 +133,10 @@ class SearchOptions:
             raise PipelineError(
                 f"profile must be 'sequence' or 'query', got {self.profile!r}"
             )
+        if self.kernel is not None and self.kernel not in ("python", "numpy"):
+            raise PipelineError(
+                f"kernel must be 'python' or 'numpy', got {self.kernel!r}"
+            )
         Schedule.parse(self.schedule)  # fail fast on bad schedule specs
 
     # ------------------------------------------------------------------
@@ -142,6 +155,23 @@ class SearchOptions:
     def resolved_lanes(self, default: int = 8) -> int:
         """The lane width, falling back to the consumer's ``default``."""
         return self.lanes if self.lanes is not None else default
+
+    def resolved_kernel(self) -> str:
+        """The scoring kernel, falling back to ``REPRO_KERNEL`` or python.
+
+        The environment hook lets CI force the whole tier-1 suite through
+        the numpy kernel without touching any call site.
+        """
+        if self.kernel is not None:
+            return self.kernel
+        import os
+
+        env = os.environ.get("REPRO_KERNEL", "python")
+        if env not in ("python", "numpy"):
+            raise PipelineError(
+                f"REPRO_KERNEL must be 'python' or 'numpy', got {env!r}"
+            )
+        return env
 
     def merged(self, **overrides: Any) -> "SearchOptions":
         """A copy with ``overrides`` applied (UNSET entries dropped)."""

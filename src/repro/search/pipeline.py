@@ -15,8 +15,8 @@ from typing import Callable
 import numpy as np
 
 from ..core.engine import as_codes
-from ..core.intertask import InterTaskEngine
 from ..core.traceback import align_pair
+from ..core.vectorized import DEFAULT_LANES, make_intertask_engine
 from ..db.database import SequenceDatabase
 from ..db.preprocess import PreprocessedDatabase, preprocess_database
 from ..devices.openmp import ParallelFor, Schedule
@@ -125,14 +125,16 @@ class SearchPipeline:
         self.options = opts
         self.matrix = opts.resolved_matrix()
         self.gaps = opts.resolved_gaps()
-        self.lanes = opts.resolved_lanes(8)
+        self.kernel = opts.resolved_kernel()
+        self.lanes = opts.resolved_lanes(DEFAULT_LANES[self.kernel])
         self.schedule = Schedule.parse(opts.schedule)
         self.threads = opts.threads
         self.device_model = device_model
         self.alphabet = opts.alphabet
         self.injector = opts.injector
         self.metrics = metrics if metrics is not None else METRICS
-        self.engine = InterTaskEngine(
+        self.engine = make_intertask_engine(
+            self.kernel,
             alphabet=opts.alphabet,
             lanes=self.lanes,
             profile=opts.profile,
@@ -202,6 +204,7 @@ class SearchPipeline:
             profile=self.engine.profile.value,
             block_cols=self.engine.block_cols,
             saturate_bits=self.engine.saturate_bits,
+            kernel=self.kernel,
         )
         plan = self.injector.plan if self.injector is not None else None
         try:
@@ -434,7 +437,15 @@ class SearchPipeline:
 
             modeled = None
             if self.device_model is not None:
-                wl = Workload.from_lengths(database.lengths, self.lanes)
+                # The model emulates the device's SIMD units: its lane
+                # count is capped at the device's native vector width.
+                # Software lane widths above that (the numpy kernel
+                # defaults to 128 for array efficiency) are a host-side
+                # batching choice, not extra modeled hardware.
+                wl = Workload.from_lengths(
+                    database.lengths,
+                    min(self.lanes, self.device_model.spec.lanes32),
+                )
                 cfg = RunConfig(
                     vectorization="intrinsic",
                     profile=self.engine.profile.value,

@@ -146,11 +146,16 @@ class ShardedStreamingSearch:
         self.max_heals = max_heals
         self.poison_threshold = poison_threshold
         self.metrics = metrics if metrics is not None else METRICS
+        from ..core.vectorized import DEFAULT_LANES
         from ..parallel.worker import EngineConfig
 
         # The serial streamed scan runs a default-profile, unblocked
-        # engine at the options' lane width — mirror it exactly.
-        self._engine_cfg = EngineConfig(lanes=opts.resolved_lanes(8))
+        # engine at the options' lane width — mirror it exactly,
+        # including the kernel and its kernel-specific default width.
+        kernel = opts.resolved_kernel()
+        self._engine_cfg = EngineConfig(
+            lanes=opts.resolved_lanes(DEFAULT_LANES[kernel]), kernel=kernel
+        )
         self._backend = None
 
     # ------------------------------------------------------------------

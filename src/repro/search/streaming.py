@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..core.engine import as_codes
-from ..core.intertask import InterTaskEngine
+from ..core.vectorized import DEFAULT_LANES, make_intertask_engine
 from ..db.fasta import FastaRecord
 from ..db.shards import encode_record
 from ..exceptions import ParallelError, PipelineError
@@ -207,8 +207,11 @@ class StreamingSearch:
         self.resume = bool(resume)
         self.chunk_timeout = chunk_timeout
         self.metrics = metrics if metrics is not None else METRICS
-        self.engine = InterTaskEngine(
-            alphabet=opts.alphabet, lanes=opts.resolved_lanes(8)
+        self.kernel = opts.resolved_kernel()
+        self.engine = make_intertask_engine(
+            self.kernel,
+            alphabet=opts.alphabet,
+            lanes=opts.resolved_lanes(DEFAULT_LANES[self.kernel]),
         )
         self._sharded = None
 

@@ -134,6 +134,7 @@ def encode_options(options: SearchOptions) -> dict:
             else {"open": options.gaps.open, "extend": options.gaps.extend}
         ),
         "lanes": options.lanes,
+        "kernel": options.kernel,
         "profile": options.profile,
         "schedule": Schedule.parse(options.schedule).value,
         "threads": options.threads,
@@ -162,6 +163,9 @@ def decode_options(doc: Mapping[str, Any]) -> SearchOptions:
                 gaps["open"], gaps["extend"]
             ),
             lanes=doc["lanes"],
+            # Optional on the wire (added after schema v1 froze; absent
+            # means "server default") so v1 peers interoperate.
+            kernel=doc.get("kernel"),
             profile=doc["profile"],
             schedule=Schedule.parse(doc["schedule"]),
             threads=doc["threads"],

@@ -243,6 +243,7 @@ class WorkQueueScheduler:
                     profile=pipe.engine.profile.value,
                     block_cols=pipe.engine.block_cols,
                     saturate_bits=pipe.engine.saturate_bits,
+                    kernel=pipe.kernel,
                 ),
                 positions=tuple(int(p) for p in inv[a.indices]),
                 plan=fault_plan,

@@ -36,7 +36,8 @@ PUBLIC_API = {
     # engines
     "AlignmentEngine", "AlignmentResult", "BatchResult", "Traceback",
     "ScalarEngine", "ScanEngine", "DiagonalEngine", "StripedEngine",
-    "InterTaskEngine", "BandedEngine", "AdaptivePrecisionEngine",
+    "InterTaskEngine", "VectorizedEngine", "BandedEngine",
+    "AdaptivePrecisionEngine",
     "LaneGroup", "build_lane_groups",
     "global_align", "semiglobal_align", "MiniBlast",
     "available_engines", "get_engine", "sw_score", "align_pair",
@@ -87,7 +88,7 @@ PUBLIC_API = {
 }
 
 OPTION_FIELDS = (
-    "matrix", "gaps", "lanes", "profile", "schedule", "threads",
+    "matrix", "gaps", "lanes", "kernel", "profile", "schedule", "threads",
     "top_k", "chunk_size", "alphabet", "injector", "deadline",
 )
 

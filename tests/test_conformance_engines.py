@@ -1,12 +1,19 @@
 """Differential conformance: every engine computes identical scores.
 
-The registered engines (scalar, diagonal, striped, scan, intertask) and
-the banded engine with a band covering the whole matrix all implement
-the same local-alignment recurrences (paper Eq. 6); on any input their
-scores must agree exactly.  The scalar engine is the reference — it is
-the most literal transcription of the recurrences — and everything else
-is checked against it over a seeded grid of random databases, queries,
-substitution matrices and gap models, plus the awkward edge cases.
+The registered engines (scalar, diagonal, striped, scan, intertask,
+vectorized) and the banded engine with a band covering the whole matrix
+all implement the same local-alignment recurrences (paper Eq. 6); on
+any input their scores must agree exactly.  The scalar engine is the
+reference — it is the most literal transcription of the recurrences —
+and everything else is checked against it over a seeded grid of random
+databases, queries, substitution matrices and gap models, plus the
+awkward edge cases.
+
+The kernel harness (:class:`TestKernelDifferential`) additionally pins
+the two ``SearchOptions.kernel`` realisations of the inter-task scheme
+to each other *through the pipeline*: not just equal scores but
+identical Hit ordering (including stable tie-breaks) and identical
+GCUPS cell accounting.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import pytest
 from repro.alphabet import PROTEIN
 from repro.core.banded import BandedEngine
 from repro.core.engine import available_engines, get_engine
+from repro.core.vectorized import KERNEL_NAMES, make_intertask_engine
 from repro.scoring import GapModel, get_matrix
 from tests.conftest import random_protein
 
@@ -129,3 +137,90 @@ class TestEdgeCases:
     def test_query_of_length_one(self, rng, blosum62, gaps):
         seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 30, 7)]
         assert_all_engines_agree("W", seqs, blosum62, gaps)
+
+
+EDGE_DATABASES = {
+    "empty-ish": ["A"],
+    "length-one": ["A", "W", "C", "K", "A"],
+    "homopolymer": ["L" * n for n in (1, 2, 7, 19, 40)],
+    "ambiguity": ["XXXX", "BZXB*", "AXRNX", "***", "ARNDCQXBZ*"],
+}
+
+
+class TestKernelDifferential:
+    """The two SearchOptions kernels are bit-identical end to end.
+
+    ``kernel="python"`` (InterTaskEngine) and ``kernel="numpy"``
+    (VectorizedEngine) must be indistinguishable by any observable:
+    scores, Hit order under score ties, and the cell counts that feed
+    GCUPS.  Engine-level equality runs the full matrix/gap grid; the
+    pipeline-level check exercises ranking and accounting.
+    """
+
+    @pytest.mark.parametrize("matrix_name", MATRIX_NAMES)
+    @pytest.mark.parametrize("gaps", GAP_MODELS, ids=GAP_IDS)
+    def test_kernels_match_scalar_on_grid(self, rng, matrix_name, gaps):
+        matrix = get_matrix(matrix_name)
+        seqs = [
+            random_protein(rng, int(n)) for n in rng.integers(1, 60, 13)
+        ]
+        query = random_protein(rng, int(rng.integers(5, 40)))
+        ref = reference_scores(query, seqs, matrix, gaps)
+        for kernel in KERNEL_NAMES:
+            got = make_intertask_engine(kernel, alphabet=PROTEIN).score_batch(
+                query, seqs, matrix, gaps
+            ).scores
+            np.testing.assert_array_equal(
+                got, ref,
+                err_msg=f"kernel {kernel!r} diverges from scalar "
+                        f"({matrix_name}, open={gaps.open} "
+                        f"ext={gaps.extend})",
+            )
+
+    @pytest.mark.parametrize("name", sorted(EDGE_DATABASES))
+    @pytest.mark.parametrize("gaps", GAP_MODELS, ids=GAP_IDS)
+    def test_kernels_match_on_edge_databases(self, name, gaps, blosum62):
+        seqs = EDGE_DATABASES[name]
+        for query in ("W", "ARNXBZ*", "L" * 12):
+            ref = reference_scores(query, seqs, blosum62, gaps)
+            for kernel in KERNEL_NAMES:
+                got = make_intertask_engine(
+                    kernel, alphabet=PROTEIN
+                ).score_batch(query, seqs, blosum62, gaps).scores
+                np.testing.assert_array_equal(
+                    got, ref, err_msg=f"kernel {kernel!r} on {name!r}"
+                )
+
+    def test_kernels_agree_on_empty_database(self, blosum62, gaps):
+        for kernel in KERNEL_NAMES:
+            batch = make_intertask_engine(
+                kernel, alphabet=PROTEIN
+            ).score_batch("ACDEFG", [], blosum62, gaps)
+            assert batch.scores.shape == (0,), kernel
+            assert batch.cells == 0, kernel
+
+    def test_pipeline_hits_and_cells_identical(self, rng):
+        # End-to-end: same DB, same query, both kernels.  Hits must
+        # match pairwise — index, score, AND position in the ranking
+        # (the stable argsort tie-break) — and the GCUPS denominator
+        # (cells) must be identical, not merely close.
+        from repro.db import SyntheticSwissProt
+        from repro.search import SearchOptions, SearchPipeline
+
+        db = SyntheticSwissProt(seed=11).generate(scale=0.0004)
+        query = random_protein(rng, 48)
+        results = {}
+        for kernel in KERNEL_NAMES:
+            results[kernel] = SearchPipeline(
+                SearchOptions(kernel=kernel, top_k=25)
+            ).search(query, db)
+        py, vec = results["python"], results["numpy"]
+        np.testing.assert_array_equal(vec.scores, py.scores)
+        assert [(h.index, h.score, h.header) for h in vec.hits] \
+            == [(h.index, h.score, h.header) for h in py.hits]
+        assert vec.cells == py.cells
+        # Score ties exist in a DB this size; the ordering check above
+        # is only meaningful if some scores repeat.
+        top_scores = [h.score for h in py.hits]
+        assert len(set(top_scores)) < len(top_scores), \
+            "workload produced no ties; grow the database"

@@ -55,6 +55,8 @@ def random_options(rng: np.random.Generator) -> SearchOptions:
         )
     if rng.random() < 0.75:
         kwargs["lanes"] = int(rng.integers(1, 17))
+    if rng.random() < 0.5:
+        kwargs["kernel"] = ("python", "numpy")[int(rng.integers(2))]
     if rng.random() < 0.25:
         kwargs["injector"] = FaultInjector(FaultPlan(
             seed=int(rng.integers(10_000)),

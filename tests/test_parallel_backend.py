@@ -46,6 +46,10 @@ def query(rng) -> str:
 
 
 def corrupting_options(**extra) -> SearchOptions:
+    # lanes is pinned: fault units are lane-group ids, and the seeded
+    # plan must corrupt the same units whichever kernel (and therefore
+    # kernel-specific lane default) the run resolves to.
+    extra.setdefault("lanes", 8)
     return SearchOptions(
         injector=FaultInjector(FaultPlan(seed=7, corrupt_rate=0.4)), **extra
     )
@@ -114,6 +118,70 @@ class TestFaultDeterminism:
         assert serial.corrupted_redone > 0  # the plan really fires
         assert par.corrupted_redone == serial.corrupted_redone
         np.testing.assert_array_equal(par.scores, serial.scores)
+
+
+class TestKernelParity:
+    """The numpy kernel survives every parallel execution mode.
+
+    Worker processes rebuild their engine from the broadcast
+    :class:`EngineConfig`; if the kernel (or its kernel-specific lane
+    default) failed to ride along, scores would still come back — from
+    the wrong engine.  These tests pin process-parallel and serial
+    numpy-kernel runs to the python-kernel serial reference.
+    """
+
+    def test_numpy_parallel_matches_python_serial(self, db, query):
+        ref = SearchPipeline(SearchOptions(kernel="python")).search(
+            query, db
+        )
+        serial = SearchPipeline(SearchOptions(kernel="numpy")).search(
+            query, db
+        )
+        np.testing.assert_array_equal(serial.scores, ref.scores)
+        for workers in (2, 4):
+            with SearchPipeline(
+                SearchOptions(kernel="numpy"), workers=workers
+            ) as pipe:
+                par = pipe.search(query, db)
+            np.testing.assert_array_equal(
+                par.scores, ref.scores, err_msg=f"workers={workers}"
+            )
+            assert [(h.index, h.score) for h in par.hits] \
+                == [(h.index, h.score) for h in ref.hits]
+
+    def test_numpy_fault_redo_matches_its_serial(self, db, query):
+        # Corruption units are group ids, which depend on lane packing
+        # — pinning lanes=8 gives both kernels the identical group
+        # structure, so the seeded plan corrupts the same units and the
+        # redo counts must agree across kernels, not just within one.
+        ref = SearchPipeline(
+            corrupting_options(kernel="python", lanes=8)
+        ).search(query, db)
+        serial = SearchPipeline(
+            corrupting_options(kernel="numpy", lanes=8)
+        ).search(query, db)
+        with SearchPipeline(
+            corrupting_options(kernel="numpy", lanes=8), workers=2
+        ) as pipe:
+            par = pipe.search(query, db)
+        assert ref.corrupted_redone > 0  # the plan really fires
+        assert serial.corrupted_redone == ref.corrupted_redone
+        assert par.corrupted_redone == ref.corrupted_redone
+        np.testing.assert_array_equal(serial.scores, ref.scores)
+        np.testing.assert_array_equal(par.scores, ref.scores)
+
+    def test_env_var_selects_kernel_in_workers(self, db, query,
+                                               monkeypatch):
+        # REPRO_KERNEL is resolved once by SearchOptions on the driver;
+        # the resolved kernel must then survive the worker broadcast.
+        ref = SearchPipeline(SearchOptions(kernel="python")).search(
+            query, db
+        )
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        with SearchPipeline(SearchOptions(), workers=2) as pipe:
+            assert pipe.kernel == "numpy"
+            par = pipe.search(query, db)
+        np.testing.assert_array_equal(par.scores, ref.scores)
 
 
 class TestFallback:

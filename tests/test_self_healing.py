@@ -616,6 +616,63 @@ class TestServiceResilience:
         assert full.sequences_scanned == len(db)
 
 
+class TestKernelRegression:
+    """Fault healing and deadline prefixes are kernel-independent.
+
+    Streaming fault units are *chunk indices*, which do not depend on
+    lane packing — so a seeded chaos plan scored by the numpy kernel
+    must replay the python-kernel scan rank for rank, including the
+    corruption-redo count.  Likewise a deadline-expired numpy scan's
+    merged prefix must equal the python-kernel serial scan of exactly
+    that prefix.
+    """
+
+    def test_seeded_fault_plan_rank_identical_across_kernels(self, db):
+        plan = FaultPlan(seed=99, corrupt_rate=0.3, worker_kill_units=(2,))
+
+        def opts(kernel):
+            return SearchOptions(
+                chunk_size=16, top_k=8, kernel=kernel,
+                injector=FaultInjector(FaultPlan(
+                    seed=plan.seed, corrupt_rate=plan.corrupt_rate,
+                    worker_kill_units=plan.worker_kill_units,
+                )),
+            )
+
+        ref = StreamingSearch(opts("python")).search_database(QUERY, db)
+        assert ref.corrupted_redone > 0  # the plan really fires
+        serial = StreamingSearch(opts("numpy")).search_database(QUERY, db)
+        assert hit_tuples(serial) == hit_tuples(ref)
+        assert serial.cells == ref.cells
+        assert serial.corrupted_redone == ref.corrupted_redone
+        with ShardedStreamingSearch(
+            opts("numpy"), workers=2, shard_records=64,
+        ) as sharded:
+            par = sharded.search_database(QUERY, db)
+        assert hit_tuples(par) == hit_tuples(ref)
+        assert par.sequences_scanned == ref.sequences_scanned
+        assert par.corrupted_redone == ref.corrupted_redone
+
+    def test_deadline_prefix_matches_python_kernel(self, db):
+        stall = min(150, len(db) // 2)
+        opts = SearchOptions(
+            chunk_size=16, top_k=6, kernel="numpy",
+            deadline=Deadline.after(0.5),
+        )
+        partial = StreamingSearch(opts).search_records(
+            QUERY, stalling_stream(db, stall, 1.5),
+            total_records=len(db),
+        )
+        assert isinstance(partial, PartialResult)
+        n = partial.sequences_scanned
+        assert 0 < n < len(db)
+        clean = SearchOptions(chunk_size=16, top_k=6, kernel="python")
+        serial = StreamingSearch(clean).search_records(
+            QUERY, record_stream(db, n)
+        )
+        assert hit_tuples(partial) == hit_tuples(serial)
+
+
 class TestPoisonAttribution:
     def test_completion_resets_chunk_failure_counter(self):
         # Losses charged while co-resident with a culprit chunk must

@@ -1,0 +1,273 @@
+"""Property/fuzz tests for the numpy inter-task kernel.
+
+The vectorized kernel has three internal degrees of freedom that must
+never be observable in its output: the lane width (packing), the tile
+width (cache blocking of the rebased prefix scan), and the narrow
+arithmetic width (int8/int16 with saturating clamps plus full-width
+redo).  Every test here perturbs one of those knobs over a seeded grid
+and demands bit-identical scores against the scalar oracle.
+
+The saturation tests force overflow on purpose — a homopolymer whose
+true score exceeds the int8 clamp, and a custom high-valued matrix that
+breaks int16 — and assert both that the redo path actually fired
+(:class:`repro.core.KernelStats` counters) and that it restored
+exactness.  A redo path that never runs is dead code; one that runs and
+misreports is a silent wrong answer.  Both failure modes are pinned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alphabet import PROTEIN
+from repro.core import VectorizedEngine, get_engine
+from repro.core.vectorized import make_intertask_engine
+from repro.exceptions import EngineError
+from repro.scoring import GapModel, SubstitutionMatrix
+from tests.conftest import random_protein
+
+LANE_GRID = (1, 3, 8, 64)
+BLOCK_GRID = (None, 1, 7, 64)
+WIDTH_GRID = (8, 16, 64)
+
+
+def scalar_scores(query, seqs, matrix, gaps):
+    return get_engine("scalar", PROTEIN).score_batch(
+        query, seqs, matrix, gaps
+    ).scores
+
+
+@pytest.fixture
+def workload(rng, blosum62, gaps):
+    seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 70, 17)]
+    query = random_protein(rng, 33)
+    return query, seqs, scalar_scores(query, seqs, blosum62, gaps)
+
+
+class TestWidthInvariance:
+    @pytest.mark.parametrize("lanes", LANE_GRID)
+    def test_lane_width_never_changes_scores(
+        self, workload, blosum62, gaps, lanes
+    ):
+        query, seqs, ref = workload
+        got = VectorizedEngine(PROTEIN, lanes=lanes).score_batch(
+            query, seqs, blosum62, gaps
+        ).scores
+        np.testing.assert_array_equal(got, ref, err_msg=f"lanes={lanes}")
+
+    @pytest.mark.parametrize("block_cols", BLOCK_GRID)
+    def test_tile_width_never_changes_scores(
+        self, workload, blosum62, gaps, block_cols
+    ):
+        query, seqs, ref = workload
+        got = VectorizedEngine(
+            PROTEIN, lanes=8, block_cols=block_cols
+        ).score_batch(query, seqs, blosum62, gaps).scores
+        np.testing.assert_array_equal(
+            got, ref, err_msg=f"block_cols={block_cols}"
+        )
+
+    @pytest.mark.parametrize("bits", WIDTH_GRID)
+    def test_narrow_width_never_changes_scores(
+        self, workload, blosum62, gaps, bits
+    ):
+        query, seqs, ref = workload
+        got = VectorizedEngine(
+            PROTEIN, lanes=8, saturate_bits=bits
+        ).score_batch(query, seqs, blosum62, gaps).scores
+        np.testing.assert_array_equal(got, ref, err_msg=f"bits={bits}")
+
+    @pytest.mark.parametrize("profile", ("sequence", "query"))
+    def test_profile_addressing_never_changes_scores(
+        self, workload, blosum62, gaps, profile
+    ):
+        query, seqs, ref = workload
+        got = VectorizedEngine(
+            PROTEIN, lanes=8, profile=profile
+        ).score_batch(query, seqs, blosum62, gaps).scores
+        np.testing.assert_array_equal(got, ref, err_msg=profile)
+
+    def test_seeded_fuzz_grid(self, blosum62):
+        # The full cross-product on small random batches: any packing /
+        # tiling / width interaction bug shows up as a score diff here.
+        rng = np.random.default_rng(2024)
+        for gaps in (GapModel(10, 2), GapModel(3, 0), GapModel(0, 1)):
+            seqs = [
+                random_protein(rng, int(n))
+                for n in rng.integers(1, 50, 11)
+            ]
+            query = random_protein(rng, int(rng.integers(3, 28)))
+            ref = scalar_scores(query, seqs, blosum62, gaps)
+            for lanes in (1, 8):
+                for block_cols in (None, 5):
+                    for bits in WIDTH_GRID:
+                        engine = VectorizedEngine(
+                            PROTEIN, lanes=lanes, block_cols=block_cols,
+                            saturate_bits=bits,
+                        )
+                        got = engine.score_batch(
+                            query, seqs, blosum62, gaps
+                        ).scores
+                        np.testing.assert_array_equal(
+                            got, ref,
+                            err_msg=(
+                                f"lanes={lanes} block={block_cols} "
+                                f"bits={bits} gaps={gaps}"
+                            ),
+                        )
+
+    def test_constructor_rejects_bad_knobs(self):
+        with pytest.raises(EngineError):
+            VectorizedEngine(PROTEIN, lanes=0)
+        with pytest.raises(EngineError):
+            VectorizedEngine(PROTEIN, block_cols=0)
+        with pytest.raises(EngineError):
+            VectorizedEngine(PROTEIN, saturate_bits=12)
+        with pytest.raises(EngineError):
+            make_intertask_engine("simd")
+
+
+class TestSaturationRedo:
+    def test_int8_overflow_triggers_redo_and_stays_exact(
+        self, blosum62, gaps
+    ):
+        # L*30 against L*30 scores 30 * V(L,L) = 120 under BLOSUM62 —
+        # past the int8 clamp — while the short decoys stay far below
+        # it.  The saturated lane must be redone at full width and the
+        # batch must still be bit-identical to scalar.
+        seqs = ["L" * 30, "ARN", "L" * 4, "W"]
+        query = "L" * 30
+        ref = scalar_scores(query, seqs, blosum62, gaps)
+        assert ref[0] > 95  # genuinely past the int8 clamp
+        engine = VectorizedEngine(PROTEIN, lanes=8, saturate_bits=8)
+        batch = engine.score_batch(query, seqs, blosum62, gaps)
+        np.testing.assert_array_equal(batch.scores, ref)
+        assert engine.stats.redo_lanes > 0, "redo path never fired"
+        assert engine.stats.redo_groups > 0
+        assert 0 in batch.saturated  # reported in original indices
+        assert set(batch.saturated) <= set(range(len(seqs)))
+
+    def test_int16_overflow_triggers_redo_and_stays_exact(self, gaps):
+        # A synthetic matrix with match reward 3000: twelve identical
+        # residues score 36000, past the int16 clamp (24575), yet the
+        # reward still fits the narrow feasibility precheck
+        # (3000 <= 32767 - 24575), so the narrow path runs and must
+        # detect its own overflow.
+        n = PROTEIN.size
+        data = np.full((n, n), -2, dtype=np.int32)
+        np.fill_diagonal(data, 3000)
+        hot = SubstitutionMatrix("HOT3000", PROTEIN, data)
+        seqs = ["ACDEFGHIKLMN", "ACD", "WYV"]
+        query = "ACDEFGHIKLMN"
+        ref = scalar_scores(query, seqs, hot, gaps)
+        assert ref[0] == 36000
+        engine = VectorizedEngine(PROTEIN, lanes=4, saturate_bits=16)
+        batch = engine.score_batch(query, seqs, hot, gaps)
+        np.testing.assert_array_equal(batch.scores, ref)
+        assert engine.stats.redo_lanes > 0
+        assert 0 in batch.saturated
+
+    def test_full_width_never_saturates(self, blosum62, gaps):
+        seqs = ["L" * 30, "ARN"]
+        engine = VectorizedEngine(PROTEIN, lanes=8, saturate_bits=64)
+        batch = engine.score_batch("L" * 30, seqs, blosum62, gaps)
+        np.testing.assert_array_equal(
+            batch.scores, scalar_scores("L" * 30, seqs, blosum62, gaps)
+        )
+        assert batch.saturated == []
+        assert engine.stats.redo_lanes == 0
+        assert engine.stats.narrow_sweeps == 0
+        assert engine.stats.wide_sweeps > 0
+
+    def test_unsaturated_batch_reports_no_redo(self, workload, blosum62,
+                                               gaps):
+        query, seqs, ref = workload
+        engine = VectorizedEngine(PROTEIN, lanes=8)
+        batch = engine.score_batch(query, seqs, blosum62, gaps)
+        np.testing.assert_array_equal(batch.scores, ref)
+        assert batch.saturated == []
+        assert engine.stats.redo_lanes == 0
+        assert engine.stats.narrow_sweeps > 0
+
+    def test_stats_reset(self, blosum62, gaps):
+        engine = VectorizedEngine(PROTEIN, lanes=8, saturate_bits=8)
+        engine.score_batch("L" * 30, ["L" * 30], blosum62, gaps)
+        assert engine.stats.redo_lanes > 0
+        engine.stats.reset()
+        assert engine.stats.redo_lanes == 0
+        assert engine.stats.narrow_sweeps == 0
+        assert engine.stats.wide_sweeps == 0
+        assert engine.stats.redo_groups == 0
+
+    def test_redo_only_recomputes_saturated_lanes(self, blosum62, gaps):
+        # One hot lane among many cold ones: the redo must touch just
+        # the flagged lane, not the whole group.
+        seqs = ["L" * 30] + ["ARNDCQE"] * 6
+        engine = VectorizedEngine(PROTEIN, lanes=8, saturate_bits=8)
+        batch = engine.score_batch("L" * 30, seqs, blosum62, gaps)
+        np.testing.assert_array_equal(
+            batch.scores, scalar_scores("L" * 30, seqs, blosum62, gaps)
+        )
+        assert engine.stats.redo_lanes == 1
+        assert batch.saturated == [0]
+
+
+class TestGapModelEdges:
+    @pytest.mark.parametrize(
+        "gaps", (GapModel(3, 0), GapModel(0, 1), GapModel(0, 2)),
+        ids=("extend0", "open0", "open0-ext2"),
+    )
+    def test_degenerate_gap_models(self, rng, blosum62, gaps):
+        seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 40, 9)]
+        query = random_protein(rng, 20)
+        ref = scalar_scores(query, seqs, blosum62, gaps)
+        for bits in WIDTH_GRID:
+            got = VectorizedEngine(
+                PROTEIN, lanes=8, saturate_bits=bits
+            ).score_batch(query, seqs, blosum62, gaps).scores
+            np.testing.assert_array_equal(
+                got, ref, err_msg=f"bits={bits} gaps={gaps}"
+            )
+
+    def test_huge_gap_penalties_fall_back_to_wide(self, rng, blosum62):
+        # qo + ge past the narrow info_max makes the narrow tile width
+        # infeasible; the engine must silently score at full width.
+        gaps = GapModel(40_000, 2)
+        seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 30, 5)]
+        query = random_protein(rng, 15)
+        engine = VectorizedEngine(PROTEIN, lanes=8, saturate_bits=16)
+        got = engine.score_batch(query, seqs, blosum62, gaps)
+        np.testing.assert_array_equal(
+            got.scores, scalar_scores(query, seqs, blosum62, gaps)
+        )
+        assert engine.stats.narrow_sweeps == 0
+        assert engine.stats.wide_sweeps > 0
+
+
+class TestAccounting:
+    def test_cells_match_python_kernel(self, workload, blosum62, gaps):
+        # GCUPS denominators must agree: both kernels charge the padded
+        # lane-group footprint at the same lane width.
+        query, seqs, _ = workload
+        py = make_intertask_engine("python", lanes=8).score_batch(
+            query, seqs, blosum62, gaps
+        )
+        vec = make_intertask_engine("numpy", lanes=8).score_batch(
+            query, seqs, blosum62, gaps
+        )
+        assert vec.cells == py.cells
+        np.testing.assert_array_equal(vec.scores, py.scores)
+
+    def test_scatter_restores_input_order(self, rng, blosum62, gaps):
+        # Lane packing sorts by length; the batch must come back in
+        # supply order.  Compare per-sequence against score_pair.
+        seqs = [random_protein(rng, int(n)) for n in rng.integers(1, 50, 13)]
+        query = random_protein(rng, 18)
+        engine = VectorizedEngine(PROTEIN, lanes=4)
+        batch = engine.score_batch(query, seqs, blosum62, gaps)
+        scalar = get_engine("scalar", PROTEIN)
+        for i, seq in enumerate(seqs):
+            assert batch.scores[i] == scalar.score_pair(
+                query, seq, blosum62, gaps
+            ).score, f"sequence {i} misplaced by the lane scatter"

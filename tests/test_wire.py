@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 import repro.exceptions as exceptions_mod
-from repro.alphabet import PROTEIN, Alphabet
+from repro.alphabet import Alphabet
 from repro.core.types import Traceback
 from repro.db import SyntheticSwissProt
 from repro.devices.openmp import Schedule
@@ -59,6 +59,7 @@ def assert_options_equal(a: SearchOptions, b: SearchOptions) -> None:
         assert np.array_equal(a.matrix.data, b.matrix.data)
     assert a.gaps == b.gaps
     assert a.lanes == b.lanes
+    assert a.kernel == b.kernel
     assert a.profile == b.profile
     assert Schedule.parse(a.schedule) is Schedule.parse(b.schedule)
     assert a.threads == b.threads
@@ -109,6 +110,7 @@ class TestOptionsRoundTrip:
             matrix=BLOSUM62,
             gaps=GapModel(12, 3),
             lanes=16,
+            kernel="numpy",
             profile="query",
             schedule="guided",
             threads=7,
@@ -138,6 +140,18 @@ class TestOptionsRoundTrip:
     def test_malformed_doc_raises_wire_error(self):
         with pytest.raises(WireError, match="malformed"):
             wire.decode_options({"matrix": None})
+
+    def test_kernel_round_trip_and_v1_interop(self):
+        # kernel was added after schema v1 froze: it must survive a
+        # round trip, and a doc from an older peer (no kernel key at
+        # all) must decode to the "inherit server default" spelling.
+        for kernel in ("python", "numpy", None):
+            doc = wire.encode_options(SearchOptions(kernel=kernel))
+            assert doc["kernel"] == kernel
+            assert wire.decode_options(doc).kernel == kernel
+        legacy = wire.encode_options(SearchOptions())
+        del legacy["kernel"]
+        assert wire.decode_options(legacy).kernel is None
 
     @given(
         top_k=st.integers(min_value=0, max_value=50),
