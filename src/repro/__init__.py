@@ -156,6 +156,8 @@ from .search import (
     ShardedStreamingSearch,
     StreamingResult,
     StreamingSearch,
+    TieredSearch,
+    TieredSearchResult,
     gcups,
 )
 from .service import (
@@ -200,6 +202,7 @@ __all__ = [
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
     "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
+    "TieredSearch", "TieredSearchResult",
     "PartialResult", "ScanJournal", "ScanState",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome", "waterman_eggert",

@@ -78,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="inter-task scoring kernel (default: "
                         "$REPRO_KERNEL or python; scores are identical)")
     s.add_argument("--profile", choices=("query", "sequence"), default="sequence")
+    s.add_argument("--mode", choices=("exact", "sensitive", "fast"),
+                   default="exact",
+                   help="search tier: exact = exhaustive SW; sensitive/fast "
+                        "= seed + banded verify, exact SW only on survivors "
+                        "(returned scores stay bit-identical; distant hits "
+                        "may be missed)")
     s.add_argument("--top", type=int, default=10)
     s.add_argument("--traceback", action="store_true",
                    help="print alignments for the top hits")
@@ -122,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "$REPRO_KERNEL or python; scores are identical)")
     sv.add_argument("--profile", choices=("query", "sequence"),
                     default="sequence")
+    sv.add_argument("--mode", choices=("exact", "sensitive", "fast"),
+                    default="exact",
+                    help="search tier served to every client (clients "
+                         "sending options must match it)")
     sv.add_argument("--top", type=int, default=10)
     sv.add_argument("--max-inflight", type=int, default=None,
                     help="admission cap: concurrent requests admitted "
@@ -155,6 +165,10 @@ def build_parser() -> argparse.ArgumentParser:
     bt.add_argument("--kernel", choices=("python", "numpy"), default=None,
                     help="inter-task scoring kernel (default: "
                          "$REPRO_KERNEL or python; scores are identical)")
+    bt.add_argument("--mode", choices=("exact", "sensitive", "fast"),
+                    default="exact",
+                    help="search tier (sensitive/fast need the local "
+                         "scheduler)")
     bt.add_argument("--top", type=int, default=5)
     bt.add_argument("--chunks", type=int, default=24,
                     help="work-queue granularity (queue scheduler)")
@@ -183,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--kernel", choices=("python", "numpy"), default=None,
                     help="inter-task scoring kernel (default: "
                          "$REPRO_KERNEL or python; scores are identical)")
+    st.add_argument("--mode", choices=("exact", "sensitive", "fast"),
+                    default="exact",
+                    help="search tier: exact = exhaustive SW; "
+                         "sensitive/fast prune with seeds + banded verify")
     st.add_argument("--chunk-size", type=int, default=512,
                     help="records scored per batch")
     st.add_argument("--top", type=int, default=10,
@@ -351,6 +369,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
     injector = None
     if args.fault_plan:
+        if args.mode != "exact":
+            print("error: --fault-plan needs --mode exact (faults target "
+                  "the lane groups the tiered path never forms)",
+                  file=sys.stderr)
+            return 2
         from .faults import FaultInjector, FaultPlan
 
         injector = FaultInjector(FaultPlan.parse(args.fault_plan))
@@ -370,6 +393,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         lanes=args.lanes,
         kernel=args.kernel,
         profile=args.profile,
+        mode=args.mode,
         top_k=args.top,
         injector=injector,
     ), metrics=registry, workers=args.workers)
@@ -441,6 +465,7 @@ def _search_remote(args: argparse.Namespace, query: str, qname: str) -> int:
         lanes=args.lanes,
         kernel=args.kernel,
         profile=args.profile,
+        mode=args.mode,
         top_k=args.top,
     ))
     result = client.search(SearchRequest(
@@ -482,6 +507,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             lanes=args.lanes,
             kernel=args.kernel,
             profile=args.profile,
+            mode=args.mode,
             top_k=args.top,
         ),
         host=args.host,
@@ -580,6 +606,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             gaps=GapModel(args.gap_open, args.gap_extend),
             lanes=args.lanes,
             kernel=args.kernel,
+            mode=args.mode,
             top_k=args.top,
         ),
         scheduler=args.scheduler,
@@ -651,6 +678,11 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
     injector = None
     if args.fault_plan:
+        if args.mode != "exact":
+            print("error: --fault-plan needs --mode exact (faults target "
+                  "the lane groups the tiered path never forms)",
+                  file=sys.stderr)
+            return 2
         from .faults import FaultInjector, FaultPlan
 
         injector = FaultInjector(FaultPlan.parse(args.fault_plan))
@@ -670,6 +702,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             gaps=GapModel(args.gap_open, args.gap_extend),
             lanes=args.lanes,
             kernel=args.kernel,
+            mode=args.mode,
             chunk_size=args.chunk_size,
             top_k=args.top,
             injector=injector,

@@ -94,8 +94,11 @@ class BandedEngine(AlignmentEngine):
             for j in range(lo, hi + 1):
                 s = j - (i + off) + w + 1  # slot in the current row
                 # Previous row's window is shifted one left: column j
-                # sits at slot s+1 there, column j-1 at slot s.
-                h_diag = h_prev[s] if j - 1 >= 0 else 0
+                # sits at slot s+1 there, column j-1 at slot s.  The
+                # j-1 == 0 boundary needs no special case: slot lo-1 of
+                # the previous row is outside its window and holds the
+                # zero the padding initialised it to.
+                h_diag = h_prev[s]
                 h_up = h_prev[s + 1]
                 f = max(h_up - go, f_prev[s + 1] - ge)
                 h_left = h_curr[s - 1]

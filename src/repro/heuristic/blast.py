@@ -49,6 +49,7 @@ class BlastResult:
     seeds_found: int
     ungapped_extensions: int
     gapped_extensions: int
+    ungapped_fallbacks: int  # scored from the ungapped HSP alone
     cells_computed: int
     exact_cells: int  # what a full SW scan would have computed
 
@@ -136,7 +137,7 @@ class MiniBlast:
 
         scores = np.zeros(len(database), dtype=np.int64)
         hits: list[BlastHit] = []
-        seeds = unext = gapext = 0
+        seeds = unext = gapext = fallbacks = 0
         cells = 0
 
         for idx, seq in enumerate(database.sequences):
@@ -191,6 +192,13 @@ class MiniBlast:
                 )
                 gapext += 1
                 cells += best_ext.cells
+            elif best_ungapped is not None and best_ungapped.score > 0:
+                # Below the gapped trigger the ungapped HSP is still
+                # the best alignment found: report its score (real
+                # BLAST reports ungapped HSPs) instead of silently
+                # dropping the sequence to 0.
+                best_ext = best_ungapped
+                fallbacks += 1
             if best_ext is not None and best_ext.score > 0:
                 scores[idx] = best_ext.score
                 hits.append(
@@ -211,6 +219,7 @@ class MiniBlast:
             seeds_found=seeds,
             ungapped_extensions=unext,
             gapped_extensions=gapext,
+            ungapped_fallbacks=fallbacks,
             cells_computed=cells,
             exact_cells=len(q) * database.total_residues,
         )

@@ -130,9 +130,17 @@ def build_query_word_table(
     coder = KmerWordCoder(k, matrix.alphabet)
     table: dict[int, list[int]] = {}
     q = np.asarray(query, dtype=np.uint8)
+    # Repeated query k-mers (ubiquitous in low-complexity regions) share
+    # one neighbourhood enumeration, keyed by the packed word.
+    cache: dict[int, list[int]] = {}
     for i in range(len(q) - k + 1):
-        for word in neighborhood_words(
-            q[i : i + k], matrix, threshold, coder=coder
-        ):
+        kmer = q[i : i + k]
+        key = coder.encode(kmer)
+        words = cache.get(key)
+        if words is None:
+            words = cache[key] = neighborhood_words(
+                kmer, matrix, threshold, coder=coder
+            )
+        for word in words:
             table.setdefault(word, []).append(i)
     return table

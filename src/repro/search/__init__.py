@@ -15,6 +15,14 @@ from .gcups import gcups, Stopwatch
 from .journal import ScanJournal, ScanState
 from .streaming import PartialResult, StreamingSearch, StreamingResult
 from .sharded import ShardedStreamingSearch
+from .tiered import (
+    TIER_PRESETS,
+    TieredFilter,
+    TieredSearch,
+    TieredSearchResult,
+    TierPreset,
+    TierStats,
+)
 from .multiquery import MultiQueryExecutor, MultiQueryOutcome
 from .hybrid_pipeline import HybridSearchPipeline, HybridSearchResult
 from .stats import (
@@ -44,6 +52,12 @@ __all__ = [
     "StreamingResult",
     "PartialResult",
     "ShardedStreamingSearch",
+    "TIER_PRESETS",
+    "TierPreset",
+    "TierStats",
+    "TieredFilter",
+    "TieredSearch",
+    "TieredSearchResult",
     "ScanJournal",
     "ScanState",
     "MultiQueryExecutor",

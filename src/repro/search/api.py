@@ -84,6 +84,15 @@ class SearchOptions:
         OpenMP policy for the simulated group loop.
     threads:
         Virtual thread count for the schedule simulation.
+    mode:
+        Search tier: ``"exact"`` (the default — exhaustive SW over
+        every sequence, bit-identical to every release so far),
+        ``"sensitive"`` or ``"fast"`` (the tiered heuristic path of
+        :mod:`repro.search.tiered`: k-mer seeding prunes candidates,
+        the banded engine verifies survivors, and only the final
+        candidate set is rescored with exact SW — so every *reported*
+        score is an exact SW score, but low-similarity sequences may
+        be pruned before rescoring and miss the ranking).
     top_k:
         Default number of ranked hits returned; ``0`` means scores
         only — the search still runs and accounts, but keeps no
@@ -108,6 +117,7 @@ class SearchOptions:
     lanes: int | None = None
     kernel: str | None = None
     profile: str = "sequence"
+    mode: str = "exact"
     schedule: Schedule | str = Schedule.DYNAMIC
     threads: int = 4
     top_k: int = 10
@@ -136,6 +146,11 @@ class SearchOptions:
         if self.kernel is not None and self.kernel not in ("python", "numpy"):
             raise PipelineError(
                 f"kernel must be 'python' or 'numpy', got {self.kernel!r}"
+            )
+        if self.mode not in ("exact", "sensitive", "fast"):
+            raise PipelineError(
+                f"mode must be 'exact', 'sensitive' or 'fast', "
+                f"got {self.mode!r}"
             )
         Schedule.parse(self.schedule)  # fail fast on bad schedule specs
 

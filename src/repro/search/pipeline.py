@@ -150,6 +150,16 @@ class SearchPipeline:
         self.parallel_broadcast = parallel_broadcast
         self._backend = None
         self._backend_key: tuple | None = None
+        self._tiered = None
+
+    # ------------------------------------------------------------------
+    def _tiered_executor(self):
+        """The lazily built tiered executor (``mode != "exact"`` only)."""
+        if self._tiered is None:
+            from .tiered import TieredSearch
+
+            self._tiered = TieredSearch(self.options, metrics=self.metrics)
+        return self._tiered
 
     # ------------------------------------------------------------------
     def _ensure_backend(self, database: SequenceDatabase, pre):
@@ -282,6 +292,13 @@ class SearchPipeline:
         """
         if len(database) == 0:
             raise PipelineError("cannot search an empty database")
+        if self.options.mode != "exact":
+            # The tiered path neither sorts nor lane-packs the whole
+            # database, so a handed-in preprocess is simply unused.
+            return self._tiered_executor().search(
+                query, database, query_name=query_name, top_k=top_k,
+                traceback=traceback,
+            )
         if top_k is None:
             top_k = self.options.top_k
         q = as_codes(query, self.alphabet)
@@ -504,7 +521,11 @@ class SearchPipeline:
         """
         if not queries:
             return {}
-        pre = preprocess_database(database, lanes=self.lanes)
+        # The tiered path never consumes a lane-pack; skip the build.
+        pre = (
+            preprocess_database(database, lanes=self.lanes)
+            if self.options.mode == "exact" else None
+        )
         return {
             name: self.search(
                 q, database, query_name=name, top_k=top_k, preprocessed=pre

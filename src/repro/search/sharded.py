@@ -329,6 +329,20 @@ class ShardedStreamingSearch:
         returned instead (``total_records``, when known, gives it a
         completion fraction).
         """
+        if self.options.mode != "exact":
+            # Tiered modes prune the stream before exact scoring; what
+            # survives is too little work to shard across a pool, so
+            # the scan routes to the in-driver tiered driver (survivor
+            # sets are chunking- and sharding-invariant).
+            from .tiered import TieredSearch
+
+            return TieredSearch(
+                self.options, metrics=self.metrics
+            ).search_records(
+                query, records, query_name=query_name,
+                database_name=database_name, top_k=top_k,
+                total_records=total_records,
+            )
         q = as_codes(query, self.alphabet)
         if top_k is None:
             top_k = self.top_k

@@ -214,6 +214,16 @@ class StreamingSearch:
             lanes=opts.resolved_lanes(DEFAULT_LANES[self.kernel]),
         )
         self._sharded = None
+        self._tiered = None
+
+    # ------------------------------------------------------------------
+    def _tiered_executor(self):
+        """The lazily built tiered scan (``mode != "exact"`` only)."""
+        if self._tiered is None:
+            from .tiered import TieredSearch
+
+            self._tiered = TieredSearch(self.options, metrics=self.metrics)
+        return self._tiered
 
     # ------------------------------------------------------------------
     def _sharded_driver(self):
@@ -268,6 +278,17 @@ class StreamingSearch:
         """
         if top_k is None:
             top_k = self.top_k
+        if self.options.mode != "exact":
+            # Tiered modes prune most of the stream before any exact
+            # scoring; the remaining work is too small to feed a pool,
+            # so both the serial and the sharded spelling route to the
+            # in-driver tiered scan (survivor sets — and therefore the
+            # top-k — are chunking-invariant).
+            return self._tiered_executor().search_records(
+                query, records, query_name=query_name,
+                database_name=database_name, top_k=top_k,
+                total_records=total_records,
+            )
         if self.workers > 1:
             try:
                 driver = self._sharded_driver()

@@ -127,7 +127,7 @@ def encode_options(options: SearchOptions) -> dict:
             "SearchOptions.injector does not cross the wire: fault "
             "injection is process-local server configuration"
         )
-    return {
+    doc = {
         "matrix": _encode_matrix(options.matrix),
         "gaps": (
             None if options.gaps is None
@@ -149,6 +149,12 @@ def encode_options(options: SearchOptions) -> dict:
             else {"expires_at": options.deadline.expires_at}
         ),
     }
+    # Additive optional key (schema v1 interop): the default mode is
+    # omitted entirely, so an exact-mode envelope is byte-identical to
+    # what pre-mode peers produced and expect.
+    if options.mode != "exact":
+        doc["mode"] = options.mode
+    return doc
 
 
 def decode_options(doc: Mapping[str, Any]) -> SearchOptions:
@@ -167,6 +173,8 @@ def decode_options(doc: Mapping[str, Any]) -> SearchOptions:
             # means "server default") so v1 peers interoperate.
             kernel=doc.get("kernel"),
             profile=doc["profile"],
+            # Optional likewise: absent means the exhaustive default.
+            mode=doc.get("mode", "exact"),
             schedule=Schedule.parse(doc["schedule"]),
             threads=doc["threads"],
             top_k=doc["top_k"],

@@ -246,6 +246,12 @@ class SearchService:
         self.executor = executor
         self.workers = int(workers) if workers is not None else 1
         self.options = options if options is not None else SearchOptions()
+        if self.options.mode != "exact" and scheduler != "local":
+            raise PipelineError(
+                f"tiered mode {self.options.mode!r} runs on the local "
+                f"scheduler only; the {scheduler!r} scheduler is a "
+                f"modelled heterogeneous split and stays exact"
+            )
         self.scheduler = scheduler
         self.metrics = metrics
         self.tracer = tracer
@@ -405,7 +411,12 @@ class SearchService:
                         req.query, database, query_name=req.name,
                         top_k=req.top_k,
                     )
-                pre = self.cache.get(database, lanes=self._pipe.lanes)
+                # Tiered modes never consume a lane-pack; skip the
+                # preprocess cache rather than building an unused one.
+                pre = (
+                    self.cache.get(database, lanes=self._pipe.lanes)
+                    if self.options.mode == "exact" else None
+                )
                 return self._pipe.search(
                     req.query, database, query_name=req.name,
                     top_k=req.top_k, traceback=req.traceback,

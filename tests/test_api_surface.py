@@ -63,6 +63,7 @@ PUBLIC_API = {
     "SearchOptions", "SearchRequest", "SearchOutcome",
     "SearchPipeline", "SearchResult", "gcups",
     "StreamingSearch", "StreamingResult", "ShardedStreamingSearch",
+    "TieredSearch", "TieredSearchResult",
     "PartialResult", "ScanJournal", "ScanState",
     "HybridSearchPipeline", "HybridSearchResult",
     "MultiQueryExecutor", "MultiQueryOutcome",
@@ -88,8 +89,8 @@ PUBLIC_API = {
 }
 
 OPTION_FIELDS = (
-    "matrix", "gaps", "lanes", "kernel", "profile", "schedule", "threads",
-    "top_k", "chunk_size", "alphabet", "injector", "deadline",
+    "matrix", "gaps", "lanes", "kernel", "profile", "mode", "schedule",
+    "threads", "top_k", "chunk_size", "alphabet", "injector", "deadline",
 )
 
 

@@ -224,3 +224,100 @@ class TestKernelDifferential:
         top_scores = [h.score for h in py.hits]
         assert len(set(top_scores)) < len(top_scores), \
             "workload produced no ties; grow the database"
+
+
+class TestModeExactConformance:
+    """``mode="exact"`` is the exhaustive path, hit for hit.
+
+    The tiered executor only engages for ``sensitive``/``fast``; with
+    ``mode="exact"`` every entry point (serial pipeline, parallel
+    pipeline, streaming, sharded streaming) must produce output
+    indistinguishable from the same entry point with no mode set —
+    identical scores, identical Hit ranking under the stable tie-break,
+    identical cell accounting.
+    """
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.db import SyntheticSwissProt
+
+        rng = np.random.default_rng(0xBEEF)
+        db = SyntheticSwissProt(seed=11).generate(scale=0.0004)
+        query = random_protein(rng, 48)
+        return query, db
+
+    @staticmethod
+    def _key(result):
+        return (
+            [(h.index, h.score, h.header) for h in result.hits],
+            result.cells,
+        )
+
+    def test_serial_pipeline_identical(self, workload):
+        from repro.search import (
+            SearchOptions, SearchPipeline, TieredSearchResult,
+        )
+
+        query, db = workload
+        default = SearchPipeline(SearchOptions(top_k=25)).search(query, db)
+        exact = SearchPipeline(
+            SearchOptions(mode="exact", top_k=25)
+        ).search(query, db)
+        assert not isinstance(exact, TieredSearchResult)
+        assert self._key(exact) == self._key(default)
+        np.testing.assert_array_equal(exact.scores, default.scores)
+        # Ties must exist for the ordering comparison to bite.
+        top_scores = [h.score for h in default.hits]
+        assert len(set(top_scores)) < len(top_scores)
+
+    def test_parallel_pipeline_identical(self, workload):
+        from repro.search import SearchOptions, SearchPipeline
+
+        query, db = workload
+        serial = SearchPipeline(SearchOptions(top_k=25)).search(query, db)
+        with SearchPipeline(
+            SearchOptions(mode="exact", top_k=25), workers=2
+        ) as pipe:
+            parallel = pipe.search(query, db)
+        assert self._key(parallel) == self._key(serial)
+
+    def test_streaming_identical(self, workload):
+        from repro.search import SearchOptions, StreamingSearch
+
+        query, db = workload
+        default = StreamingSearch(
+            SearchOptions(top_k=25, chunk_size=32)
+        ).search_database(query, db)
+        exact = StreamingSearch(
+            SearchOptions(mode="exact", top_k=25, chunk_size=32)
+        ).search_database(query, db)
+        assert [(h.index, h.score) for h in exact.hits] \
+            == [(h.index, h.score) for h in default.hits]
+        assert exact.cells == default.cells
+
+    def test_sharded_identical(self, workload):
+        from repro.search import SearchOptions, StreamingSearch
+
+        query, db = workload
+        serial = StreamingSearch(
+            SearchOptions(top_k=25, chunk_size=32)
+        ).search_database(query, db)
+        with StreamingSearch(
+            SearchOptions(mode="exact", top_k=25, chunk_size=32),
+            workers=2, shard_residues=4_000,
+        ) as sharded:
+            result = sharded.search_database(query, db)
+        assert [(h.index, h.score) for h in result.hits] \
+            == [(h.index, h.score) for h in serial.hits]
+
+    def test_tiered_modes_return_tiered_result(self, workload):
+        from repro.search import (
+            SearchOptions, SearchPipeline, TieredSearchResult,
+        )
+
+        query, db = workload
+        for mode in ("sensitive", "fast"):
+            result = SearchPipeline(
+                SearchOptions(mode=mode, top_k=25)
+            ).search(query, db)
+            assert isinstance(result, TieredSearchResult), mode

@@ -1,7 +1,9 @@
 """Unit tests for the banded Smith-Waterman engine."""
 
+import numpy as np
 import pytest
 
+from repro.alphabet import PROTEIN
 from repro.core import get_engine
 from repro.core.banded import BandedEngine
 from repro.exceptions import EngineError
@@ -9,6 +11,41 @@ from repro.scoring import BLOSUM62, GapModel, match_mismatch_matrix, paper_gap_m
 from tests.conftest import random_protein
 
 MM = match_mismatch_matrix(5, -4)
+
+
+def banded_reference(query, db, matrix, gaps, width, offset):
+    """Full-matrix affine DP with cells outside the band masked.
+
+    The band-local engine's boundary conventions, spelled out on the
+    full matrix: an out-of-band cell reads as ``H = 0`` (a local
+    alignment may trivially restart there) and ``E = F = -inf`` (no gap
+    may be *extended* through it).  Returns (score, end_i, end_j,
+    cells) with the engine's scan-order tie-breaking.
+    """
+    q = PROTEIN.encode(query) if isinstance(query, str) else query
+    d = PROTEIN.encode(db) if isinstance(db, str) else db
+    m, n = len(q), len(d)
+    neg = -(1 << 40)
+    go, ge = gaps.first_gap_cost, gaps.extend
+    sub = matrix.data
+    H = np.zeros((m + 1, n + 1), dtype=np.int64)
+    E = np.full((m + 1, n + 1), neg, dtype=np.int64)
+    F = np.full((m + 1, n + 1), neg, dtype=np.int64)
+    best = 0
+    bi = bj = 0
+    cells = 0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if abs(j - i - offset) > width:
+                continue  # out of band: H stays 0, E/F stay -inf
+            e = max(H[i][j - 1] - go, E[i][j - 1] - ge)
+            f = max(H[i - 1][j] - go, F[i - 1][j] - ge)
+            h = max(0, H[i - 1][j - 1] + int(sub[q[i - 1], d[j - 1]]), e, f)
+            H[i][j], E[i][j], F[i][j] = h, e, f
+            cells += 1
+            if h > best:
+                best, bi, bj = h, i, j
+    return int(best), bi, bj, cells
 
 
 @pytest.fixture(scope="module")
@@ -90,6 +127,90 @@ class TestOffset:
             query, db, BLOSUM62, g
         )
         assert banded.score == sum(BLOSUM62.score(c, c) for c in core)
+
+
+class TestBandEdgeReference:
+    """The rolling band-local DP equals the masked full-matrix DP.
+
+    These pin the boundary behaviour the slot arithmetic relies on —
+    including the ``j - 1 == 0`` column, whose previous-row slot is
+    never written and must read as the padding zero (the reason the old
+    ``if j - 1 >= 0`` guard was dead).
+    """
+
+    # Widths/offsets chosen so the band clips the top, bottom, left and
+    # right matrix edges, collapses to a single diagonal (width=0), and
+    # leaves leading/trailing rows empty (lo > hi).
+    EDGES = [
+        (0, 0), (0, 4), (0, -4),
+        (1, -8), (2, 12), (3, -15),
+        (5, 0), (16, 9), (2, 23),
+    ]
+
+    @pytest.mark.parametrize("width,offset", EDGES)
+    def test_matches_masked_reference(self, rng, width, offset):
+        g = paper_gap_model()
+        a = random_protein(rng, 20)
+        b = random_protein(rng, 25)
+        res = BandedEngine(width=width, offset=offset).score_pair(
+            a, b, BLOSUM62, g
+        )
+        score, bi, bj, cells = banded_reference(
+            a, b, BLOSUM62, g, width, offset
+        )
+        assert res.score == score
+        assert res.cells == cells
+        assert (res.end_query, res.end_db) == (bi, bj)
+
+    @pytest.mark.parametrize("width,offset", EDGES)
+    def test_matches_reference_uneven_lengths(self, rng, width, offset):
+        # Rectangular matrices clip the band differently on each edge.
+        g = GapModel(2, 1)
+        a = random_protein(rng, 31)
+        b = random_protein(rng, 9)
+        res = BandedEngine(width=width, offset=offset).score_pair(
+            a, b, MM, g
+        )
+        score, bi, bj, cells = banded_reference(a, b, MM, g, width, offset)
+        assert res.score == score
+        assert res.cells == cells
+        assert (res.end_query, res.end_db) == (bi, bj)
+
+    def test_band_entirely_off_matrix(self, rng):
+        # offset beyond the database length: every row has lo > hi.
+        g = paper_gap_model()
+        a = random_protein(rng, 12)
+        b = random_protein(rng, 8)
+        res = BandedEngine(width=2, offset=30).score_pair(a, b, BLOSUM62, g)
+        assert res.score == 0
+        assert res.cells == 0
+
+    def test_leading_rows_empty_then_band_enters(self, rng):
+        # Strongly negative offset: the first rows are lo > hi and the
+        # band only enters the matrix lower down; the row state must
+        # reset cleanly across the empty rows.
+        g = paper_gap_model()
+        a = random_protein(rng, 24)
+        b = random_protein(rng, 24)
+        width, offset = 1, -18
+        res = BandedEngine(width=width, offset=offset).score_pair(
+            a, b, BLOSUM62, g
+        )
+        score, _, _, cells = banded_reference(
+            a, b, BLOSUM62, g, width, offset
+        )
+        assert res.score == score
+        assert res.cells == cells
+        assert cells > 0
+
+    def test_first_column_boundary_width_zero(self):
+        # width=0, offset=0 touches column 1 in row 1: its h_diag read
+        # is the previous row's never-written column-0 slot, which must
+        # be the padding zero (H(0, 0)), not garbage.
+        g = paper_gap_model()
+        res = BandedEngine(width=0).score_pair("W", "W", BLOSUM62, g)
+        assert res.score == BLOSUM62.score("W", "W")
+        assert res.cells == 1
 
 
 class TestAccounting:

@@ -175,9 +175,14 @@ class TestMiniBlast:
         result = MiniBlast().search(query, db)
         assert result.seeds_found >= result.ungapped_extensions
         assert result.ungapped_extensions >= result.gapped_extensions
-        assert result.gapped_extensions == len(
-            [s for s in result.scores if s > 0]
-        ) or result.gapped_extensions >= len(result.hits)
+        # Every positive score became a hit, and every hit came from
+        # either a gapped refinement or an ungapped fallback.
+        positives = int((result.scores > 0).sum())
+        assert positives == len(result.hits)
+        assert (
+            result.gapped_extensions + result.ungapped_fallbacks >= positives
+        )
+        assert result.ungapped_fallbacks >= 0
 
     def test_top_hits_sorted(self, planted_setup):
         query, db, _ = planted_setup
@@ -195,6 +200,67 @@ class TestMiniBlast:
     def test_empty_database_rejected(self):
         with pytest.raises(PipelineError):
             MiniBlast().search("WCHKW", SequenceDatabase("e", [], []))
+
+
+class TestUngappedFallback:
+    """Sub-trigger HSPs report their ungapped score instead of 0."""
+
+    def test_sub_trigger_hsp_reports_ungapped_score(self):
+        # "AAA" scores 12 against itself (3 x 4): above the T=11
+        # seeding threshold but below the default gapped_trigger=22, so
+        # before the fallback fix the sequence silently scored 0
+        # despite the "best score per sequence" contract.
+        db = SequenceDatabase.from_records([FastaRecord("t", "AAA")])
+        result = MiniBlast().search("AAA", db)
+        assert result.gapped_extensions == 0
+        assert result.ungapped_fallbacks == 1
+        assert result.scores[0] == 12
+        assert len(result.hits) == 1
+        assert result.hits[0].score == 12
+        assert (result.hits[0].qstart, result.hits[0].qend) == (0, 3)
+
+    def test_fallback_score_never_above_exact(self):
+        db = SequenceDatabase.from_records([FastaRecord("t", "AAA")])
+        heuristic = MiniBlast().search("AAA", db)
+        exact = SearchPipeline().search("AAA", db)
+        assert (heuristic.scores <= exact.scores).all()
+
+    def test_triggered_sequences_unaffected(self, rng):
+        # A sequence above the trigger still takes the gapped path.
+        db = SequenceDatabase.from_records([FastaRecord("t", "WCHKWCHK")])
+        result = MiniBlast().search("WCHKWCHK", db)
+        assert result.gapped_extensions == 1
+        assert result.ungapped_fallbacks == 0
+
+
+class TestNeighborhoodMemoization:
+    """Repeated query k-mers share one neighbourhood enumeration."""
+
+    def test_repeated_kmers_enumerated_once(self, monkeypatch):
+        import repro.heuristic.kmer as kmer_mod
+
+        real = kmer_mod.neighborhood_words
+        calls: list[bytes] = []
+
+        def counting(kmer, matrix, threshold, **kwargs):
+            calls.append(kmer.tobytes())
+            return real(kmer, matrix, threshold, **kwargs)
+
+        monkeypatch.setattr(kmer_mod, "neighborhood_words", counting)
+        # k-mers of WCHWCHWCH: WCH, CHW, HWC, WCH, CHW, HWC, WCH —
+        # three distinct words over seven positions.
+        q = PROTEIN.encode("WCHWCHWCH")
+        table = build_query_word_table(q, BLOSUM62, k=3, threshold=11)
+        assert len(calls) == 3, "one enumeration per distinct k-mer"
+        assert len(set(calls)) == len(calls)
+
+        # The memoized table is identical to per-occurrence enumeration.
+        coder = KmerWordCoder(3)
+        expected: dict[int, list[int]] = {}
+        for i in range(len(q) - 2):
+            for word in real(q[i : i + 3], BLOSUM62, 11, coder=coder):
+                expected.setdefault(word, []).append(i)
+        assert table == expected
 
 
 class TestTwoHitSeeding:

@@ -301,6 +301,59 @@ class TestIntrospection:
         )
 
 
+class TestTieredMode:
+    """The ``mode`` option rides the wire and round-trips served search."""
+
+    def test_sensitive_server_matches_local_tiered(self, db):
+        options = SearchOptions(mode="sensitive")
+        local = SearchService(options)
+        try:
+            expected = local.search(QUERY, db)
+        finally:
+            local.close()
+        with SearchServer(db, options=options,
+                          metrics=MetricsRegistry()) as srv:
+            client = SearchClient(
+                srv.url, options=options, metrics=MetricsRegistry(),
+            )
+            remote = client.search(QUERY)
+        assert list(remote.hits) == list(expected.hits)
+        assert remote.cells == expected.cells
+        assert remote.provenance["mode"] == "sensitive"
+
+    def test_mode_mismatch_is_loud(self, db):
+        # An exact-mode server must refuse a sensitive-mode client (and
+        # name the offending field) rather than silently serve exact
+        # results against tiered expectations.
+        with SearchServer(db, metrics=MetricsRegistry()) as srv:
+            mismatched = SearchClient(
+                srv.url,
+                options=SearchOptions(mode="sensitive"),
+                metrics=MetricsRegistry(),
+            )
+            with pytest.raises(PipelineError, match="mode"):
+                mismatched.search(QUERY)
+
+    def test_exact_client_rejected_by_tiered_server(self, db):
+        with SearchServer(db, options=SearchOptions(mode="fast"),
+                          metrics=MetricsRegistry()) as srv:
+            exact_client = SearchClient(
+                srv.url, options=SearchOptions(), metrics=MetricsRegistry(),
+            )
+            with pytest.raises(PipelineError, match="mode"):
+                exact_client.search(QUERY)
+
+    def test_exact_mode_envelope_backwards_compatible(self, server):
+        # mode="exact" encodes to the same envelope as no mode at all:
+        # a pre-mode peer and a mode-aware exact client interoperate.
+        exact = SearchClient(
+            server.url,
+            options=SearchOptions(mode="exact"),
+            metrics=MetricsRegistry(),
+        )
+        assert exact.search(QUERY).best_score() > 0
+
+
 class TestLifecycle:
     def test_max_requests_shuts_down_cleanly(self, db):
         with SearchServer(db, max_requests=1,
